@@ -1,0 +1,160 @@
+// Microbenchmarks (google-benchmark) for the simulation substrate: event
+// queue, engine dispatch, EDF queue operations, strategy evaluation, the
+// recursive SDA walk, and a whole-system replication.  These bound the cost
+// of regenerating the paper's figures and catch substrate regressions.
+#include <benchmark/benchmark.h>
+
+#include "src/core/process_manager.hpp"
+#include "src/core/sda.hpp"
+#include "src/core/strategy.hpp"
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/sched/edf.hpp"
+#include "src/sim/engine.hpp"
+#include "src/task/notation.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sda;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      q.push(rng.uniform01(), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_EngineSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine engine;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) engine.in(1.0, tick);
+    };
+    engine.in(1.0, tick);
+    engine.run();
+    benchmark::DoNotOptimize(engine.events_fired());
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EngineSelfScheduling);
+
+void BM_EdfPushPop(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(2);
+  std::vector<task::TaskPtr> tasks;
+  tasks.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    tasks.push_back(task::make_local_task(static_cast<std::uint64_t>(i + 1), 0,
+                                          0.0, 1.0, rng.uniform(0.0, 100.0)));
+  }
+  for (auto _ : state) {
+    sched::EdfScheduler edf;
+    for (const auto& t : tasks) edf.push(t);
+    while (edf.size() > 0) benchmark::DoNotOptimize(edf.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EdfPushPop)->Arg(64)->Arg(4096);
+
+void BM_StrategyAssign(benchmark::State& state) {
+  const auto div1 = core::make_psp_strategy("div-1");
+  core::PspContext ctx;
+  ctx.now = 3.0;
+  ctx.deadline = 12.0;
+  ctx.branch_count = 4;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(div1->assign(ctx, 2, 1.0));
+  }
+}
+BENCHMARK(BM_StrategyAssign);
+
+void BM_SdaPlanWalk(benchmark::State& state) {
+  // Figure 1's example shape with bound nodes and unit demands.
+  const auto tree = task::parse_notation(
+      "[T1@0:1 [T2@1:1 || [T3@2:1 T4@3:1 T5@4:1]] [T6@5:1 || T7@0:1] T8@1:1]");
+  const auto psp = core::make_psp_strategy("div-1");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::plan_assignment(*tree, 0.0, 40.0, *psp, *ssp));
+  }
+}
+BENCHMARK(BM_SdaPlanWalk);
+
+void BM_NotationParse(benchmark::State& state) {
+  const std::string text =
+      "[T1@0:1 [T2@1:1 || [T3@2:1 T4@3:1 T5@4:1]] [T6@5:1 || T7@0:1] T8@1:1]";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(task::parse_notation(text));
+  }
+}
+BENCHMARK(BM_NotationParse);
+
+void BM_TreeCloneAndCriticalPath(benchmark::State& state) {
+  const auto tree = task::parse_notation(
+      "[T1@0:1 [T2@1:1 || [T3@2:1 T4@3:1 T5@4:1]] [T6@5:1 || T7@0:1] T8@1:1]");
+  for (auto _ : state) {
+    const auto copy = task::clone(*tree);
+    benchmark::DoNotOptimize(task::critical_path_ex(*copy));
+  }
+}
+BENCHMARK(BM_TreeCloneAndCriticalPath);
+
+void BM_ProcessManagerSubmitDrain(benchmark::State& state) {
+  // Cost of the PM machinery itself: submit a 4-way parallel global to idle
+  // nodes and drain it to completion, repeatedly.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Engine engine;
+    std::vector<std::unique_ptr<sched::Node>> nodes;
+    std::vector<sched::Node*> node_ptrs;
+    for (int i = 0; i < 6; ++i) {
+      sched::Node::Config nc;
+      nc.index = i;
+      nodes.push_back(std::make_unique<sched::Node>(
+          engine, std::make_unique<sched::EdfScheduler>(), nc));
+      node_ptrs.push_back(nodes.back().get());
+    }
+    core::ProcessManager::Config pc;
+    pc.psp = core::make_psp_strategy("div-1");
+    pc.ssp = core::make_ssp_strategy("eqf");
+    core::ProcessManager pm(engine, node_ptrs, std::move(pc));
+    for (auto& n : nodes) {
+      n->set_completion_handler(
+          [&pm](const task::TaskPtr& t) { pm.handle_completion(t); });
+    }
+    state.ResumeTiming();
+    for (int i = 0; i < 100; ++i) {
+      pm.submit(task::parse_notation("[A@0:1 || B@1:1 || C@2:1 || D@3:1]"),
+                engine.now() + 10.0, 100, 1);
+      engine.run();
+    }
+    benchmark::DoNotOptimize(pm.completed_runs());
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_ProcessManagerSubmitDrain);
+
+void BM_WholeReplication(benchmark::State& state) {
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.sim_time = 5000.0;
+  c.psp = "div-1";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exp::run_once(c, 42));
+  }
+  state.SetLabel("5000 simulated time units, baseline system");
+}
+BENCHMARK(BM_WholeReplication);
+
+}  // namespace
+
+BENCHMARK_MAIN();

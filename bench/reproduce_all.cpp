@@ -1,0 +1,18 @@
+// The one-shot reproduction scorecard: every qualitative claim from the
+// paper (orderings, crossovers, monotonicities) plus the §6.1/§7.3 numeric
+// anchors, run as a single battery and printed as PASS/FAIL rows.
+//
+// Exit code is the number of failed checks, so this binary doubles as a CI
+// gate for the whole reproduction.
+#include <cstdio>
+
+#include "src/exp/compare.hpp"
+#include "src/util/env.hpp"
+
+int main() {
+  const sda::util::BenchEnv env = sda::util::bench_env();
+  std::printf("reproduction scorecard (%s)\n\n", env.describe().c_str());
+  const auto card = sda::exp::compare::run_reproduction_battery(env);
+  std::printf("%s", card.render().c_str());
+  return static_cast<int>(card.failures());
+}

@@ -1,0 +1,126 @@
+// Transient overload, made visible (paper §5: "it is the occasional
+// experience of transient overload that accounts for most of the missed
+// deadlines").
+//
+// We assemble the baseline system by hand, drive its local streams with a
+// bursty (interrupted-Poisson) arrival process at the same *mean* load, and
+// chart the global-task miss rate over time.  The long quiet stretches and
+// violent spikes show why the paper evaluates strategies at moderate mean
+// loads: it is the storms that kill deadlines, and DIV-1 blunts them.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "src/core/process_manager.hpp"
+#include "src/metrics/timeseries.hpp"
+#include "src/sched/edf.hpp"
+#include "src/util/ascii_chart.hpp"
+#include "src/workload/global_source.hpp"
+#include "src/workload/local_source.hpp"
+#include "src/workload/rates.hpp"
+
+namespace {
+
+using namespace sda;
+
+constexpr double kHorizon = 20000.0;
+constexpr double kWindow = 500.0;
+
+metrics::MissTimeSeries run_storm(const char* psp_name, double burst_factor,
+                                  std::uint64_t seed) {
+  sim::Engine engine;
+  util::Rng master(seed);
+  metrics::MissTimeSeries series(kHorizon, kWindow);
+
+  std::vector<std::unique_ptr<sched::Node>> nodes;
+  std::vector<sched::Node*> node_ptrs;
+  for (int i = 0; i < 6; ++i) {
+    sched::Node::Config nc;
+    nc.index = i;
+    nodes.push_back(std::make_unique<sched::Node>(
+        engine, std::make_unique<sched::EdfScheduler>(), nc));
+    node_ptrs.push_back(nodes.back().get());
+  }
+
+  core::ProcessManager::Config pc;
+  pc.psp = core::make_psp_strategy(psp_name);
+  pc.ssp = core::make_ssp_strategy("ud");
+  core::ProcessManager pm(engine, node_ptrs, std::move(pc));
+  pm.set_global_handler([&](const core::GlobalTaskRecord& r) {
+    series.record(r.arrival, r.missed);
+  });
+
+  metrics::Collector scratch;  // local sources need one for abort timers
+  for (auto& n : nodes) {
+    n->set_completion_handler([&](const task::TaskPtr& t) {
+      if (t->kind == task::TaskKind::kSubtask) pm.handle_completion(t);
+    });
+  }
+
+  workload::RateParams rp;  // baseline Table 1 rates at load 0.5
+  const workload::Rates rates = workload::solve_rates(rp);
+  std::vector<std::unique_ptr<workload::LocalSource>> locals;
+  for (int i = 0; i < 6; ++i) {
+    workload::LocalSource::Config lc;
+    lc.lambda = rates.lambda_local;
+    lc.id_base = (static_cast<std::uint64_t>(i) + 1) << 40;
+    lc.burst_factor = burst_factor;
+    lc.burst_cycle = 400.0;  // storms last a few hundred time units
+    locals.push_back(std::make_unique<workload::LocalSource>(
+        engine, *nodes[static_cast<std::size_t>(i)], scratch, master.split(),
+        lc));
+    locals.back()->start();
+  }
+  workload::ParallelGlobalSource::Config gc;
+  gc.lambda = rates.lambda_global;
+  workload::ParallelGlobalSource globals(engine, pm, master.split(), gc);
+  globals.start();
+
+  engine.run_until(kHorizon);
+  return series;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("overload storms: bursty locals (mean load 0.5, burst x3)\n\n");
+
+  const auto calm = run_storm("ud", 1.0, 7);
+  const auto storm_ud = run_storm("ud", 3.0, 7);
+  const auto storm_div = run_storm("div-1", 3.0, 7);
+
+  sda::util::AsciiChart chart(72, 18);
+  chart.set_labels("time", "MD_global per 500-unit window");
+  auto add = [&](const char* name, char marker,
+                 const sda::metrics::MissTimeSeries& s) {
+    sda::util::Series series{name, marker, {}, {}};
+    for (std::size_t i = 0; i < s.windows(); ++i) {
+      series.xs.push_back(s.window_start(i));
+      series.ys.push_back(s.miss_rate(i));
+    }
+    chart.add(std::move(series));
+  };
+  add("poisson UD", 'p', calm);
+  add("bursty UD", 'U', storm_ud);
+  add("bursty DIV-1", 'D', storm_div);
+  std::printf("%s\n", chart.render().c_str());
+
+  auto stormy_windows = [](const sda::metrics::MissTimeSeries& s) {
+    int n = 0;
+    for (std::size_t i = 0; i < s.windows(); ++i) {
+      if (s.finished(i) >= 5 && s.miss_rate(i) > 0.5) ++n;
+    }
+    return n;
+  };
+  std::printf("peak window MD_global:  poisson/UD %.0f%%   bursty/UD %.0f%%"
+              "   bursty/DIV-1 %.0f%%\n",
+              100 * calm.peak_miss_rate(), 100 * storm_ud.peak_miss_rate(),
+              100 * storm_div.peak_miss_rate());
+  std::printf("windows with >50%% global misses:  poisson/UD %d   "
+              "bursty/UD %d   bursty/DIV-1 %d  (of %zu)\n",
+              stormy_windows(calm), stormy_windows(storm_ud),
+              stormy_windows(storm_div), calm.windows());
+  std::printf("(same mean load everywhere — only the arrival variability"
+              " differs; §5's point exactly.)\n");
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Quickstart: reproduce the paper's headline observation in ~30 lines of
+// API use.
+//
+// We simulate the Table 1 baseline system (6 EDF nodes, 75% local work,
+// 4-way parallel global tasks) at load 0.5 twice — once with the naive
+// Ultimate Deadline assignment and once with DIV-1 — and print the
+// missed-deadline rates.  Expected shape (paper §6.1): under UD the global
+// miss rate is ~3x the local one (~25% vs ~9%); DIV-1 roughly halves the
+// global miss rate at a small cost to locals.
+#include <cstdio>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/task_class.hpp"
+
+int main() {
+  using namespace sda;
+
+  exp::ExperimentConfig config = exp::baseline_config();  // Table 1
+  config.load = 0.5;
+  config.sim_time = 100000.0;
+
+  std::printf("system: %s\n\n", config.describe().c_str());
+  std::printf("%-8s  %-10s  %-10s  %-10s\n", "PSP", "MD_local", "MD_subtask",
+              "MD_global");
+
+  for (const char* psp : {"ud", "div-1", "gf"}) {
+    config.psp = psp;
+    const metrics::Report report = exp::run_experiment(config);
+    const auto local = report.summary(metrics::kLocalClass).miss_rate;
+    const auto subtask = report.summary(metrics::kSubtaskClass).miss_rate;
+    const auto global = report.summary(metrics::global_class(4)).miss_rate;
+    std::printf("%-8s  %9.1f%%  %9.1f%%  %9.1f%%\n", psp, 100 * local.mean,
+                100 * subtask.mean, 100 * global.mean);
+  }
+
+  std::printf(
+      "\npaper (Figs 5-7, load 0.5): UD ~ 8.9%% / 7.1%% / 25%%;"
+      " DIV-1 ~ 11.7%% / - / 13%%; GF lowers MD_global further.\n");
+  return 0;
+}

@@ -1,0 +1,59 @@
+// The paper's motivating application (Sections 1 and 8): stock-market
+// analysis and program trading as a five-stage serial-parallel task,
+//
+//   [init  [gather x4]  analysis  [act x4]  conclude]     (Figure 14)
+//
+// run against the Table 1 system with every SSP x PSP combination of
+// Table 2.  This is the Figure 15 experiment as an application narrative:
+// it prints, for each SDA strategy, how often a trading opportunity
+// "completes within its 2-minute window".
+#include <cstdio>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/task_class.hpp"
+
+int main() {
+  using namespace sda;
+
+  exp::ExperimentConfig config = exp::graph_config();
+  config.load = 0.6;           // a busy trading day
+  config.sim_time = 50000.0;
+  config.replications = 2;
+
+  std::printf("stock-trading pipeline: %s\n", config.describe().c_str());
+  std::printf("stages: (1) init, (2) gather info from 4 sources, "
+              "(3) analysis, (4) 4 buy/sell actions, (5) conclude\n\n");
+
+  struct Combo {
+    const char* label;
+    const char* ssp;
+    const char* psp;
+  };
+  const Combo combos[] = {
+      {"UD-UD    (naive end-to-end deadline everywhere)", "ud", "ud"},
+      {"UD-DIV1  (parallel stages promoted)", "ud", "div-1"},
+      {"EQF-UD   (serial stages budgeted)", "eqf", "ud"},
+      {"EQF-DIV1 (both, the paper's recommendation)", "eqf", "div-1"},
+  };
+
+  std::printf("%-52s  %-18s  %-12s\n", "SDA strategy (SSP-PSP)",
+              "trades on time", "locals on time");
+  for (const Combo& combo : combos) {
+    config.ssp = combo.ssp;
+    config.psp = combo.psp;
+    const metrics::Report report = exp::run_experiment(config);
+    const double trade_md =
+        report.summary(metrics::global_class(0)).miss_rate.mean;
+    const double local_md =
+        report.summary(metrics::kLocalClass).miss_rate.mean;
+    std::printf("%-52s  %13.1f%%     %9.1f%%\n", combo.label,
+                100.0 * (1.0 - trade_md), 100.0 * (1.0 - local_md));
+  }
+
+  std::printf(
+      "\npaper (Fig 15): the two strategies complement each other —"
+      " together they keep\nglobal misses close to local misses up to"
+      " load ~0.6.\n");
+  return 0;
+}

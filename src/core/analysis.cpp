@@ -1,0 +1,59 @@
+#include "src/core/analysis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sda::core::analysis {
+
+double global_miss_probability(double subtask_miss, int n) {
+  if (subtask_miss < 0.0 || subtask_miss > 1.0) {
+    throw std::invalid_argument("global_miss_probability: p outside [0, 1]");
+  }
+  if (n < 0) throw std::invalid_argument("global_miss_probability: n < 0");
+  return 1.0 - std::pow(1.0 - subtask_miss, static_cast<double>(n));
+}
+
+double required_subtask_miss(double global_miss, int n) {
+  if (global_miss < 0.0 || global_miss > 1.0) {
+    throw std::invalid_argument("required_subtask_miss: p outside [0, 1]");
+  }
+  if (n <= 0) throw std::invalid_argument("required_subtask_miss: n <= 0");
+  return 1.0 - std::pow(1.0 - global_miss, 1.0 / static_cast<double>(n));
+}
+
+double harmonic(int n) {
+  if (n < 0) throw std::invalid_argument("harmonic: n < 0");
+  double h = 0.0;
+  for (int i = 1; i <= n; ++i) h += 1.0 / static_cast<double>(i);
+  return h;
+}
+
+double expected_max_exponential(int n, double mean) {
+  if (mean <= 0.0) {
+    throw std::invalid_argument("expected_max_exponential: mean <= 0");
+  }
+  return mean * harmonic(n);
+}
+
+Mm1 mm1(double lambda, double mu) {
+  if (lambda < 0.0 || mu <= 0.0 || lambda >= mu) {
+    throw std::invalid_argument("mm1: need 0 <= lambda < mu, mu > 0");
+  }
+  Mm1 r;
+  r.rho = lambda / mu;
+  r.mean_in_system = r.rho / (1.0 - r.rho);
+  r.mean_in_queue = r.rho * r.rho / (1.0 - r.rho);
+  r.mean_sojourn = 1.0 / (mu - lambda);
+  r.mean_wait = r.rho / (mu - lambda);
+  return r;
+}
+
+double mm1_sojourn_tail(double lambda, double mu, double t) {
+  if (lambda < 0.0 || mu <= 0.0 || lambda >= mu) {
+    throw std::invalid_argument("mm1_sojourn_tail: need 0 <= lambda < mu");
+  }
+  if (t < 0.0) return 1.0;
+  return std::exp(-(mu - lambda) * t);
+}
+
+}  // namespace sda::core::analysis

@@ -1,0 +1,54 @@
+// Closed-form analytical companions to the simulation.
+//
+// The paper motivates PSP with a simple independence argument (§4): if a
+// node misses fraction p of deadlines, a global task with n parallel
+// subtasks misses ~ 1-(1-p)^n.  This module collects that and the other
+// closed forms used to sanity-check the simulator:
+//
+//  * miss-rate amplification and its inverse,
+//  * the expected maximum of n i.i.d. exponentials (harmonic numbers) —
+//    the mean of Equation 2's max term,
+//  * M/M/1 steady-state formulas for the queueing substrate.
+//
+// Everything here is pure math with no simulator dependencies.
+#pragma once
+
+namespace sda::core::analysis {
+
+/// Probability that a task of @p n independent parallel subtasks misses,
+/// when each subtask misses with probability @p subtask_miss (paper §4):
+/// 1 - (1 - p)^n.  Requires p in [0, 1], n >= 0.
+double global_miss_probability(double subtask_miss, int n);
+
+/// Inverse of global_miss_probability in p: the per-subtask miss rate that
+/// would produce @p global_miss for n parallel subtasks.
+double required_subtask_miss(double global_miss, int n);
+
+/// n-th harmonic number H_n = 1 + 1/2 + ... + 1/n (H_0 = 0).
+double harmonic(int n);
+
+/// Expected maximum of n i.i.d. exponentials with the given mean:
+/// mean * H_n.  This is E[max_i ex(T_i)] in Equation 2, so the *mean*
+/// deadline allowance of a global task is harmonic in n.
+double expected_max_exponential(int n, double mean);
+
+/// M/M/1 steady-state results (arrival rate lambda, service rate mu;
+/// requires lambda < mu for the time/number formulas).
+struct Mm1 {
+  double rho = 0.0;             ///< utilization lambda/mu
+  double mean_in_system = 0.0;  ///< L = rho/(1-rho)
+  double mean_in_queue = 0.0;   ///< Lq = rho^2/(1-rho)
+  double mean_sojourn = 0.0;    ///< W = 1/(mu-lambda)
+  double mean_wait = 0.0;       ///< Wq = rho/(mu-lambda)
+};
+
+/// Computes the M/M/1 summary. Throws std::invalid_argument when
+/// lambda < 0, mu <= 0, or lambda >= mu.
+Mm1 mm1(double lambda, double mu);
+
+/// P[sojourn > t] in M/M/1: exp(-(mu-lambda) t).  With deadlines at
+/// ar + ex + slack, this bounds the miss rate of a *work-conserving* node
+/// only loosely (EDF reorders), but gives the right order of magnitude.
+double mm1_sojourn_tail(double lambda, double mu, double t);
+
+}  // namespace sda::core::analysis

@@ -1,0 +1,41 @@
+#include "src/core/predictor.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sda::core {
+
+double leaf_on_time_probability(double window, const NodeModel& model) {
+  if (model.rho < 0.0 || model.rho >= 1.0 || model.mu <= 0.0) {
+    throw std::invalid_argument(
+        "NodeModel: need 0 <= rho < 1 and mu > 0");
+  }
+  if (window <= 0.0) return 0.0;
+  // M/M/1 sojourn time is exponential with rate mu(1 - rho).
+  return 1.0 - std::exp(-model.mu * (1.0 - model.rho) * window);
+}
+
+MissPrediction predict_miss(const task::TreeNode& tree, double arrival,
+                            double deadline, const PspStrategy& psp,
+                            const SspStrategy& ssp, const NodeModel& model) {
+  MissPrediction out;
+  const auto plan = plan_assignment(tree, arrival, deadline, psp, ssp);
+  double on_time = 1.0;
+  out.leaves.reserve(plan.size());
+  for (const LeafAssignment& a : plan) {
+    LeafEstimate est;
+    est.leaf = a.leaf;
+    // The *real* completion requirement is the end-to-end deadline; a leaf
+    // whose virtual window extends past it (UD) is still bounded by it.
+    const double effective_deadline = std::min(a.virtual_deadline, deadline);
+    est.window = effective_deadline - a.planned_dispatch;
+    est.on_time = leaf_on_time_probability(est.window, model);
+    on_time *= est.on_time;
+    out.leaves.push_back(est);
+  }
+  out.on_time_probability = on_time;
+  out.miss_probability = 1.0 - on_time;
+  return out;
+}
+
+}  // namespace sda::core

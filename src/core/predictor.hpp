@@ -1,0 +1,61 @@
+// Analytic miss-probability prediction for planned deadline assignments.
+//
+// The paper's §4 motivates PSP with back-of-envelope arithmetic
+// (1-(1-p)^n).  This module turns that into a usable planning tool: given a
+// task tree, a deadline, a strategy pair, and a simple per-node congestion
+// model (M/M/1 with utilization rho), it estimates the probability that the
+// global task meets its deadline *before submitting anything*:
+//
+//   * each leaf's window is taken from the offline SDA plan;
+//   * P[a leaf finishes within window w] ~ 1 - exp(-mu (1-rho) w), the
+//     M/M/1 sojourn tail;
+//   * parallel branches multiply (independence — the same approximation
+//     the paper's footnote 5 acknowledges);
+//   * serial stages multiply too: the plan assumes each stage makes its
+//     own window.
+//
+// Accuracy: this ignores EDF reordering, deadline correlation, and the
+// difference between virtual windows and actual response budgets, so treat
+// the output as an order-of-magnitude estimate.  The validation bench
+// (bench/validation_predictor) quantifies the gap against simulation: the
+// *shape* across load and n tracks well.
+#pragma once
+
+#include <vector>
+
+#include "src/core/sda.hpp"
+
+namespace sda::core {
+
+/// Per-node congestion model for prediction.
+struct NodeModel {
+  double rho = 0.5;  ///< utilization (normalized load), in [0, 1)
+  double mu = 1.0;   ///< service rate
+};
+
+/// One leaf's contribution to the estimate.
+struct LeafEstimate {
+  const task::TreeNode* leaf = nullptr;
+  double window = 0.0;   ///< planned response budget (deadline - dispatch)
+  double on_time = 0.0;  ///< P[response <= window] under the node model
+};
+
+/// Full prediction result.
+struct MissPrediction {
+  double on_time_probability = 0.0;  ///< product over leaves
+  double miss_probability = 0.0;     ///< 1 - on_time_probability
+  std::vector<LeafEstimate> leaves;  ///< per-leaf breakdown (DFS order)
+};
+
+/// Probability one task with response budget @p window completes in time at
+/// a node described by @p model (M/M/1 sojourn tail). Windows <= 0 give 0.
+double leaf_on_time_probability(double window, const NodeModel& model);
+
+/// Estimates the miss probability of @p tree with end-to-end @p deadline
+/// when assigned by (@p psp, @p ssp) and executed on nodes all described by
+/// @p model.  Uses the optimistic offline plan for windows.
+MissPrediction predict_miss(const task::TreeNode& tree, double arrival,
+                            double deadline, const PspStrategy& psp,
+                            const SspStrategy& ssp, const NodeModel& model);
+
+}  // namespace sda::core

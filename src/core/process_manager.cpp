@@ -1,0 +1,213 @@
+#include "src/core/process_manager.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sda::core {
+
+using task::TaskPtr;
+using task::TaskState;
+using task::TreeNode;
+
+ProcessManager::ProcessManager(sim::Engine& engine,
+                               std::vector<sched::Node*> nodes, Config config)
+    : engine_(engine), nodes_(std::move(nodes)), config_(std::move(config)) {
+  if (!config_.psp) throw std::invalid_argument("ProcessManager: PSP strategy required");
+  if (!config_.ssp) throw std::invalid_argument("ProcessManager: SSP strategy required");
+  for (const auto* n : nodes_) {
+    if (n == nullptr) throw std::invalid_argument("ProcessManager: null node");
+  }
+}
+
+ProcessManager::Run* ProcessManager::find_run(std::uint64_t run_id) {
+  auto it = runs_.find(run_id);
+  return it == runs_.end() ? nullptr : &it->second;
+}
+
+void ProcessManager::index_parents(Run& run, const TreeNode& t) {
+  for (const auto& c : t.children) {
+    run.parent[c.get()] = &t;
+    index_parents(run, *c);
+  }
+}
+
+std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
+                                     int global_metrics_class,
+                                     int subtask_metrics_class) {
+  if (!tree) throw std::invalid_argument("ProcessManager::submit: null tree");
+  if (auto why = task::validate(*tree); !why.empty()) {
+    throw std::invalid_argument("ProcessManager::submit: " + why);
+  }
+  for (const TreeNode* leaf : task::leaves(*tree)) {
+    if (leaf->exec_node < 0 ||
+        leaf->exec_node >= static_cast<int>(nodes_.size())) {
+      throw std::out_of_range("ProcessManager::submit: leaf bound to node " +
+                              std::to_string(leaf->exec_node) +
+                              " but the system has " +
+                              std::to_string(nodes_.size()) + " nodes");
+    }
+  }
+
+  const std::uint64_t id = next_run_id_++;
+  Run& run = runs_[id];
+  run.id = id;
+  run.tree = std::move(tree);
+  run.arrival = engine_.now();
+  run.real_deadline = deadline;
+  run.metrics_class = global_metrics_class;
+  run.subtask_metrics_class = subtask_metrics_class;
+  run.total_work = task::total_ex(*run.tree);
+  run.subtask_count = task::leaf_count(*run.tree);
+  index_parents(run, *run.tree);
+  ++submitted_;
+
+  if (config_.abort_mode == PmAbortMode::kRealDeadline) {
+    // Footnote 8: when the timer at the *real* deadline expires, the whole
+    // global task is aborted (all of its subtasks).
+    run.abort_timer = engine_.at(deadline, [this, id] { abort_run(id); });
+  }
+
+  // SDA(root, dl(T)).
+  dispatch(run, *run.tree, deadline);
+  return id;
+}
+
+void ProcessManager::dispatch(Run& run, const TreeNode& t, sim::Time deadline) {
+  CompositeState& st = run.state[&t];
+  st.assigned_deadline = deadline;
+  if (t.is_leaf()) {
+    dispatch_leaf(run, t, deadline);
+    return;
+  }
+  if (t.is_serial()) {
+    st.next_stage = 0;
+    dispatch_serial_stage(run, t);
+    return;
+  }
+  // Parallel: all branches are released now, each with its PSP deadline.
+  st.pending = static_cast<int>(t.children.size());
+  for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
+    const sim::Time branch_dl =
+        assign_branch_deadline(*config_.psp, t, i, engine_.now(), deadline);
+    dispatch(run, *t.children[i], branch_dl);
+  }
+}
+
+void ProcessManager::dispatch_serial_stage(Run& run, const TreeNode& serial) {
+  const CompositeState& st = run.state[&serial];
+  const int i = st.next_stage;
+  assert(i < static_cast<int>(serial.children.size()));
+  const sim::Time stage_dl = assign_stage_deadline(
+      *config_.ssp, serial, i, engine_.now(), st.assigned_deadline);
+  dispatch(run, *serial.children[i], stage_dl);
+}
+
+void ProcessManager::dispatch_leaf(Run& run, const TreeNode& leaf,
+                                   sim::Time deadline) {
+  TaskPtr t = task::make_subtask(next_task_id_++, run.id, leaf.exec_node,
+                                 engine_.now(), leaf.exec_time, leaf.pred_exec,
+                                 run.real_deadline);
+  t->attrs.virtual_deadline = deadline;
+  t->metrics_class = run.subtask_metrics_class;
+  t->non_abortable = config_.mark_subtasks_non_abortable;
+  run.live[&leaf] = t;
+  run.leaf_of[t->id] = &leaf;
+  nodes_[static_cast<std::size_t>(leaf.exec_node)]->submit(std::move(t));
+}
+
+void ProcessManager::handle_completion(const TaskPtr& t) {
+  if (t->kind != task::TaskKind::kSubtask) return;
+  Run* run = find_run(t->owner_run);
+  if (run == nullptr) return;  // run already finished/aborted
+  auto leaf_it = run->leaf_of.find(t->id);
+  if (leaf_it == run->leaf_of.end()) return;
+  const TreeNode* leaf = leaf_it->second;
+  run->leaf_of.erase(leaf_it);
+  run->live.erase(leaf);
+  if (on_subtask_) on_subtask_(*t);
+  child_done(*run, *leaf);
+}
+
+void ProcessManager::handle_local_abort(const TaskPtr& t) {
+  if (t->kind != task::TaskKind::kSubtask) return;
+  Run* run = find_run(t->owner_run);
+  if (run == nullptr) return;
+  if (run->leaf_of.count(t->id) == 0) return;
+
+  // §7.3: the victim's slack was mostly consumed by the failed attempt; it
+  // is resubmitted with its remaining real deadline as the virtual deadline
+  // (no further priority promotion) and marked non-abortable: the global
+  // task cannot terminate unless this subtask eventually finishes, and a
+  // second local abort at the real deadline would only waste more work.
+  // The resubmitted subtask therefore completes — typically late, which is
+  // exactly the paper's "little slack left ... will very likely miss its
+  // deadline".
+  ++run->resubmissions;
+  ++resubmissions_;
+  t->state = TaskState::kCreated;
+  t->attrs.arrival = engine_.now();
+  t->attrs.virtual_deadline = t->attrs.real_deadline;
+  t->non_abortable = true;
+  nodes_[static_cast<std::size_t>(t->exec_node)]->submit(t);
+}
+
+void ProcessManager::child_done(Run& run, const TreeNode& child) {
+  auto parent_it = run.parent.find(&child);
+  if (parent_it == run.parent.end()) {
+    finish_run(run, /*aborted=*/false);
+    return;
+  }
+  const TreeNode& p = *parent_it->second;
+  CompositeState& st = run.state[&p];
+  if (p.is_serial()) {
+    ++st.next_stage;
+    if (st.next_stage < static_cast<int>(p.children.size())) {
+      dispatch_serial_stage(run, p);
+    } else {
+      child_done(run, p);
+    }
+    return;
+  }
+  assert(p.is_parallel());
+  if (--st.pending == 0) child_done(run, p);
+}
+
+void ProcessManager::finish_run(Run& run, bool aborted) {
+  GlobalTaskRecord rec;
+  rec.run_id = run.id;
+  rec.metrics_class = run.metrics_class;
+  rec.arrival = run.arrival;
+  rec.real_deadline = run.real_deadline;
+  rec.finished_at = engine_.now();
+  rec.aborted = aborted;
+  rec.missed = aborted || rec.finished_at > run.real_deadline;
+  rec.total_work = run.total_work;
+  rec.subtask_count = run.subtask_count;
+  rec.resubmissions = run.resubmissions;
+
+  if (engine_.pending(run.abort_timer)) engine_.cancel(run.abort_timer);
+  if (aborted) {
+    ++aborted_runs_;
+  } else {
+    ++completed_runs_;
+  }
+  GlobalHandler handler = on_global_;  // copy: erase() destroys `run`
+  runs_.erase(run.id);
+  if (handler) handler(rec);
+}
+
+void ProcessManager::abort_run(std::uint64_t run_id) {
+  Run* run = find_run(run_id);
+  if (run == nullptr) return;
+  // Abort every live subtask at its node; each counts as a missed subtask.
+  // Stages not yet dispatched are simply never dispatched.
+  for (auto& [leaf, t] : run->live) {
+    nodes_[static_cast<std::size_t>(t->exec_node)]->abort(*t);
+    if (on_subtask_) on_subtask_(*t);
+  }
+  run->live.clear();
+  run->leaf_of.clear();
+  finish_run(*run, /*aborted=*/true);
+}
+
+}  // namespace sda::core

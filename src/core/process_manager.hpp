@@ -1,0 +1,160 @@
+// The process manager (paper §3.2, Figure 2).
+//
+// Newly created global tasks are handed to the process manager, which
+//   1. assigns virtual deadlines to simple subtasks by running the SDA
+//      algorithm (Figure 13) on-line — serial stages are assigned when the
+//      preceding stage actually finishes;
+//   2. submits simple subtasks to their execution nodes;
+//   3. enforces precedence among subtasks; and
+//   4. optionally aborts whole global tasks whose *real* deadline passed
+//      (the §7.3 "abortion by process manager" regime, a timer per task),
+//      and resubmits subtasks killed by local-scheduler aborts.
+//
+// The process manager's own resource use is not modeled (charged to the
+// tasks it manages, as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/sda.hpp"
+#include "src/sched/node.hpp"
+#include "src/sim/engine.hpp"
+#include "src/task/task.hpp"
+#include "src/task/tree.hpp"
+
+namespace sda::core {
+
+/// How the process manager handles tardy global tasks.
+enum class PmAbortMode {
+  kNone,          ///< keep going; late completions still count as misses
+  kRealDeadline,  ///< abort all live subtasks when the real deadline passes
+};
+
+/// Terminal record of one global task run, delivered to the completion
+/// handler (and from there to the metrics collector).
+struct GlobalTaskRecord {
+  std::uint64_t run_id = 0;
+  int metrics_class = 0;
+  sim::Time arrival = 0.0;
+  sim::Time real_deadline = 0.0;
+  sim::Time finished_at = 0.0;
+  bool aborted = false;  ///< killed by the PM's real-deadline timer
+  bool missed = false;   ///< aborted, or finished after the real deadline
+  sim::Time total_work = 0.0;  ///< sum of ex over all simple subtasks
+  int subtask_count = 0;
+  int resubmissions = 0;  ///< local-abort resubmissions within this run
+};
+
+class ProcessManager {
+ public:
+  struct Config {
+    std::shared_ptr<const PspStrategy> psp;
+    std::shared_ptr<const SspStrategy> ssp;
+    PmAbortMode abort_mode = PmAbortMode::kNone;
+    /// §7.3: "special directives ... specifying that subtasks are
+    /// non-abortable locally".  When set, subtasks are exempt from
+    /// local-scheduler abort policies.
+    bool mark_subtasks_non_abortable = false;
+    /// Retained knob (diagnostic only): resubmitted subtasks are marked
+    /// non-abortable, so each subtask aborts locally at most once and every
+    /// run terminates; see ProcessManager::handle_local_abort.
+    int max_resubmissions_per_run = 64;
+  };
+
+  using GlobalHandler = std::function<void(const GlobalTaskRecord&)>;
+  /// Invoked when a simple subtask reaches a terminal state: completed, or
+  /// aborted with no resubmission to follow.
+  using SubtaskHandler = std::function<void(const task::SimpleTask&)>;
+
+  /// @p nodes is indexed by TreeNode::exec_node; the runner wires each
+  /// node's completion/abort handlers to handle_completion /
+  /// handle_local_abort for subtask-kind tasks.
+  ProcessManager(sim::Engine& engine, std::vector<sched::Node*> nodes,
+                 Config config);
+
+  ProcessManager(const ProcessManager&) = delete;
+  ProcessManager& operator=(const ProcessManager&) = delete;
+
+  void set_global_handler(GlobalHandler h) { on_global_ = std::move(h); }
+  void set_subtask_handler(SubtaskHandler h) { on_subtask_ = std::move(h); }
+
+  /// Accepts a global task whose structure (and per-leaf ex/pex) is already
+  /// drawn.  @p deadline is the end-to-end real deadline dl(T); arrival is
+  /// the engine's current time.  Returns the run id.
+  std::uint64_t submit(task::TreePtr tree, sim::Time deadline,
+                       int global_metrics_class, int subtask_metrics_class);
+
+  /// Node completion callback for subtask-kind tasks.
+  void handle_completion(const task::TaskPtr& t);
+
+  /// Node local-abort callback for subtask-kind tasks.
+  void handle_local_abort(const task::TaskPtr& t);
+
+  const Config& config() const noexcept { return config_; }
+
+  // --- statistics ---------------------------------------------------------
+  std::size_t live_runs() const noexcept { return runs_.size(); }
+  std::uint64_t submitted() const noexcept { return submitted_; }
+  std::uint64_t completed_runs() const noexcept { return completed_runs_; }
+  std::uint64_t aborted_runs() const noexcept { return aborted_runs_; }
+  std::uint64_t resubmissions() const noexcept { return resubmissions_; }
+
+ private:
+  struct CompositeState {
+    sim::Time assigned_deadline = 0.0;  ///< virtual deadline given to this node
+    int next_stage = 0;                 ///< serial: next child to dispatch
+    int pending = 0;                    ///< parallel: children not yet done
+  };
+
+  struct Run {
+    std::uint64_t id = 0;
+    task::TreePtr tree;
+    sim::Time arrival = 0.0;
+    sim::Time real_deadline = 0.0;
+    int metrics_class = 0;
+    int subtask_metrics_class = 0;
+    sim::Time total_work = 0.0;
+    int subtask_count = 0;
+    int resubmissions = 0;
+
+    std::unordered_map<const task::TreeNode*, CompositeState> state;
+    std::unordered_map<const task::TreeNode*, const task::TreeNode*> parent;
+    /// Live (queued or running) subtasks, keyed by their leaf.
+    std::unordered_map<const task::TreeNode*, task::TaskPtr> live;
+    /// Subtask id -> leaf, to correlate node callbacks.
+    std::unordered_map<std::uint64_t, const task::TreeNode*> leaf_of;
+
+    sim::EventId abort_timer;
+  };
+
+  Run* find_run(std::uint64_t run_id);
+  void index_parents(Run& run, const task::TreeNode& t);
+  void dispatch(Run& run, const task::TreeNode& t, sim::Time deadline);
+  void dispatch_serial_stage(Run& run, const task::TreeNode& serial);
+  void dispatch_leaf(Run& run, const task::TreeNode& leaf, sim::Time deadline);
+  void child_done(Run& run, const task::TreeNode& child);
+  void finish_run(Run& run, bool aborted);
+  void abort_run(std::uint64_t run_id);
+
+  sim::Engine& engine_;
+  std::vector<sched::Node*> nodes_;
+  Config config_;
+
+  std::unordered_map<std::uint64_t, Run> runs_;
+  std::uint64_t next_run_id_ = 1;
+  std::uint64_t next_task_id_ = 1;
+
+  GlobalHandler on_global_;
+  SubtaskHandler on_subtask_;
+
+  std::uint64_t submitted_ = 0;
+  std::uint64_t completed_runs_ = 0;
+  std::uint64_t aborted_runs_ = 0;
+  std::uint64_t resubmissions_ = 0;
+};
+
+}  // namespace sda::core

@@ -1,0 +1,29 @@
+// DIV-x for parallel subtasks (paper Equation 1):
+//
+//   DIV-x:  dl(T_i) = [dl(T) - ar(T)] / (n * x) + ar(T)
+//
+// The composite's time allowance is divided by x times its branch count, so
+// the priority boost grows automatically with the degree of parallelism n.
+// The paper finds x = 1 adequate across n (Figure 9): the MD curves flatten
+// as x grows, and they flatten sooner for larger n.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class PspDiv final : public PspStrategy {
+ public:
+  /// Requires x > 0.
+  explicit PspDiv(double x);
+
+  Time assign(const PspContext& ctx, int branch, Time branch_pex) const override;
+  std::string name() const override;
+
+  double x() const noexcept { return x_; }
+
+ private:
+  double x_;
+};
+
+}  // namespace sda::core

@@ -1,0 +1,32 @@
+// Globals First (GF) for parallel subtasks:
+//
+//   GF:  dl(T_i) = dl(T) - DELTA
+//
+// Subtasks are always served before local tasks on a pure EDF node, while
+// the earliest-deadline order *within* the class of globals is preserved.
+// DELTA only needs to exceed any deadline horizon in the system; the
+// ablation bench ablation_gf_delta confirms results are insensitive to its
+// exact value.  GF is inapplicable when local schedulers abort on expired
+// virtual deadlines (paper §7.3): the shifted deadline is always in the
+// past.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class PspGlobalsFirst final : public PspStrategy {
+ public:
+  /// Default DELTA is far larger than any simulated horizon.
+  explicit PspGlobalsFirst(Time delta = 1e9);
+
+  Time assign(const PspContext& ctx, int branch, Time branch_pex) const override;
+  std::string name() const override { return "GF"; }
+
+  Time delta() const noexcept { return delta_; }
+
+ private:
+  Time delta_;
+};
+
+}  // namespace sda::core

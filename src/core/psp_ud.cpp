@@ -1,0 +1,10 @@
+#include "src/core/psp_ud.hpp"
+
+namespace sda::core {
+
+Time PspUltimateDeadline::assign(const PspContext& ctx, int /*branch*/,
+                                 Time /*branch_pex*/) const {
+  return ctx.deadline;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,20 @@
+// Ultimate Deadline (UD) for parallel subtasks — the paper's base strategy.
+//
+//   UD:  dl(T_i) = dl(T)
+//
+// Subtasks inherit the end-to-end deadline and compete with local tasks on
+// equal terms.  The paper shows this amplifies the global miss rate roughly
+// as 1 - (1 - MD_subtask)^n.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class PspUltimateDeadline final : public PspStrategy {
+ public:
+  Time assign(const PspContext& ctx, int branch, Time branch_pex) const override;
+  std::string name() const override { return "UD"; }
+};
+
+}  // namespace sda::core

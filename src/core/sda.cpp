@@ -1,0 +1,93 @@
+#include "src/core/sda.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sda::core {
+
+using task::TreeNode;
+
+std::vector<Time> stage_pex(const TreeNode& serial, int from_stage) {
+  if (!serial.is_serial()) {
+    throw std::invalid_argument("stage_pex: node is not a serial composite");
+  }
+  const int m = static_cast<int>(serial.children.size());
+  if (from_stage < 0 || from_stage >= m) {
+    throw std::out_of_range("stage_pex: stage index out of range");
+  }
+  std::vector<Time> pex;
+  pex.reserve(static_cast<std::size_t>(m - from_stage));
+  for (int j = from_stage; j < m; ++j) {
+    pex.push_back(task::critical_path_pex(*serial.children[j]));
+  }
+  return pex;
+}
+
+Time assign_stage_deadline(const SspStrategy& ssp, const TreeNode& serial,
+                           int stage, Time now, Time serial_deadline) {
+  SspContext ctx;
+  ctx.now = now;
+  ctx.deadline = serial_deadline;
+  ctx.stage = stage;
+  ctx.stage_count = static_cast<int>(serial.children.size());
+  ctx.remaining_pex = stage_pex(serial, stage);
+  return ssp.assign(ctx);
+}
+
+Time assign_branch_deadline(const PspStrategy& psp, const TreeNode& parallel,
+                            int branch, Time now, Time parallel_deadline) {
+  if (!parallel.is_parallel()) {
+    throw std::invalid_argument(
+        "assign_branch_deadline: node is not a parallel composite");
+  }
+  const int n = static_cast<int>(parallel.children.size());
+  if (branch < 0 || branch >= n) {
+    throw std::out_of_range("assign_branch_deadline: branch out of range");
+  }
+  PspContext ctx;
+  ctx.now = now;
+  ctx.deadline = parallel_deadline;
+  ctx.branch_count = n;
+  return psp.assign(ctx, branch,
+                    task::critical_path_pex(*parallel.children[branch]));
+}
+
+namespace {
+void walk(const TreeNode& t, Time dispatch, Time deadline,
+          const PspStrategy& psp, const SspStrategy& ssp,
+          std::vector<LeafAssignment>& out) {
+  if (t.is_leaf()) {
+    out.push_back(LeafAssignment{&t, dispatch, deadline});
+    return;
+  }
+  if (t.is_serial()) {
+    Time now = dispatch;
+    for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
+      const Time stage_dl = assign_stage_deadline(ssp, t, i, now, deadline);
+      walk(*t.children[i], now, stage_dl, psp, ssp, out);
+      // Optimistic static plan: the next stage is assumed to start at this
+      // stage's assigned virtual deadline — but never before the current
+      // dispatch time (an already-late stage, or a GF-shifted one, has a
+      // virtual deadline in the past; time still only moves forward).
+      now = std::max(now, stage_dl);
+    }
+    return;
+  }
+  for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
+    const Time branch_dl = assign_branch_deadline(psp, t, i, dispatch, deadline);
+    walk(*t.children[i], dispatch, branch_dl, psp, ssp, out);
+  }
+}
+}  // namespace
+
+std::vector<LeafAssignment> plan_assignment(const TreeNode& tree, Time arrival,
+                                            Time deadline,
+                                            const PspStrategy& psp,
+                                            const SspStrategy& ssp) {
+  std::vector<LeafAssignment> out;
+  out.reserve(static_cast<std::size_t>(task::leaf_count(tree)));
+  walk(tree, arrival, deadline, psp, ssp, out);
+  return out;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,13 @@
+#include "src/core/ssp_ed.hpp"
+
+namespace sda::core {
+
+Time SspEffectiveDeadline::assign(const SspContext& ctx) const {
+  Time downstream = 0.0;
+  for (std::size_t j = 1; j < ctx.remaining_pex.size(); ++j) {
+    downstream += ctx.remaining_pex[j];
+  }
+  return ctx.deadline - downstream;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,20 @@
+// Effective Deadline (ED) for serial stages (from the companion paper [6]).
+//
+//   ED:  dl(T_i) = dl(T) - sum_{j>i} pex(T_j)
+//
+// Reserves exactly the predicted execution time of all downstream stages
+// and leaves the entire slack with the current stage.  Slack is therefore
+// consumed greedily by early stages — the weakness EQS/EQF address.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class SspEffectiveDeadline final : public SspStrategy {
+ public:
+  Time assign(const SspContext& ctx) const override;
+  std::string name() const override { return "ED"; }
+};
+
+}  // namespace sda::core

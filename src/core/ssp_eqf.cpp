@@ -1,0 +1,20 @@
+#include "src/core/ssp_eqf.hpp"
+
+namespace sda::core {
+
+Time SspEqualFlexibility::assign(const SspContext& ctx) const {
+  const Time own_pex = ctx.remaining_pex.empty() ? 0.0 : ctx.remaining_pex[0];
+  const Time total_pex = ctx.remaining_pex_total();
+  const Time slack_left = ctx.remaining_slack();
+  double share;
+  if (total_pex > 0.0) {
+    share = own_pex / total_pex;
+  } else {
+    const std::size_t stages_left =
+        ctx.remaining_pex.empty() ? 1 : ctx.remaining_pex.size();
+    share = 1.0 / static_cast<double>(stages_left);
+  }
+  return ctx.now + own_pex + slack_left * share;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,29 @@
+// Equal Flexibility (EQF) for serial stages — the SSP strategy the paper
+// evaluates in Section 8 (from the companion paper [6]):
+//
+//   dl(T_i) = ar(T_i) + pex(T_i)
+//           + [dl(T) - ar(T_i) - sum_{j>=i} pex(T_j)]            (slack left)
+//             * [pex(T_i) / sum_{j>=i} pex(T_j)]                 (pex share)
+//
+// The remaining slack is split among the remaining stages *proportionally to
+// their predicted execution times*, giving every stage the same
+// slack-to-execution ratio ("flexibility").  [6] shows EQF tolerates pex
+// estimates that are off by a factor of ~2 (reproduced by
+// bench/ablation_pex_noise).
+//
+// When the remaining pex total is zero (degenerate zero-length stages) the
+// proportional share is undefined; we fall back to an even split, which
+// EQS would produce.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class SspEqualFlexibility final : public SspStrategy {
+ public:
+  Time assign(const SspContext& ctx) const override;
+  std::string name() const override { return "EQF"; }
+};
+
+}  // namespace sda::core

@@ -1,0 +1,15 @@
+#include "src/core/ssp_eqs.hpp"
+
+namespace sda::core {
+
+Time SspEqualSlack::assign(const SspContext& ctx) const {
+  const std::size_t stages_left = ctx.remaining_pex.empty()
+                                      ? 1
+                                      : ctx.remaining_pex.size();
+  const Time own_pex = ctx.remaining_pex.empty() ? 0.0 : ctx.remaining_pex[0];
+  const Time share =
+      ctx.remaining_slack() / static_cast<double>(stages_left);
+  return ctx.now + own_pex + share;
+}
+
+}  // namespace sda::core

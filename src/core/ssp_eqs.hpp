@@ -1,0 +1,20 @@
+// Equal Slack (EQS) for serial stages (from the companion paper [6]).
+//
+//   EQS:  dl(T_i) = ar(T_i) + pex(T_i) + slack_left / stages_left
+//
+// where slack_left = dl(T) - ar(T_i) - sum_{j>=i} pex(T_j).  The remaining
+// slack is recomputed at every stage boundary and divided *evenly* among
+// the stages still to run, regardless of their length.
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class SspEqualSlack final : public SspStrategy {
+ public:
+  Time assign(const SspContext& ctx) const override;
+  std::string name() const override { return "EQS"; }
+};
+
+}  // namespace sda::core

@@ -1,0 +1,9 @@
+#include "src/core/ssp_ud.hpp"
+
+namespace sda::core {
+
+Time SspUltimateDeadline::assign(const SspContext& ctx) const {
+  return ctx.deadline;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,19 @@
+// Ultimate Deadline (UD) for serial stages.
+//
+//   UD:  dl(T_i) = dl(T)
+//
+// Every stage sees the end-to-end deadline, so early stages appear to have
+// enormous slack and run at unrealistically low EDF priority (paper §8).
+#pragma once
+
+#include "src/core/strategy.hpp"
+
+namespace sda::core {
+
+class SspUltimateDeadline final : public SspStrategy {
+ public:
+  Time assign(const SspContext& ctx) const override;
+  std::string name() const override { return "UD"; }
+};
+
+}  // namespace sda::core

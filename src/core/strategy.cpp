@@ -1,0 +1,73 @@
+#include "src/core/strategy.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <numeric>
+#include <stdexcept>
+
+#include "src/core/psp_div.hpp"
+#include "src/core/psp_gf.hpp"
+#include "src/core/psp_ud.hpp"
+#include "src/core/ssp_ed.hpp"
+#include "src/core/ssp_eqf.hpp"
+#include "src/core/ssp_eqs.hpp"
+#include "src/core/ssp_ud.hpp"
+
+namespace sda::core {
+
+Time SspContext::remaining_pex_total() const noexcept {
+  return std::accumulate(remaining_pex.begin(), remaining_pex.end(), Time{0});
+}
+
+Time SspContext::remaining_slack() const noexcept {
+  return deadline - now - remaining_pex_total();
+}
+
+namespace {
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return s;
+}
+}  // namespace
+
+std::unique_ptr<PspStrategy> make_psp_strategy(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "ud") return std::make_unique<PspUltimateDeadline>();
+  if (n == "gf") return std::make_unique<PspGlobalsFirst>();
+  if (n.rfind("gf-", 0) == 0) {
+    const std::string arg = n.substr(3);
+    try {
+      std::size_t used = 0;
+      const double delta = std::stod(arg, &used);
+      if (used == arg.size()) return std::make_unique<PspGlobalsFirst>(delta);
+    } catch (const std::exception&) {
+      // fall through to the error below
+    }
+  }
+  if (n.rfind("div-", 0) == 0) {
+    const std::string arg = n.substr(4);
+    try {
+      std::size_t used = 0;
+      const double x = std::stod(arg, &used);
+      if (used == arg.size()) return std::make_unique<PspDiv>(x);
+    } catch (const std::exception&) {
+      // fall through to the error below
+    }
+  }
+  throw std::invalid_argument("unknown PSP strategy: " + name +
+                              " (expected ud, div-<x>, or gf)");
+}
+
+std::unique_ptr<SspStrategy> make_ssp_strategy(const std::string& name) {
+  const std::string n = lower(name);
+  if (n == "ud") return std::make_unique<SspUltimateDeadline>();
+  if (n == "ed") return std::make_unique<SspEffectiveDeadline>();
+  if (n == "eqs") return std::make_unique<SspEqualSlack>();
+  if (n == "eqf") return std::make_unique<SspEqualFlexibility>();
+  throw std::invalid_argument("unknown SSP strategy: " + name +
+                              " (expected ud, ed, eqs, or eqf)");
+}
+
+}  // namespace sda::core

@@ -1,0 +1,87 @@
+// Deadline-assignment strategy interfaces (the paper's contribution).
+//
+// A strategy maps the (virtual) deadline of a composite task to virtual
+// deadlines for its children:
+//
+//   * PspStrategy handles parallel composites  T = [T1 || ... || Tn]
+//     (paper Section 4: UD, DIV-x, GF);
+//   * SspStrategy handles serial composites    T = [T1 T2 ... Tm]
+//     (companion paper [6], summarized in Section 8: UD, ED, EQS, EQF).
+//
+// Strategies are pure policy: they see only submission times, deadlines and
+// *predicted* execution times (pex), never the true ex — matching the
+// paper's on-line, estimate-only premise.  The recursive composition over a
+// serial-parallel tree (paper Figure 13) lives in sda.hpp.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/task/tree.hpp"
+
+namespace sda::core {
+
+using task::Time;
+
+/// Inputs for assigning a deadline to one branch of a parallel composite.
+struct PspContext {
+  Time now = 0.0;       ///< assignment time == ar(T) of the composite
+  Time deadline = 0.0;  ///< dl(T): the composite's own (virtual) deadline
+  int branch_count = 1; ///< n: number of parallel branches
+};
+
+/// Policy for the Parallel Subtask Problem.
+class PspStrategy {
+ public:
+  virtual ~PspStrategy() = default;
+
+  /// Virtual deadline for branch @p branch (0-based). @p branch_pex is the
+  /// predicted critical-path demand of that branch; UD/DIV-x/GF ignore it,
+  /// but custom strategies (see examples/custom_strategy.cpp) may not.
+  virtual Time assign(const PspContext& ctx, int branch,
+                      Time branch_pex) const = 0;
+
+  /// Display name, e.g. "DIV-1".
+  virtual std::string name() const = 0;
+};
+
+/// Inputs for assigning a deadline to the next stage of a serial composite.
+/// Stages are dispatched on-line: stage i's context is built when stage i-1
+/// finishes, so `now` reflects actual (not predicted) progress.
+struct SspContext {
+  Time now = 0.0;        ///< dispatch time of this stage == ar(T_i)
+  Time deadline = 0.0;   ///< dl(T): the serial composite's (virtual) deadline
+  int stage = 0;         ///< i: 0-based index of the stage being dispatched
+  int stage_count = 1;   ///< m: total number of stages
+  /// Predicted critical-path demand of each *remaining* stage, i.e.
+  /// remaining_pex[0] is pex(T_i), remaining_pex[1] is pex(T_{i+1}), ...
+  std::vector<Time> remaining_pex;
+
+  /// Sum over remaining_pex.
+  Time remaining_pex_total() const noexcept;
+  /// Total slack left: dl(T) - now - sum of remaining pex. May be negative.
+  Time remaining_slack() const noexcept;
+};
+
+/// Policy for the Serial Subtask Problem.
+class SspStrategy {
+ public:
+  virtual ~SspStrategy() = default;
+
+  /// Virtual deadline for the stage described by @p ctx.
+  virtual Time assign(const SspContext& ctx) const = 0;
+
+  /// Display name, e.g. "EQF".
+  virtual std::string name() const = 0;
+};
+
+/// Factory: "ud", "div-1", "div-2.5", "gf", "gf-<delta>"
+/// (case-insensitive).  Throws std::invalid_argument on unknown names.
+std::unique_ptr<PspStrategy> make_psp_strategy(const std::string& name);
+
+/// Factory: "ud", "ed", "eqs", "eqf" (case-insensitive).
+/// Throws std::invalid_argument on unknown names.
+std::unique_ptr<SspStrategy> make_ssp_strategy(const std::string& name);
+
+}  // namespace sda::core

@@ -1,0 +1,123 @@
+// Experiment configuration — the programmatic form of the paper's Table 1.
+//
+// One ExperimentConfig fully describes a simulated system (nodes, scheduler
+// policy, abortion regime), a deadline-assignment strategy pair (PSP x SSP),
+// and a workload (load, frac_local, slack, global-task shape).  The
+// baseline_config() values are exactly Table 1; experiments vary one or two
+// fields from there.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/process_manager.hpp"
+#include "src/sched/abort_policy.hpp"
+#include "src/workload/pex_model.hpp"
+
+namespace sda::exp {
+
+/// Shape of the global-task population.
+enum class GlobalKind {
+  kParallel,  ///< flat [T1 || ... || Tn] tasks (Sections 4-7)
+  kGraph,     ///< serial-parallel stage graphs (Section 8, Figure 14)
+};
+
+struct ExperimentConfig {
+  // --- system -------------------------------------------------------------
+  int k = 6;                            ///< number of nodes
+  std::string scheduler_policy = "edf"; ///< "edf" | "fifo" | "spt" | "llf"
+  sched::LocalAbortPolicy local_abort = sched::LocalAbortPolicy::kNone;
+  bool preemptive = false;              ///< preemptive-resume service (ablation)
+  /// Per-node speed factors (heterogeneous components, a §3.2
+  /// generalization).  Empty = homogeneous (all 1.0).  Must have k entries
+  /// otherwise; keep the mean at 1.0 for the `load` definition to stay
+  /// comparable with the homogeneous system.
+  std::vector<double> node_speeds;
+
+  // --- deadline assignment -------------------------------------------------
+  std::string psp = "ud";  ///< "ud" | "div-<x>" | "gf"
+  std::string ssp = "ud";  ///< "ud" | "ed" | "eqs" | "eqf"
+  core::PmAbortMode pm_abort = core::PmAbortMode::kNone;
+  bool subtasks_non_abortable = false;  ///< §7.3 "special directives"
+
+  // --- workload -------------------------------------------------------------
+  double load = 0.5;
+  double frac_local = 0.75;
+  double mu_local = 1.0;    ///< local service rate (mean ex = 1/mu_local = 1)
+  double mu_subtask = 1.0;  ///< subtask service rate
+
+  /// Local-arrival burstiness (interrupted Poisson; 1 = the paper's pure
+  /// Poisson).  Mean offered load is unchanged — only its variability.
+  double local_burst_factor = 1.0;
+  double local_burst_cycle = 50.0;
+
+  /// Service-time distribution for locals and subtasks: "exponential" (the
+  /// paper, CV = 1), "deterministic" (CV = 0), "uniform" (over [0, 2*mean],
+  /// CV ~ 0.58), or "hyperexp" (CV = service_cv > 1).  Means stay 1/mu.
+  std::string service_dist = "exponential";
+  double service_cv = 4.0;  ///< hyperexp only
+  double slack_min = 1.25;  ///< local-task slack range [S_min, S_max]
+  double slack_max = 5.0;
+
+  GlobalKind global_kind = GlobalKind::kParallel;
+  int n_min = 4;  ///< parallel kind: subtasks per global task
+  int n_max = 4;
+  std::vector<int> stage_widths = {1, 4, 1, 4, 1};  ///< graph kind (Fig. 14)
+
+  /// Communication modeling for kGraph workloads (§3.2's "links are
+  /// resources too"): link_count extra nodes indexed [k, k+link_count) are
+  /// created, and a message subtask (mean mean_msg_time) is inserted
+  /// between consecutive stages on a uniformly chosen link.  Local tasks
+  /// never run on links, and message work is excluded from the compute
+  /// `load` definition.
+  int link_count = 0;
+  double mean_msg_time = 0.25;
+
+  /// Global-task slack range; negative values mean "derive from the local
+  /// range": equal to it for kParallel, scaled by the stage count for
+  /// kGraph (the §8 experiment's [6.25, 25] = 5 x [1.25, 5]).
+  double global_slack_min = -1.0;
+  double global_slack_max = -1.0;
+
+  workload::PexModel pex = workload::PexModel::exact();
+
+  /// §7.4 extension: per-subtask exponential mean spread factor (>= 1;
+  /// 1 = the paper's homogeneous subtasks).  kParallel workloads only.
+  double subtask_exec_spread = 1.0;
+
+  /// Placement of parallel subtasks: "uniform" (the paper's model) or
+  /// "least-queued" (extension ablation).  kParallel workloads only.
+  std::string placement = "uniform";
+
+  /// Collect per-class tardiness histograms (P50/P90/P99 in RunResult's
+  /// collector); small extra cost, off by default.
+  bool tardiness_histograms = false;
+
+  // --- run control ----------------------------------------------------------
+  double sim_time = 200000.0;   ///< simulated time units per replication
+  double warmup_fraction = 0.05;
+  int replications = 2;
+  std::uint64_t seed = 20250707;
+
+  /// Resolved global slack range (applies the derivation rule above).
+  std::pair<double, double> resolved_global_slack() const;
+
+  /// Expected total execution demand of one global task (for the load
+  /// equations): E[n]/mu_subtask for kParallel, sum(widths)/mu_subtask for
+  /// kGraph.
+  double expected_global_work() const;
+
+  /// One-line description for bench output.
+  std::string describe() const;
+};
+
+/// Table 1: k=6, n=4, EDF, no abortion, load 0.5, frac_local 0.75,
+/// slack U[1.25, 5], mu_local = mu_subtask = 1, strategies UD/UD.
+ExperimentConfig baseline_config();
+
+/// Section 8's serial-parallel configuration: baseline system with the
+/// Figure 14 {1,4,1,4,1} graph workload and slack U[6.25, 25].
+ExperimentConfig graph_config();
+
+}  // namespace sda::exp

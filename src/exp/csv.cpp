@@ -1,0 +1,53 @@
+#include "src/exp/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/metrics/task_class.hpp"
+
+namespace sda::exp {
+
+namespace {
+void append_point_rows(std::ostringstream& os, const std::string& prefix,
+                       const SweepPoint& p) {
+  for (int cls : p.report.classes()) {
+    const metrics::ClassSummary s = p.report.summary(cls);
+    os << prefix << p.x << ',' << cls << ','
+       << metrics::default_class_name(cls) << ',' << s.miss_rate.mean << ','
+       << s.miss_rate.half_width << ',' << s.missed_work_rate.mean << ','
+       << s.finished_total << '\n';
+  }
+}
+}  // namespace
+
+std::string sweep_to_csv(const std::vector<SweepPoint>& points,
+                         const std::string& x_name) {
+  std::ostringstream os;
+  os << x_name
+     << ",class,class_name,miss_rate,miss_rate_hw,missed_work,finished\n";
+  for (const SweepPoint& p : points) append_point_rows(os, "", p);
+  return os.str();
+}
+
+std::string series_to_csv(
+    const std::vector<std::pair<std::string, std::vector<SweepPoint>>>& series,
+    const std::string& x_name) {
+  std::ostringstream os;
+  os << "series," << x_name
+     << ",class,class_name,miss_rate,miss_rate_hw,missed_work,finished\n";
+  for (const auto& [name, points] : series) {
+    for (const SweepPoint& p : points) {
+      append_point_rows(os, name + ",", p);
+    }
+  }
+  return os.str();
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+}  // namespace sda::exp

@@ -1,0 +1,31 @@
+// CSV export of sweep results, for external plotting (gnuplot/matplotlib).
+//
+// Each figure bench can dump its series with one call; the schema is
+// long-form: one row per (x, class) pair with miss-rate mean, CI half
+// width, missed-work rate and pooled sample count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.hpp"
+
+namespace sda::exp {
+
+/// Renders the points as CSV text with header
+/// `x,class,class_name,miss_rate,miss_rate_hw,missed_work,finished`.
+/// Classes absent from a point are skipped.
+std::string sweep_to_csv(const std::vector<SweepPoint>& points,
+                         const std::string& x_name = "x");
+
+/// Renders several named series into one CSV with a leading `series`
+/// column (long form; convenient for ggplot-style tooling).
+std::string series_to_csv(
+    const std::vector<std::pair<std::string, std::vector<SweepPoint>>>& series,
+    const std::string& x_name = "x");
+
+/// Writes @p content to @p path, creating/truncating the file.
+/// Returns false (without throwing) when the file cannot be opened.
+bool write_text_file(const std::string& path, const std::string& content);
+
+}  // namespace sda::exp

@@ -1,0 +1,260 @@
+#include "src/exp/runner.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "src/exp/validate.hpp"
+
+#include "src/core/strategy.hpp"
+#include "src/sched/node.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sim/engine.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/global_source.hpp"
+#include "src/workload/local_source.hpp"
+#include "src/workload/rates.hpp"
+#include "src/workload/taskgraph_source.hpp"
+
+namespace sda::exp {
+
+namespace {
+/// Task-id space partitioning: local sources and the process manager must
+/// hand out ids that never collide (node-side bookkeeping is keyed by id).
+constexpr std::uint64_t local_id_base(int node_index) {
+  return (static_cast<std::uint64_t>(node_index) + 1) << 40;
+}
+}  // namespace
+
+namespace {
+metrics::TraceEvent to_trace_event(sched::Node::Event e) {
+  switch (e) {
+    case sched::Node::Event::kSubmitted: return metrics::TraceEvent::kSubmitted;
+    case sched::Node::Event::kStarted: return metrics::TraceEvent::kStarted;
+    case sched::Node::Event::kPreempted: return metrics::TraceEvent::kPreempted;
+    case sched::Node::Event::kCompleted: return metrics::TraceEvent::kCompleted;
+    case sched::Node::Event::kAborted: return metrics::TraceEvent::kAborted;
+  }
+  return metrics::TraceEvent::kSubmitted;
+}
+}  // namespace
+
+RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
+                   metrics::Tracer* tracer) {
+  sim::Engine engine;
+  util::Rng master(seed);
+
+  // --- nodes ---------------------------------------------------------------
+  std::vector<std::unique_ptr<sched::Node>> nodes;
+  std::vector<sched::Node*> node_ptrs;
+  nodes.reserve(static_cast<std::size_t>(config.k));
+  if (!config.node_speeds.empty() &&
+      config.node_speeds.size() != static_cast<std::size_t>(config.k)) {
+    throw std::invalid_argument(
+        "run_once: node_speeds must be empty or have k entries");
+  }
+  const int link_count =
+      config.global_kind == GlobalKind::kGraph ? config.link_count : 0;
+  const int total_nodes = config.k + link_count;
+  for (int i = 0; i < total_nodes; ++i) {
+    sched::Node::Config nc;
+    nc.index = i;
+    nc.abort_policy = config.local_abort;
+    nc.preemptive = config.preemptive;
+    if (!config.node_speeds.empty() && i < config.k) {
+      nc.speed = config.node_speeds[static_cast<std::size_t>(i)];
+    }
+    nodes.push_back(std::make_unique<sched::Node>(
+        engine, sched::make_scheduler(config.scheduler_policy), nc));
+    node_ptrs.push_back(nodes.back().get());
+  }
+
+  // --- process manager -------------------------------------------------------
+  core::ProcessManager::Config pmc;
+  pmc.psp = core::make_psp_strategy(config.psp);
+  pmc.ssp = core::make_ssp_strategy(config.ssp);
+  pmc.abort_mode = config.pm_abort;
+  pmc.mark_subtasks_non_abortable = config.subtasks_non_abortable;
+  core::ProcessManager pm(engine, node_ptrs, std::move(pmc));
+
+  // --- metrics ----------------------------------------------------------------
+  metrics::Collector collector;
+  collector.set_warmup(config.warmup_fraction * config.sim_time);
+  if (config.tardiness_histograms) collector.enable_tardiness_histograms();
+  pm.set_global_handler([&, tracer](const core::GlobalTaskRecord& rec) {
+    collector.record_global(rec);
+    if (tracer != nullptr) {
+      tracer->add(metrics::TraceRecord{
+          rec.finished_at,
+          rec.aborted ? metrics::TraceEvent::kGlobalAborted
+                      : metrics::TraceEvent::kGlobalCompleted,
+          0, rec.run_id, -1, rec.real_deadline});
+    }
+  });
+  pm.set_subtask_handler(
+      [&](const task::SimpleTask& t) { collector.record_simple(t); });
+  if (tracer != nullptr) {
+    for (auto& node : nodes) {
+      const int node_index = node->index();
+      node->set_observer([&engine, tracer, node_index](
+                             sched::Node::Event e, const task::SimpleTask& t) {
+        tracer->add(metrics::TraceRecord{engine.now(), to_trace_event(e),
+                                         t.id, t.owner_run, node_index,
+                                         t.attrs.virtual_deadline});
+      });
+    }
+  }
+
+  for (auto& node : nodes) {
+    node->set_completion_handler([&](const task::TaskPtr& t) {
+      if (t->kind == task::TaskKind::kLocal) {
+        collector.record_simple(*t);
+      } else {
+        pm.handle_completion(t);
+      }
+    });
+    node->set_abort_handler([&](const task::TaskPtr& t) {
+      if (t->kind == task::TaskKind::kLocal) {
+        collector.record_simple(*t);  // a locally aborted local is a miss
+      } else {
+        pm.handle_local_abort(t);
+      }
+    });
+  }
+
+  // --- workload ----------------------------------------------------------------
+  workload::RateParams rp;
+  rp.k = config.k;
+  rp.load = config.load;
+  rp.frac_local = config.frac_local;
+  rp.mu_local = config.mu_local;
+  rp.expected_global_work = config.expected_global_work();
+  const workload::Rates rates = workload::solve_rates(rp);
+
+  std::vector<std::unique_ptr<workload::LocalSource>> local_sources;
+  for (int i = 0; i < config.k; ++i) {
+    workload::LocalSource::Config lc;
+    lc.lambda = rates.lambda_local;
+    lc.mean_exec = 1.0 / config.mu_local;
+    lc.slack_min = config.slack_min;
+    lc.slack_max = config.slack_max;
+    lc.abort_at_real_deadline =
+        config.pm_abort == core::PmAbortMode::kRealDeadline;
+    lc.id_base = local_id_base(i);
+    lc.burst_factor = config.local_burst_factor;
+    lc.burst_cycle = config.local_burst_cycle;
+    lc.exec = workload::make_exec_distribution(
+        config.service_dist, 1.0 / config.mu_local, config.service_cv);
+    local_sources.push_back(std::make_unique<workload::LocalSource>(
+        engine, *nodes[static_cast<std::size_t>(i)], collector,
+        master.split(), lc));
+    local_sources.back()->start();
+  }
+
+  const auto [gslack_min, gslack_max] = config.resolved_global_slack();
+  std::unique_ptr<workload::ParallelGlobalSource> parallel_source;
+  std::unique_ptr<workload::GraphGlobalSource> graph_source;
+  if (config.global_kind == GlobalKind::kParallel) {
+    workload::ParallelGlobalSource::Config gc;
+    gc.lambda = rates.lambda_global;
+    gc.k = config.k;
+    gc.n_min = config.n_min;
+    gc.n_max = config.n_max;
+    gc.mean_subtask_exec = 1.0 / config.mu_subtask;
+    gc.slack_min = gslack_min;
+    gc.slack_max = gslack_max;
+    gc.pex = config.pex;
+    gc.exec_spread = config.subtask_exec_spread;
+    gc.exec = workload::make_exec_distribution(
+        config.service_dist, 1.0 / config.mu_subtask, config.service_cv);
+    gc.placement = workload::make_placement(
+        config.placement,
+        std::vector<const sched::Node*>(node_ptrs.begin(), node_ptrs.end()));
+    parallel_source = std::make_unique<workload::ParallelGlobalSource>(
+        engine, pm, master.split(), gc);
+    parallel_source->start();
+  } else {
+    workload::GraphGlobalSource::Config gc;
+    gc.lambda = rates.lambda_global;
+    gc.k = config.k;
+    gc.stage_widths = config.stage_widths;
+    gc.mean_subtask_exec = 1.0 / config.mu_subtask;
+    gc.slack_min = gslack_min;
+    gc.slack_max = gslack_max;
+    gc.pex = config.pex;
+    for (int link = 0; link < link_count; ++link) {
+      gc.link_nodes.push_back(config.k + link);
+    }
+    gc.mean_msg_time = config.mean_msg_time;
+    gc.exec = workload::make_exec_distribution(
+        config.service_dist, 1.0 / config.mu_subtask, config.service_cv);
+    graph_source = std::make_unique<workload::GraphGlobalSource>(
+        engine, pm, master.split(), gc);
+    graph_source->start();
+  }
+
+  // --- run -------------------------------------------------------------------
+  engine.run_until(config.sim_time);
+
+  // --- results ----------------------------------------------------------------
+  RunResult result;
+  result.collector = std::move(collector);
+  double util = 0.0, link_util = 0.0;
+  std::uint64_t local_aborts = 0, preemptions = 0;
+  for (const auto& node : nodes) {
+    (node->index() < config.k ? util : link_util) += node->utilization();
+    result.node_utilizations.push_back(node->utilization());
+    local_aborts += node->aborted_locally();
+    preemptions += node->preemptions();
+  }
+  result.mean_utilization = util / static_cast<double>(config.k);
+  if (link_count > 0) {
+    result.mean_link_utilization = link_util / static_cast<double>(link_count);
+  }
+  result.events_fired = engine.events_fired();
+  for (const auto& src : local_sources) {
+    result.locals_generated += src->generated();
+  }
+  result.globals_generated =
+      parallel_source ? parallel_source->generated()
+                      : (graph_source ? graph_source->generated() : 0);
+  result.globals_completed = pm.completed_runs();
+  result.globals_aborted = pm.aborted_runs();
+  result.local_scheduler_aborts = local_aborts;
+  result.resubmissions = pm.resubmissions();
+  result.preemptions = preemptions;
+  return result;
+}
+
+metrics::Report run_experiment(const ExperimentConfig& config) {
+  validate_or_throw(config);
+  // Replications are fully independent simulations, so run them on worker
+  // threads; results are folded in replication order, keeping the report
+  // bit-identical to the sequential fold.
+  std::vector<metrics::Collector> collectors(
+      static_cast<std::size_t>(config.replications));
+  auto run_rep = [&](int rep) {
+    // Widely separated, deterministic per-replication seeds.
+    const std::uint64_t seed =
+        config.seed +
+        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
+    collectors[static_cast<std::size_t>(rep)] =
+        std::move(run_once(config, seed).collector);
+  };
+  if (config.replications > 1) {
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(config.replications));
+    for (int rep = 0; rep < config.replications; ++rep) {
+      workers.emplace_back(run_rep, rep);
+    }
+    for (std::thread& w : workers) w.join();
+  } else {
+    run_rep(0);
+  }
+  metrics::Report report;
+  for (const metrics::Collector& c : collectors) report.add_replication(c);
+  return report;
+}
+
+}  // namespace sda::exp

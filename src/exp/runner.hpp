@@ -1,0 +1,50 @@
+// Assembles a whole simulated system from an ExperimentConfig and runs it.
+//
+// run_once builds engine + k nodes + process manager + workload sources,
+// wires the completion/abort plumbing, runs to the configured horizon, and
+// returns the replication's Collector plus diagnostics.  run_experiment
+// repeats with independent seeds and aggregates into a metrics::Report —
+// one (strategy, parameter) data point of a paper figure.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/exp/config.hpp"
+#include "src/metrics/collector.hpp"
+#include "src/metrics/report.hpp"
+#include "src/metrics/trace.hpp"
+
+namespace sda::exp {
+
+/// Outcome of a single replication.
+struct RunResult {
+  metrics::Collector collector;
+
+  // Diagnostics for sanity checks and tests.
+  double mean_utilization = 0.0;  ///< average *compute*-node utilization (~= load)
+  double mean_link_utilization = 0.0;  ///< link nodes only; 0 without links
+  std::vector<double> node_utilizations;  ///< per node (compute then links)
+  std::uint64_t events_fired = 0;
+  std::uint64_t locals_generated = 0;
+  std::uint64_t globals_generated = 0;
+  std::uint64_t globals_completed = 0;
+  std::uint64_t globals_aborted = 0;
+  std::uint64_t local_scheduler_aborts = 0;
+  std::uint64_t resubmissions = 0;
+  std::uint64_t preemptions = 0;
+};
+
+/// Runs one replication with the given seed.  When @p tracer is non-null,
+/// every task/global lifecycle event is recorded into it (the tracer's
+/// fingerprint doubles as a determinism checksum of the whole run).
+RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
+                   metrics::Tracer* tracer = nullptr);
+
+/// Runs config.replications independent replications (seeds derived from
+/// config.seed) and aggregates per-class miss rates into a Report.
+/// Replications run on parallel threads (one each — keep the count modest);
+/// the result is bit-identical to a sequential run.
+metrics::Report run_experiment(const ExperimentConfig& config);
+
+}  // namespace sda::exp

@@ -1,0 +1,35 @@
+#include "src/exp/sweep.hpp"
+
+#include <stdexcept>
+
+namespace sda::exp {
+
+std::vector<SweepPoint> sweep(const ExperimentConfig& base,
+                              const std::vector<double>& xs,
+                              const ApplyFn& apply) {
+  std::vector<SweepPoint> points;
+  points.reserve(xs.size());
+  for (double x : xs) {
+    ExperimentConfig c = base;
+    apply(c, x);
+    points.push_back(SweepPoint{x, run_experiment(c)});
+  }
+  return points;
+}
+
+std::vector<double> linspace(double lo, double hi, int n) {
+  if (n < 1) throw std::invalid_argument("linspace: n must be >= 1");
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  if (n == 1) {
+    out.push_back(lo);
+    return out;
+  }
+  for (int i = 0; i < n; ++i) {
+    out.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                           static_cast<double>(n - 1));
+  }
+  return out;
+}
+
+}  // namespace sda::exp

@@ -1,0 +1,34 @@
+// Parameter sweeps: one figure series = one sweep.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/report.hpp"
+
+namespace sda::exp {
+
+/// One x-position of a figure, with the aggregated replications.
+struct SweepPoint {
+  double x = 0.0;
+  metrics::Report report;
+};
+
+/// Mutator applying the sweep variable to a config (e.g. set the load).
+using ApplyFn = std::function<void(ExperimentConfig&, double)>;
+
+/// Runs run_experiment at every x in @p xs, on copies of @p base mutated by
+/// @p apply.  Points are independent; each uses the base seed schedule so
+/// series differing only in strategy share arrival randomness (common
+/// random numbers, reducing comparison variance like the paper's paired
+/// runs).
+std::vector<SweepPoint> sweep(const ExperimentConfig& base,
+                              const std::vector<double>& xs,
+                              const ApplyFn& apply);
+
+/// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n==1.
+std::vector<double> linspace(double lo, double hi, int n);
+
+}  // namespace sda::exp

@@ -1,0 +1,112 @@
+#include "src/exp/validate.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "src/core/strategy.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/workload/exec_dist.hpp"
+#include "src/workload/placement.hpp"
+
+namespace sda::exp {
+
+std::vector<std::string> validate(const ExperimentConfig& c) {
+  std::vector<std::string> problems;
+  auto bad = [&](const std::string& what) { problems.push_back(what); };
+
+  // --- system ---------------------------------------------------------------
+  if (c.k <= 0) bad("k must be positive");
+  if (!c.node_speeds.empty()) {
+    if (c.node_speeds.size() != static_cast<std::size_t>(c.k)) {
+      bad("node_speeds must be empty or have exactly k entries");
+    }
+    for (double s : c.node_speeds) {
+      if (!(s > 0.0)) {
+        bad("node speeds must be positive");
+        break;
+      }
+    }
+  }
+  try {
+    (void)sched::make_scheduler(c.scheduler_policy);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+
+  // --- strategies ------------------------------------------------------------
+  try {
+    (void)core::make_psp_strategy(c.psp);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  try {
+    (void)core::make_ssp_strategy(c.ssp);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+
+  // --- workload --------------------------------------------------------------
+  if (c.load < 0.0) bad("load must be >= 0");
+  if (c.load >= 1.0) bad("load must be < 1 for a stable system");
+  if (c.frac_local < 0.0 || c.frac_local > 1.0) {
+    bad("frac_local must be in [0, 1]");
+  }
+  if (c.mu_local <= 0.0) bad("mu_local must be positive");
+  if (c.mu_subtask <= 0.0) bad("mu_subtask must be positive");
+  if (c.slack_min < 0.0 || c.slack_min > c.slack_max) {
+    bad("need 0 <= slack_min <= slack_max");
+  }
+  if (c.local_burst_factor < 1.0) bad("local_burst_factor must be >= 1");
+  if (c.local_burst_cycle <= 0.0) bad("local_burst_cycle must be positive");
+  if (c.subtask_exec_spread < 1.0) bad("subtask_exec_spread must be >= 1");
+  try {
+    (void)workload::make_placement(c.placement, {});
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  try {
+    (void)workload::make_exec_distribution(c.service_dist, 1.0, c.service_cv);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+
+  if (c.global_kind == GlobalKind::kParallel) {
+    if (c.n_min < 1 || c.n_min > c.n_max) bad("need 1 <= n_min <= n_max");
+    if (c.n_max > c.k) {
+      bad("n_max exceeds k (parallel subtasks need distinct nodes)");
+    }
+  } else {
+    if (c.stage_widths.empty()) bad("stage_widths must not be empty");
+    for (int w : c.stage_widths) {
+      if (w < 1 || w > c.k) {
+        bad("every stage width must be in [1, k]");
+        break;
+      }
+    }
+    if (c.link_count < 0) bad("link_count must be >= 0");
+    if (c.link_count > 0 && c.mean_msg_time <= 0.0) {
+      bad("mean_msg_time must be positive when links are modeled");
+    }
+  }
+  const auto [gs_min, gs_max] = c.resolved_global_slack();
+  if (gs_min > gs_max) bad("global slack range is inverted");
+
+  // --- run control -------------------------------------------------------------
+  if (c.sim_time <= 0.0) bad("sim_time must be positive");
+  if (c.replications < 1) bad("replications must be >= 1");
+  if (c.warmup_fraction < 0.0 || c.warmup_fraction >= 1.0) {
+    bad("warmup_fraction must be in [0, 1)");
+  }
+  return problems;
+}
+
+void validate_or_throw(const ExperimentConfig& config) {
+  const auto problems = validate(config);
+  if (problems.empty()) return;
+  std::ostringstream os;
+  os << "invalid experiment config:";
+  for (const auto& p : problems) os << "\n  - " << p;
+  throw std::invalid_argument(os.str());
+}
+
+}  // namespace sda::exp

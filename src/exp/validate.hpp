@@ -1,0 +1,24 @@
+// Whole-config validation with actionable messages.
+//
+// run_once performs piecemeal validation as it assembles the system; this
+// pass checks an ExperimentConfig up-front and reports *every* problem at
+// once, which is what interactive drivers (examples/run_experiment) want.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exp/config.hpp"
+
+namespace sda::exp {
+
+/// Returns all problems found in @p config (empty = valid).  Checks cover
+/// system shape (k, speeds, scheduler/placement names), strategy names,
+/// workload ranges (load, frac_local, slack, n vs k, stage widths), link
+/// modeling, and run control (sim_time, replications, warmup).
+std::vector<std::string> validate(const ExperimentConfig& config);
+
+/// Throws std::invalid_argument listing every problem when invalid.
+void validate_or_throw(const ExperimentConfig& config);
+
+}  // namespace sda::exp

@@ -1,0 +1,123 @@
+#include "src/metrics/collector.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace sda::metrics {
+
+std::string default_class_name(int cls) {
+  if (cls == kLocalClass) return "local";
+  if (cls == kSubtaskClass) return "subtask";
+  if (cls == kGlobalClassBase) return "global(graph)";  // scenario tasks
+  if (is_global_class(cls)) {
+    std::ostringstream os;
+    os << "global(n=" << cls - kGlobalClassBase << ")";
+    return os.str();
+  }
+  return "class-" + std::to_string(cls);
+}
+
+void Collector::record_simple(const task::SimpleTask& t) {
+  const bool aborted = t.state == task::TaskState::kAborted;
+  if (!aborted && t.state != task::TaskState::kCompleted) {
+    throw std::logic_error("Collector::record_simple: task not terminal");
+  }
+  const bool missed = aborted || t.finished_at > t.attrs.real_deadline;
+  const double response = aborted ? -1.0 : t.finished_at - t.attrs.arrival;
+  const double tardiness =
+      std::max(0.0, t.finished_at - t.attrs.real_deadline);
+  record(t.metrics_class, t.attrs.arrival, missed, aborted, t.attrs.exec_time,
+         response, tardiness);
+}
+
+void Collector::record_global(const core::GlobalTaskRecord& rec) {
+  const double response = rec.aborted ? -1.0 : rec.finished_at - rec.arrival;
+  const double tardiness =
+      std::max(0.0, rec.finished_at - rec.real_deadline);
+  record(rec.metrics_class, rec.arrival, rec.missed, rec.aborted,
+         rec.total_work, response, tardiness);
+}
+
+void Collector::record(int cls, double arrival, bool missed, bool aborted,
+                       double work, double response, double tardiness) {
+  if (arrival < warmup_) return;
+  ClassCounts& c = by_class_[cls];
+  ++c.finished;
+  c.work_total += work;
+  if (missed) {
+    ++c.missed;
+    c.work_missed += work;
+  }
+  if (aborted) ++c.aborted;
+  ClassTimings& t = timings_[cls];
+  if (response >= 0.0) t.response.add(response);
+  t.tardiness.add(tardiness);
+  if (histograms_enabled_) {
+    auto it = tardiness_hist_.find(cls);
+    if (it == tardiness_hist_.end()) {
+      it = tardiness_hist_
+               .emplace(cls, util::Histogram(0.0, hist_max_, hist_buckets_))
+               .first;
+    }
+    it->second.add(tardiness);
+  }
+}
+
+void Collector::enable_tardiness_histograms(double max_tardiness,
+                                            std::size_t buckets) {
+  histograms_enabled_ = true;
+  hist_max_ = max_tardiness;
+  hist_buckets_ = buckets;
+}
+
+TardinessProfile Collector::tardiness_profile(int cls) const {
+  TardinessProfile p;
+  auto it = tardiness_hist_.find(cls);
+  if (it == tardiness_hist_.end()) return p;
+  p.enabled = true;
+  p.p50 = it->second.quantile(0.50);
+  p.p90 = it->second.quantile(0.90);
+  p.p99 = it->second.quantile(0.99);
+  return p;
+}
+
+ClassCounts Collector::counts(int cls) const {
+  auto it = by_class_.find(cls);
+  return it == by_class_.end() ? ClassCounts{} : it->second;
+}
+
+ClassTimings Collector::timings(int cls) const {
+  auto it = timings_.find(cls);
+  return it == timings_.end() ? ClassTimings{} : it->second;
+}
+
+std::vector<int> Collector::classes() const {
+  std::vector<int> out;
+  out.reserve(by_class_.size());
+  for (const auto& [cls, counts] : by_class_) out.push_back(cls);
+  return out;
+}
+
+double Collector::overall_missed_work_rate() const noexcept {
+  double total = 0.0, missed = 0.0;
+  for (const auto& [cls, c] : by_class_) {
+    total += c.work_total;
+    missed += c.work_missed;
+  }
+  return total > 0.0 ? missed / total : 0.0;
+}
+
+std::uint64_t Collector::total_missed() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [cls, c] : by_class_) n += c.missed;
+  return n;
+}
+
+std::uint64_t Collector::total_finished() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& [cls, c] : by_class_) n += c.finished;
+  return n;
+}
+
+}  // namespace sda::metrics

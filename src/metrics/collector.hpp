@@ -1,0 +1,121 @@
+// Per-class missed-deadline accounting for one simulation replication.
+//
+// Every task that reaches a terminal state (completed or aborted) after the
+// warm-up period contributes one observation to its class:  missed iff it
+// was aborted or finished after its *real* deadline.  Work-weighted
+// accounting supports the paper's "fraction of missed work" discussion
+// (§6.1): at load 0.5, DIV-1 loses on missed-task *count* but wins on
+// missed *work*.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/core/process_manager.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/task/task.hpp"
+#include "src/util/histogram.hpp"
+#include "src/util/stats.hpp"
+
+namespace sda::metrics {
+
+/// Terminal counts for one task class.
+struct ClassCounts {
+  std::uint64_t finished = 0;  ///< completed or aborted (terminal)
+  std::uint64_t missed = 0;    ///< aborted, or completed past real deadline
+  std::uint64_t aborted = 0;   ///< subset of missed that never completed
+  double work_total = 0.0;     ///< sum of ex over terminal tasks
+  double work_missed = 0.0;    ///< sum of ex over missed tasks
+
+  /// Fraction of missed deadlines (MD in the paper). 0 when empty.
+  double miss_rate() const noexcept {
+    return finished ? static_cast<double>(missed) /
+                          static_cast<double>(finished)
+                    : 0.0;
+  }
+
+  /// Fraction of work that went to tardy tasks. 0 when no work recorded.
+  double missed_work_rate() const noexcept {
+    return work_total > 0.0 ? work_missed / work_total : 0.0;
+  }
+};
+
+/// Timing profile for one class (response time = completion - arrival;
+/// tardiness = max(0, completion - real deadline), zero for on-time tasks).
+/// Aborted-and-never-completed tasks contribute no response sample but do
+/// contribute tardiness measured at their abort time.
+struct ClassTimings {
+  util::RunningStat response;
+  util::RunningStat tardiness;
+};
+
+/// Optional per-class tardiness distribution (see
+/// Collector::enable_tardiness_histograms).
+struct TardinessProfile {
+  bool enabled = false;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+class Collector {
+ public:
+  /// Observations for tasks that arrived before @p t are discarded
+  /// (transient warm-up).
+  void set_warmup(double t) noexcept { warmup_ = t; }
+  double warmup() const noexcept { return warmup_; }
+
+  /// Records a terminal local task or subtask.  Requires a terminal state
+  /// (kCompleted or kAborted).
+  void record_simple(const task::SimpleTask& t);
+
+  /// Records a terminal global task run.
+  void record_global(const core::GlobalTaskRecord& rec);
+
+  /// Raw terminal record: class @p cls, arrived at @p arrival, @p missed
+  /// its deadline (and was @p aborted before finishing), carrying @p work
+  /// execution-time units.  @p response is the completion latency (< 0 for
+  /// tasks that never completed) and @p tardiness is max(0, lateness).
+  void record(int cls, double arrival, bool missed, bool aborted, double work,
+              double response = -1.0, double tardiness = 0.0);
+
+  /// Counts for one class (zeros when the class was never seen).
+  ClassCounts counts(int cls) const;
+
+  /// Timing profile for one class (empty stats when never seen).
+  ClassTimings timings(int cls) const;
+
+  /// Turns on per-class tardiness histograms over [0, max_tardiness) with
+  /// the given resolution; call before the run starts.
+  void enable_tardiness_histograms(double max_tardiness = 50.0,
+                                   std::size_t buckets = 500);
+
+  /// Tardiness quantiles for a class; `enabled` is false when histograms
+  /// were not enabled or the class was never seen.
+  TardinessProfile tardiness_profile(int cls) const;
+
+  /// All classes seen, ascending.
+  std::vector<int> classes() const;
+
+  /// Work-weighted miss rate over *all* classes — the paper's "fraction of
+  /// missed work".
+  double overall_missed_work_rate() const noexcept;
+
+  /// Total missed count over all classes (the "overall number of missed
+  /// deadlines" the paper contrasts with missed work).
+  std::uint64_t total_missed() const noexcept;
+  std::uint64_t total_finished() const noexcept;
+
+ private:
+  double warmup_ = 0.0;
+  std::map<int, ClassCounts> by_class_;
+  std::map<int, ClassTimings> timings_;
+  bool histograms_enabled_ = false;
+  double hist_max_ = 50.0;
+  std::size_t hist_buckets_ = 500;
+  std::map<int, util::Histogram> tardiness_hist_;
+};
+
+}  // namespace sda::metrics

@@ -1,0 +1,40 @@
+#include "src/metrics/report.hpp"
+
+namespace sda::metrics {
+
+void Report::add_replication(const Collector& c) {
+  ++replications_;
+  for (int cls : c.classes()) {
+    const ClassCounts counts = c.counts(cls);
+    PerClass& pc = by_class_[cls];
+    pc.miss_rates.push_back(counts.miss_rate());
+    pc.missed_work_rates.push_back(counts.missed_work_rate());
+    pc.finished_total += counts.finished;
+  }
+  overall_missed_work_.push_back(c.overall_missed_work_rate());
+}
+
+std::vector<int> Report::classes() const {
+  std::vector<int> out;
+  out.reserve(by_class_.size());
+  for (const auto& [cls, pc] : by_class_) out.push_back(cls);
+  return out;
+}
+
+ClassSummary Report::summary(int cls, double confidence) const {
+  ClassSummary s;
+  s.cls = cls;
+  auto it = by_class_.find(cls);
+  if (it == by_class_.end()) return s;
+  s.miss_rate = util::confidence_interval(it->second.miss_rates, confidence);
+  s.missed_work_rate =
+      util::confidence_interval(it->second.missed_work_rates, confidence);
+  s.finished_total = it->second.finished_total;
+  return s;
+}
+
+util::ConfidenceInterval Report::overall_missed_work(double confidence) const {
+  return util::confidence_interval(overall_missed_work_, confidence);
+}
+
+}  // namespace sda::metrics

@@ -1,0 +1,52 @@
+// Aggregation of per-replication Collectors into confidence intervals.
+//
+// Each experiment data point runs R independent replications (the paper
+// uses two one-million-unit runs); a Report combines the replications'
+// per-class miss rates into t-based 95% confidence intervals.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "src/metrics/collector.hpp"
+#include "src/util/stats.hpp"
+
+namespace sda::metrics {
+
+/// Point estimate with uncertainty for one class in one experiment.
+struct ClassSummary {
+  int cls = 0;
+  util::ConfidenceInterval miss_rate;
+  util::ConfidenceInterval missed_work_rate;
+  std::uint64_t finished_total = 0;  ///< pooled over replications
+};
+
+class Report {
+ public:
+  /// Folds one replication's collector into the report.
+  void add_replication(const Collector& c);
+
+  /// Number of replications added.
+  std::size_t replications() const noexcept { return replications_; }
+
+  /// Classes observed in any replication, ascending.
+  std::vector<int> classes() const;
+
+  /// Summary for one class (CIs over replication means).
+  ClassSummary summary(int cls, double confidence = 0.95) const;
+
+  /// CI for the system-wide missed-work fraction.
+  util::ConfidenceInterval overall_missed_work(double confidence = 0.95) const;
+
+ private:
+  struct PerClass {
+    std::vector<double> miss_rates;
+    std::vector<double> missed_work_rates;
+    std::uint64_t finished_total = 0;
+  };
+  std::map<int, PerClass> by_class_;
+  std::vector<double> overall_missed_work_;
+  std::size_t replications_ = 0;
+};
+
+}  // namespace sda::metrics

@@ -1,0 +1,29 @@
+// Task-class identifiers for per-class missed-deadline reporting.
+//
+// The paper reports MD separately for local tasks, simple subtasks of
+// global tasks, and global tasks (further split by subtask count n in the
+// non-homogeneous experiment, Figure 12).
+#pragma once
+
+#include <string>
+
+namespace sda::metrics {
+
+/// Well-known class ids. Global tasks with n parallel subtasks use
+/// global_class(n) so Figure 12 can report each size separately.
+inline constexpr int kLocalClass = 0;
+inline constexpr int kSubtaskClass = 1;
+inline constexpr int kGlobalClassBase = 100;
+
+/// Class id for a global task of @p n subtasks (or any scenario tag >= 0).
+constexpr int global_class(int n) noexcept { return kGlobalClassBase + n; }
+
+/// True when @p cls identifies some global-task class.
+constexpr bool is_global_class(int cls) noexcept {
+  return cls >= kGlobalClassBase;
+}
+
+/// Default display name for a class id ("local", "subtask", "global(n=4)").
+std::string default_class_name(int cls);
+
+}  // namespace sda::metrics

@@ -1,0 +1,50 @@
+#include "src/metrics/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sda::metrics {
+
+MissTimeSeries::MissTimeSeries(sim::Time horizon, sim::Time window)
+    : window_(window) {
+  if (!(horizon > 0.0) || !(window > 0.0) || window > horizon) {
+    throw std::invalid_argument(
+        "MissTimeSeries: need 0 < window <= horizon");
+  }
+  const auto n = static_cast<std::size_t>(std::ceil(horizon / window));
+  finished_.assign(n, 0);
+  missed_.assign(n, 0);
+}
+
+void MissTimeSeries::record(sim::Time arrival, bool missed) {
+  if (arrival < 0.0) return;
+  const auto idx = static_cast<std::size_t>(arrival / window_);
+  if (idx >= finished_.size()) return;
+  ++finished_[idx];
+  if (missed) ++missed_[idx];
+}
+
+double MissTimeSeries::miss_rate(std::size_t i) const {
+  const std::uint64_t f = finished_.at(i);
+  return f ? static_cast<double>(missed_.at(i)) / static_cast<double>(f) : 0.0;
+}
+
+double MissTimeSeries::peak_miss_rate(std::uint64_t min_samples) const {
+  double peak = 0.0;
+  for (std::size_t i = 0; i < finished_.size(); ++i) {
+    if (finished_[i] >= min_samples) peak = std::max(peak, miss_rate(i));
+  }
+  return peak;
+}
+
+std::vector<double> MissTimeSeries::rates() const {
+  std::vector<double> out;
+  out.reserve(finished_.size());
+  for (std::size_t i = 0; i < finished_.size(); ++i) {
+    out.push_back(miss_rate(i));
+  }
+  return out;
+}
+
+}  // namespace sda::metrics

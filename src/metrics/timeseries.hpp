@@ -1,0 +1,54 @@
+// Windowed time series of miss rates.
+//
+// The paper argues that transient overload drives most misses (§5); a
+// steady-state average hides exactly that.  MissTimeSeries buckets terminal
+// tasks into fixed time windows by arrival time and reports the per-window
+// miss fraction, making overload episodes visible (see
+// examples/overload_storm.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+
+namespace sda::metrics {
+
+class MissTimeSeries {
+ public:
+  /// Buckets [0, horizon) into windows of the given width.
+  /// Requires horizon > 0, 0 < window <= horizon.
+  MissTimeSeries(sim::Time horizon, sim::Time window);
+
+  /// Records one terminal task that arrived at @p arrival.
+  /// Arrivals outside [0, horizon) are ignored.
+  void record(sim::Time arrival, bool missed);
+
+  std::size_t windows() const noexcept { return finished_.size(); }
+  sim::Time window_width() const noexcept { return window_; }
+
+  /// Start time of window @p i.
+  sim::Time window_start(std::size_t i) const noexcept {
+    return static_cast<sim::Time>(i) * window_;
+  }
+
+  std::uint64_t finished(std::size_t i) const { return finished_.at(i); }
+  std::uint64_t missed(std::size_t i) const { return missed_.at(i); }
+
+  /// Per-window miss fraction (0 for empty windows).
+  double miss_rate(std::size_t i) const;
+
+  /// The largest per-window miss rate (the worst transient), ignoring
+  /// windows with fewer than @p min_samples tasks.
+  double peak_miss_rate(std::uint64_t min_samples = 10) const;
+
+  /// All per-window miss rates, for charting.
+  std::vector<double> rates() const;
+
+ private:
+  sim::Time window_;
+  std::vector<std::uint64_t> finished_;
+  std::vector<std::uint64_t> missed_;
+};
+
+}  // namespace sda::metrics

@@ -1,0 +1,65 @@
+#include "src/metrics/trace.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace sda::metrics {
+
+const char* to_string(TraceEvent e) noexcept {
+  switch (e) {
+    case TraceEvent::kSubmitted: return "submit";
+    case TraceEvent::kStarted: return "start";
+    case TraceEvent::kPreempted: return "preempt";
+    case TraceEvent::kCompleted: return "done";
+    case TraceEvent::kAborted: return "abort";
+    case TraceEvent::kGlobalSubmitted: return "global-submit";
+    case TraceEvent::kGlobalCompleted: return "global-done";
+    case TraceEvent::kGlobalAborted: return "global-abort";
+  }
+  return "?";
+}
+
+namespace {
+void fnv_mix(std::uint64_t& h, const void* data, std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+}
+}  // namespace
+
+void Tracer::add(const TraceRecord& rec) {
+  ++total_;
+  fnv_mix(hash_, &rec.time, sizeof rec.time);
+  const auto ev = static_cast<std::uint8_t>(rec.event);
+  fnv_mix(hash_, &ev, sizeof ev);
+  fnv_mix(hash_, &rec.task_id, sizeof rec.task_id);
+  fnv_mix(hash_, &rec.run_id, sizeof rec.run_id);
+  fnv_mix(hash_, &rec.node, sizeof rec.node);
+  fnv_mix(hash_, &rec.deadline, sizeof rec.deadline);
+  records_.push_back(rec);
+  if (capacity_ != 0 && records_.size() > capacity_) records_.pop_front();
+}
+
+std::string Tracer::render() const {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(4);
+  for (const TraceRecord& r : records_) {
+    os << r.time << ' ' << to_string(r.event);
+    if (r.task_id != 0) os << " task=" << r.task_id;
+    if (r.run_id != 0) os << " run=" << r.run_id;
+    if (r.node >= 0) os << " node=" << r.node;
+    os << " dl=" << r.deadline << '\n';
+  }
+  return os.str();
+}
+
+void Tracer::clear() {
+  records_.clear();
+  total_ = 0;
+  hash_ = 0xcbf29ce484222325ULL;
+}
+
+}  // namespace sda::metrics

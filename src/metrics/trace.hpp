@@ -1,0 +1,69 @@
+// Task-lifecycle tracing.
+//
+// A Tracer captures a bounded ring of lifecycle events (submit / start /
+// preempt / complete / abort, plus global-task begin/end) for debugging and
+// for *determinism golden tests*: the FNV-1a hash of the full event stream
+// must be identical across runs with the same seed.  Tracing is opt-in and
+// has zero cost when no tracer is attached.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/sim/event_queue.hpp"
+
+namespace sda::metrics {
+
+enum class TraceEvent : std::uint8_t {
+  kSubmitted,       ///< task entered a node's queue
+  kStarted,         ///< task entered service
+  kPreempted,       ///< task preempted (preemptive-resume mode)
+  kCompleted,       ///< task finished service
+  kAborted,         ///< task aborted (local policy or external)
+  kGlobalSubmitted, ///< global run accepted by the process manager
+  kGlobalCompleted, ///< global run finished
+  kGlobalAborted,   ///< global run killed by the PM timer
+};
+
+/// Short lowercase tag, e.g. "start", "global-done".
+const char* to_string(TraceEvent e) noexcept;
+
+struct TraceRecord {
+  sim::Time time = 0.0;
+  TraceEvent event = TraceEvent::kSubmitted;
+  std::uint64_t task_id = 0;  ///< 0 for global-run events
+  std::uint64_t run_id = 0;   ///< 0 for local tasks
+  int node = -1;              ///< -1 for global-run events
+  double deadline = 0.0;      ///< virtual deadline (task) or real (global)
+};
+
+class Tracer {
+ public:
+  /// Keeps at most @p capacity most-recent records (0 = unbounded).
+  explicit Tracer(std::size_t capacity = 0) : capacity_(capacity) {}
+
+  void add(const TraceRecord& rec);
+
+  const std::deque<TraceRecord>& records() const noexcept { return records_; }
+
+  /// Total events ever added (>= records().size() once the ring wraps).
+  std::uint64_t total() const noexcept { return total_; }
+
+  /// FNV-1a hash over every event ever added (including evicted ones) —
+  /// the determinism fingerprint.
+  std::uint64_t fingerprint() const noexcept { return hash_; }
+
+  /// Multi-line "time event task run node deadline" text rendering.
+  std::string render() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t total_ = 0;
+  std::uint64_t hash_ = 0xcbf29ce484222325ULL;  // FNV offset basis
+};
+
+}  // namespace sda::metrics

@@ -1,0 +1,30 @@
+// Overload-management (abortion) policies, paper Section 7.3.
+//
+// The paper distinguishes three regimes:
+//   * no abortion (the baseline, Table 1),
+//   * abortion by the *process manager* at the task's real deadline
+//     (implemented in core::ProcessManager with engine timers), and
+//   * abortion by the *local scheduler* when a task's virtual deadline
+//     passes (implemented in sched::Node; this is the regime that breaks
+//     DIV-x/GF unless subtasks are marked non-abortable).
+#pragma once
+
+namespace sda::sched {
+
+enum class LocalAbortPolicy {
+  /// The node keeps working on a task even after its deadline expires.
+  kNone,
+  /// The node aborts a queued or in-service task the moment its *virtual*
+  /// deadline passes (tasks flagged non_abortable are exempt).
+  kAbortOnVirtualDeadline,
+};
+
+inline const char* to_string(LocalAbortPolicy p) noexcept {
+  switch (p) {
+    case LocalAbortPolicy::kNone: return "none";
+    case LocalAbortPolicy::kAbortOnVirtualDeadline: return "virtual-deadline";
+  }
+  return "?";
+}
+
+}  // namespace sda::sched

@@ -1,0 +1,34 @@
+#include "src/sched/edf.hpp"
+
+namespace sda::sched {
+
+void EdfScheduler::push(TaskPtr t) {
+  t->enqueue_seq = next_seq();
+  queue_.insert(std::move(t));
+}
+
+TaskPtr EdfScheduler::pop() {
+  if (queue_.empty()) return nullptr;
+  auto it = queue_.begin();
+  TaskPtr t = *it;
+  queue_.erase(it);
+  return t;
+}
+
+const task::SimpleTask* EdfScheduler::peek() const {
+  return queue_.empty() ? nullptr : queue_.begin()->get();
+}
+
+TaskPtr EdfScheduler::remove(const task::SimpleTask& t) {
+  // The comparator only reads (virtual_deadline, enqueue_seq), so a
+  // non-owning aliasing shared_ptr to t is a valid lookup key.
+  const TaskPtr key(std::shared_ptr<task::SimpleTask>{},
+                    const_cast<task::SimpleTask*>(&t));
+  auto it = queue_.find(key);
+  if (it == queue_.end() || it->get() != &t) return nullptr;
+  TaskPtr owned = *it;
+  queue_.erase(it);
+  return owned;
+}
+
+}  // namespace sda::sched

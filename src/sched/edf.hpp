@@ -1,0 +1,36 @@
+// Earliest-deadline-first ready queue (the paper's local scheduling policy).
+//
+// Tasks are ordered by *virtual* deadline; equal deadlines are served in
+// arrival order.  The strategy layer manipulates virtual deadlines precisely
+// to steer this ordering (UD / DIV-x / GF / EQF all reduce to "what deadline
+// does EDF see").
+#pragma once
+
+#include <set>
+
+#include "src/sched/scheduler.hpp"
+
+namespace sda::sched {
+
+class EdfScheduler final : public Scheduler {
+ public:
+  void push(TaskPtr t) override;
+  TaskPtr pop() override;
+  const task::SimpleTask* peek() const override;
+  TaskPtr remove(const task::SimpleTask& t) override;
+  std::size_t size() const override { return queue_.size(); }
+  std::string name() const override { return "EDF"; }
+
+ private:
+  struct ByDeadline {
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const noexcept {
+      if (a->attrs.virtual_deadline != b->attrs.virtual_deadline) {
+        return a->attrs.virtual_deadline < b->attrs.virtual_deadline;
+      }
+      return a->enqueue_seq < b->enqueue_seq;
+    }
+  };
+  std::set<TaskPtr, ByDeadline> queue_;
+};
+
+}  // namespace sda::sched

@@ -1,0 +1,28 @@
+// First-come-first-served ready queue.
+//
+// Deadline-oblivious baseline used by the substrate ablation
+// (bench/ablation_scheduler_policy): under FIFO the SDA strategies cannot
+// help, which isolates how much of the paper's improvement comes from nodes
+// actually honoring deadlines.
+#pragma once
+
+#include <deque>
+
+#include "src/sched/scheduler.hpp"
+
+namespace sda::sched {
+
+class FifoScheduler final : public Scheduler {
+ public:
+  void push(TaskPtr t) override;
+  TaskPtr pop() override;
+  const task::SimpleTask* peek() const override;
+  TaskPtr remove(const task::SimpleTask& t) override;
+  std::size_t size() const override { return queue_.size(); }
+  std::string name() const override { return "FIFO"; }
+
+ private:
+  std::deque<TaskPtr> queue_;
+};
+
+}  // namespace sda::sched

@@ -1,0 +1,42 @@
+// Least-laxity-first ready queue (non-preemptive).
+//
+// Laxity = virtual_deadline - now - predicted_remaining_work.  For tasks
+// sitting in a ready queue the `now` term is common to every candidate, so
+// the non-preemptive LLF order reduces to the *static* key
+// (virtual_deadline - pex): no clock access needed.  LLF folds execution
+// demand into urgency, which EDF ignores — a natural third point in the
+// substrate-ablation space alongside EDF and SPT.
+#pragma once
+
+#include <set>
+
+#include "src/sched/scheduler.hpp"
+
+namespace sda::sched {
+
+class LlfScheduler final : public Scheduler {
+ public:
+  void push(TaskPtr t) override;
+  TaskPtr pop() override;
+  const task::SimpleTask* peek() const override;
+  TaskPtr remove(const task::SimpleTask& t) override;
+  std::size_t size() const override { return queue_.size(); }
+  std::string name() const override { return "LLF"; }
+
+  /// The static ordering key: deadline minus predicted demand.
+  static double laxity_key(const task::SimpleTask& t) noexcept {
+    return t.attrs.virtual_deadline - t.attrs.pred_exec;
+  }
+
+ private:
+  struct ByLaxity {
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const noexcept {
+      const double ka = laxity_key(*a), kb = laxity_key(*b);
+      if (ka != kb) return ka < kb;
+      return a->enqueue_seq < b->enqueue_seq;
+    }
+  };
+  std::set<TaskPtr, ByLaxity> queue_;
+};
+
+}  // namespace sda::sched

@@ -1,0 +1,200 @@
+#include "src/sched/node.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace sda::sched {
+
+using task::TaskState;
+
+Node::Node(sim::Engine& engine, std::unique_ptr<Scheduler> scheduler,
+           Config config)
+    : engine_(engine), scheduler_(std::move(scheduler)), config_(config) {
+  if (!scheduler_) throw std::invalid_argument("Node needs a scheduler");
+  if (!(config_.speed > 0.0)) {
+    throw std::invalid_argument("Node speed must be positive");
+  }
+}
+
+void Node::note_population_change(int delta) {
+  const sim::Time now = engine_.now();
+  pop_area_ += static_cast<sim::Time>(population_) * (now - pop_last_change_);
+  pop_last_change_ = now;
+  population_ += delta;
+  assert(population_ >= 0);
+}
+
+void Node::submit(TaskPtr t) {
+  if (!t) throw std::invalid_argument("Node::submit: null task");
+  if (t->exec_node != config_.index) {
+    throw std::logic_error("Node::submit: task destined for another node");
+  }
+  t->state = TaskState::kQueued;
+  t->submitted_at = engine_.now();
+  t->remaining = t->attrs.exec_time;
+  note_population_change(+1);
+  notify(Event::kSubmitted, *t);
+
+  if (config_.abort_policy == LocalAbortPolicy::kAbortOnVirtualDeadline &&
+      !t->non_abortable) {
+    if (t->attrs.virtual_deadline <= engine_.now()) {
+      // Already expired on arrival: abort without consuming any service.
+      local_abort(t);
+      return;
+    }
+    arm_abort_timer(t);
+  }
+
+  if (config_.preemptive && current_ &&
+      t->attrs.virtual_deadline < current_->attrs.virtual_deadline) {
+    preempt_current();
+  }
+  scheduler_->push(std::move(t));
+  try_start();
+}
+
+void Node::try_start() {
+  if (current_) return;
+  TaskPtr next = scheduler_->pop();
+  if (!next) return;
+  start_service(std::move(next));
+}
+
+void Node::start_service(TaskPtr t) {
+  assert(!current_);
+  current_ = std::move(t);
+  current_->state = TaskState::kRunning;
+  if (current_->started_at < 0.0) current_->started_at = engine_.now();
+  ++current_->service_attempts;
+  service_started_ = engine_.now();
+  completion_event_ = engine_.in(current_->remaining / config_.speed,
+                                 [this] { finish_service(); });
+  notify(Event::kStarted, *current_);
+}
+
+void Node::finish_service() {
+  assert(current_);
+  TaskPtr done = std::move(current_);
+  current_ = nullptr;
+  busy_accum_ += engine_.now() - service_started_;
+  done->remaining = 0.0;
+  done->state = TaskState::kCompleted;
+  done->finished_at = engine_.now();
+  disarm_abort_timer(*done);
+  note_population_change(-1);
+  ++completed_;
+  notify(Event::kCompleted, *done);
+  if (on_complete_) on_complete_(done);
+  try_start();
+}
+
+void Node::preempt_current() {
+  assert(current_);
+  engine_.cancel(completion_event_);
+  const sim::Time elapsed = engine_.now() - service_started_;
+  busy_accum_ += elapsed;
+  current_->remaining -= elapsed * config_.speed;
+  if (current_->remaining < 0.0) current_->remaining = 0.0;
+  current_->state = TaskState::kQueued;
+  ++preemptions_;
+  notify(Event::kPreempted, *current_);
+  scheduler_->push(std::move(current_));
+  current_ = nullptr;
+}
+
+void Node::arm_abort_timer(const TaskPtr& t) {
+  // Capture a weak_ptr: the timer must not keep an otherwise-finished task
+  // alive, and must do nothing if the task already left the node.
+  std::weak_ptr<task::SimpleTask> weak = t;
+  abort_timers_[t->id] =
+      engine_.at(t->attrs.virtual_deadline, [this, weak] {
+        TaskPtr t = weak.lock();
+        if (!t) return;
+        abort_timers_.erase(t->id);
+        if (t->state == TaskState::kQueued || t->state == TaskState::kRunning) {
+          local_abort(t);
+        }
+      });
+}
+
+void Node::disarm_abort_timer(const task::SimpleTask& t) {
+  auto it = abort_timers_.find(t.id);
+  if (it == abort_timers_.end()) return;
+  engine_.cancel(it->second);
+  abort_timers_.erase(it);
+}
+
+void Node::local_abort(const TaskPtr& t) {
+  if (t->state == TaskState::kRunning) {
+    assert(current_.get() == t.get());
+    engine_.cancel(completion_event_);
+    const sim::Time elapsed = engine_.now() - service_started_;
+    busy_accum_ += elapsed;  // work invested in the victim is wasted
+    t->remaining -= elapsed * config_.speed;
+    if (t->remaining < 0.0) t->remaining = 0.0;
+    current_ = nullptr;
+  } else if (t->state == TaskState::kQueued) {
+    // Remove from the ready queue if it is there (it may not be, in the
+    // expired-on-arrival path).
+    scheduler_->remove(*t);
+  }
+  disarm_abort_timer(*t);
+  t->state = TaskState::kAborted;
+  t->finished_at = engine_.now();
+  note_population_change(-1);
+  ++aborted_locally_;
+  notify(Event::kAborted, *t);
+  if (on_local_abort_) on_local_abort_(t);
+  try_start();
+}
+
+bool Node::abort(const task::SimpleTask& t) {
+  if (current_ && current_.get() == &t) {
+    TaskPtr victim = std::move(current_);
+    current_ = nullptr;
+    engine_.cancel(completion_event_);
+    const sim::Time elapsed = engine_.now() - service_started_;
+    busy_accum_ += elapsed;
+    victim->remaining -= elapsed * config_.speed;
+    if (victim->remaining < 0.0) victim->remaining = 0.0;
+    disarm_abort_timer(*victim);
+    victim->state = TaskState::kAborted;
+    victim->finished_at = engine_.now();
+    note_population_change(-1);
+    ++aborted_externally_;
+    notify(Event::kAborted, *victim);
+    try_start();
+    return true;
+  }
+  TaskPtr owned = scheduler_->remove(t);
+  if (!owned) return false;
+  disarm_abort_timer(*owned);
+  owned->state = TaskState::kAborted;
+  owned->finished_at = engine_.now();
+  note_population_change(-1);
+  ++aborted_externally_;
+  notify(Event::kAborted, *owned);
+  return true;
+}
+
+sim::Time Node::busy_time() const noexcept {
+  sim::Time total = busy_accum_;
+  if (current_) total += engine_.now() - service_started_;
+  return total;
+}
+
+double Node::utilization() const noexcept {
+  const sim::Time now = engine_.now();
+  return now > 0.0 ? busy_time() / now : 0.0;
+}
+
+double Node::mean_tasks_in_system() const noexcept {
+  const sim::Time now = engine_.now();
+  if (now <= 0.0) return 0.0;
+  const sim::Time area =
+      pop_area_ +
+      static_cast<sim::Time>(population_) * (now - pop_last_change_);
+  return area / now;
+}
+
+}  // namespace sda::sched

@@ -1,0 +1,144 @@
+// A processing node: single server + ready queue + independent scheduler.
+//
+// This models one system component (database, expert system, a network
+// link, ...) from the paper's Figure 2.  Nodes are fully independent: the
+// only information a node acts on is the tasks submitted to it and their
+// (virtual) deadline attributes — there is no cross-node coordination.
+//
+// Service is non-preemptive by default (the queue is consulted only when
+// the server frees up); Config::preemptive enables preemptive-resume EDF
+// for the substrate ablation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/sched/abort_policy.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sim/engine.hpp"
+
+namespace sda::sched {
+
+class Node {
+ public:
+  struct Config {
+    int index = 0;  ///< node identity (for task placement and reports)
+    LocalAbortPolicy abort_policy = LocalAbortPolicy::kNone;
+    bool preemptive = false;  ///< preemptive-resume service (ablation)
+    /// Relative processing speed: a task with remaining demand r occupies
+    /// the server for r/speed time units.  1.0 = the paper's homogeneous
+    /// system; the heterogeneous-nodes ablation varies this per node.
+    double speed = 1.0;
+  };
+
+  /// Called when a task finishes service (state kCompleted).
+  using CompletionHandler = std::function<void(const TaskPtr&)>;
+  /// Called when the *local* abort policy kills a task (state kAborted).
+  /// Externally requested aborts (Node::abort) do not trigger this.
+  using AbortHandler = std::function<void(const TaskPtr&)>;
+
+  /// Fine-grained lifecycle notifications for tracing/instrumentation.
+  enum class Event : std::uint8_t {
+    kSubmitted,
+    kStarted,
+    kPreempted,
+    kCompleted,
+    kAborted,  ///< local-policy or external abort
+  };
+  using Observer = std::function<void(Event, const task::SimpleTask&)>;
+
+  Node(sim::Engine& engine, std::unique_ptr<Scheduler> scheduler,
+       Config config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  int index() const noexcept { return config_.index; }
+  const Scheduler& scheduler() const noexcept { return *scheduler_; }
+  const Config& config() const noexcept { return config_; }
+
+  void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
+  void set_abort_handler(AbortHandler h) { on_local_abort_ = std::move(h); }
+
+  /// Installs a lifecycle observer (nullptr-able). Zero overhead when unset.
+  void set_observer(Observer o) { observer_ = std::move(o); }
+
+  /// Accepts a task for execution.  Requires t->exec_node == index().
+  /// The node takes shared ownership until completion or abort.
+  void submit(TaskPtr t);
+
+  /// Externally aborts a queued or in-service task (used by the process
+  /// manager's real-deadline timers).  Marks it kAborted and releases the
+  /// server if it was running.  Returns false when the task is not here
+  /// (already finished or never submitted).
+  bool abort(const task::SimpleTask& t);
+
+  /// Task currently in service; nullptr when idle.
+  const task::SimpleTask* in_service() const noexcept {
+    return current_.get();
+  }
+
+  std::size_t queue_length() const noexcept { return scheduler_->size(); }
+
+  // --- statistics -------------------------------------------------------
+  std::uint64_t completed() const noexcept { return completed_; }
+  std::uint64_t aborted_locally() const noexcept { return aborted_locally_; }
+  std::uint64_t aborted_externally() const noexcept {
+    return aborted_externally_;
+  }
+  std::uint64_t preemptions() const noexcept { return preemptions_; }
+
+  /// Total time the server has been busy (including work later aborted).
+  sim::Time busy_time() const noexcept;
+
+  /// busy_time / elapsed — the node's utilization so far.
+  double utilization() const noexcept;
+
+  /// Time-average number of tasks at the node (queue + in service);
+  /// used by the Little's-law validation tests.
+  double mean_tasks_in_system() const noexcept;
+
+ private:
+  void try_start();
+  void start_service(TaskPtr t);
+  void finish_service();
+  void preempt_current();
+  void local_abort(const TaskPtr& t);
+  void arm_abort_timer(const TaskPtr& t);
+  void disarm_abort_timer(const task::SimpleTask& t);
+  void note_population_change(int delta);
+
+  sim::Engine& engine_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Config config_;
+
+  TaskPtr current_;                 ///< task in service, if any
+  sim::Time service_started_ = 0.0; ///< when the current service leg began
+  sim::EventId completion_event_;
+
+  /// Local-abort timers, keyed by task id.
+  std::unordered_map<std::uint64_t, sim::EventId> abort_timers_;
+
+  CompletionHandler on_complete_;
+  AbortHandler on_local_abort_;
+  Observer observer_;
+
+  void notify(Event e, const task::SimpleTask& t) {
+    if (observer_) observer_(e, t);
+  }
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t aborted_locally_ = 0;
+  std::uint64_t aborted_externally_ = 0;
+  std::uint64_t preemptions_ = 0;
+  sim::Time busy_accum_ = 0.0;
+
+  // Time-weighted population accounting for Little's law.
+  int population_ = 0;
+  sim::Time pop_area_ = 0.0;
+  sim::Time pop_last_change_ = 0.0;
+};
+
+}  // namespace sda::sched

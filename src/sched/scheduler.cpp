@@ -1,0 +1,28 @@
+#include "src/sched/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "src/sched/edf.hpp"
+#include "src/sched/fifo.hpp"
+#include "src/sched/llf.hpp"
+#include "src/sched/spt.hpp"
+
+namespace sda::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& policy) {
+  if (policy == "edf" || policy == "EDF") {
+    return std::make_unique<EdfScheduler>();
+  }
+  if (policy == "fifo" || policy == "FIFO") {
+    return std::make_unique<FifoScheduler>();
+  }
+  if (policy == "spt" || policy == "SPT") {
+    return std::make_unique<SptScheduler>();
+  }
+  if (policy == "llf" || policy == "LLF") {
+    return std::make_unique<LlfScheduler>();
+  }
+  throw std::invalid_argument("unknown scheduling policy: " + policy);
+}
+
+}  // namespace sda::sched

@@ -1,0 +1,58 @@
+// Local real-time scheduling policies.
+//
+// Each node owns one Scheduler: a ready queue that decides which waiting
+// task is served next.  The paper's nodes use earliest-deadline-first on the
+// (virtual) deadline; FIFO and shortest-predicted-time are provided as
+// substrate ablations.  Schedulers are policy only — timing, service, and
+// abortion mechanics live in sched::Node.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/task/task.hpp"
+
+namespace sda::sched {
+
+using task::TaskPtr;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Adds a task to the ready queue.  Implementations must stamp
+  /// SimpleTask::enqueue_seq (via next_seq()) so ties are FIFO-stable.
+  virtual void push(TaskPtr t) = 0;
+
+  /// Removes and returns the task that should be served next.
+  /// Returns nullptr when empty.
+  virtual TaskPtr pop() = 0;
+
+  /// The task pop() would return, without removing it; nullptr when empty.
+  virtual const task::SimpleTask* peek() const = 0;
+
+  /// Removes a specific queued task (used by abortion). Returns the owning
+  /// pointer when found, nullptr when the task is not queued here.
+  virtual TaskPtr remove(const task::SimpleTask& t) = 0;
+
+  /// Number of queued tasks.
+  virtual std::size_t size() const = 0;
+
+  bool empty() const { return size() == 0; }
+
+  /// Policy name for reports ("EDF", "FIFO", ...).
+  virtual std::string name() const = 0;
+
+ protected:
+  /// Monotone per-scheduler counter for FIFO tie-breaking.
+  std::uint64_t next_seq() noexcept { return ++seq_; }
+
+ private:
+  std::uint64_t seq_ = 0;
+};
+
+/// Factory by policy name ("edf", "fifo", "spt"); throws on unknown names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& policy);
+
+}  // namespace sda::sched

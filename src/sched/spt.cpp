@@ -1,0 +1,32 @@
+#include "src/sched/spt.hpp"
+
+namespace sda::sched {
+
+void SptScheduler::push(TaskPtr t) {
+  t->enqueue_seq = next_seq();
+  queue_.insert(std::move(t));
+}
+
+TaskPtr SptScheduler::pop() {
+  if (queue_.empty()) return nullptr;
+  auto it = queue_.begin();
+  TaskPtr t = *it;
+  queue_.erase(it);
+  return t;
+}
+
+const task::SimpleTask* SptScheduler::peek() const {
+  return queue_.empty() ? nullptr : queue_.begin()->get();
+}
+
+TaskPtr SptScheduler::remove(const task::SimpleTask& t) {
+  const TaskPtr key(std::shared_ptr<task::SimpleTask>{},
+                    const_cast<task::SimpleTask*>(&t));
+  auto it = queue_.find(key);
+  if (it == queue_.end() || it->get() != &t) return nullptr;
+  TaskPtr owned = *it;
+  queue_.erase(it);
+  return owned;
+}
+
+}  // namespace sda::sched

@@ -1,0 +1,36 @@
+// Shortest-predicted-processing-time ready queue.
+//
+// Orders by pex (falling back to nothing else: locals carry pex == ex).
+// SPT minimizes mean response time but ignores deadlines entirely; it is
+// the second substrate ablation policy.
+#pragma once
+
+#include <set>
+
+#include "src/sched/scheduler.hpp"
+
+namespace sda::sched {
+
+class SptScheduler final : public Scheduler {
+ public:
+  void push(TaskPtr t) override;
+  TaskPtr pop() override;
+  const task::SimpleTask* peek() const override;
+  TaskPtr remove(const task::SimpleTask& t) override;
+  std::size_t size() const override { return queue_.size(); }
+  std::string name() const override { return "SPT"; }
+
+ private:
+  struct ByPex {
+    using is_transparent = void;
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const noexcept {
+      if (a->attrs.pred_exec != b->attrs.pred_exec) {
+        return a->attrs.pred_exec < b->attrs.pred_exec;
+      }
+      return a->enqueue_seq < b->enqueue_seq;
+    }
+  };
+  std::set<TaskPtr, ByPex> queue_;
+};
+
+}  // namespace sda::sched

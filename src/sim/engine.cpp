@@ -1,0 +1,58 @@
+#include "src/sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace sda::sim {
+
+EventId Engine::at(Time t, EventFn fn) {
+  if (t < now_) {
+    throw std::logic_error("Engine::at: scheduling into the past");
+  }
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Engine::in(Time delay, EventFn fn) {
+  if (delay < 0.0) {
+    throw std::logic_error("Engine::in: negative delay");
+  }
+  return queue_.push(now_ + delay, std::move(fn));
+}
+
+std::uint64_t Engine::run_until(Time horizon) {
+  stopped_ = false;
+  std::uint64_t fired_now = 0;
+  while (!queue_.empty() && !stopped_) {
+    if (queue_.peek_time() > horizon) break;
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+    ++fired_;
+    ++fired_now;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return fired_now;
+}
+
+std::uint64_t Engine::run() {
+  stopped_ = false;
+  std::uint64_t fired_now = 0;
+  while (!queue_.empty() && !stopped_) {
+    auto [t, fn] = queue_.pop();
+    now_ = t;
+    fn();
+    ++fired_;
+    ++fired_now;
+  }
+  return fired_now;
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto [t, fn] = queue_.pop();
+  now_ = t;
+  fn();
+  ++fired_;
+  return true;
+}
+
+}  // namespace sda::sim

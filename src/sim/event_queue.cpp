@@ -1,0 +1,46 @@
+#include "src/sim/event_queue.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sda::sim {
+
+EventId EventQueue::push(Time t, EventFn fn) {
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{t, id, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  pending_.insert(id);
+  return EventId{id};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id) return false;
+  return pending_.erase(id.value) != 0;
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    heap_.pop_back();
+  }
+}
+
+Time EventQueue::peek_time() {
+  skim();
+  if (heap_.empty()) {
+    throw std::logic_error("EventQueue::peek_time on empty queue");
+  }
+  return heap_.front().time;
+}
+
+std::pair<Time, EventFn> EventQueue::pop() {
+  skim();
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  pending_.erase(e.id);
+  return {e.time, std::move(e.fn)};
+}
+
+}  // namespace sda::sim

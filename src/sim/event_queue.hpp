@@ -1,0 +1,86 @@
+// Cancellable pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, sequence) gives deterministic FIFO
+// tie-breaking for simultaneous events — essential for reproducible runs.
+// Cancellation is lazy: a cancelled id is removed from the pending set and
+// its heap entry discarded when it surfaces, which keeps both schedule and
+// cancel O(log n) amortized without heap surgery.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace sda::sim {
+
+/// Simulation timestamps. The paper's unit is the mean local-task execution
+/// time (mu_local = 1).
+using Time = double;
+
+/// Callback executed when an event fires.
+using EventFn = std::function<void()>;
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t value = 0;
+
+  friend bool operator==(EventId a, EventId b) noexcept {
+    return a.value == b.value;
+  }
+  /// A default-constructed id never names a live event.
+  explicit operator bool() const noexcept { return value != 0; }
+};
+
+/// Priority queue of timed callbacks with O(log n) push/pop and lazy cancel.
+class EventQueue {
+ public:
+  /// Schedules @p fn at absolute time @p t; returns a handle for cancel().
+  EventId push(Time t, EventFn fn);
+
+  /// Cancels a pending event. Returns false when the handle is unknown,
+  /// already fired, or already cancelled; true when the event was live.
+  bool cancel(EventId id);
+
+  /// True when a handle names a scheduled, not-yet-fired event.
+  bool pending(EventId id) const noexcept {
+    return id && pending_.count(id.value) != 0;
+  }
+
+  /// True when no live events remain.
+  bool empty() const noexcept { return pending_.empty(); }
+
+  /// Number of live (scheduled, not-yet-fired, not-cancelled) events.
+  std::size_t size() const noexcept { return pending_.size(); }
+
+  /// Time of the earliest live event. Requires !empty().
+  Time peek_time();
+
+  /// Removes and returns the earliest live event as (time, callback).
+  /// Requires !empty().
+  std::pair<Time, EventFn> pop();
+
+ private:
+  struct Entry {
+    Time time;
+    std::uint64_t seq;  // insertion order; breaks time ties FIFO
+    std::uint64_t id;
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drops cancelled entries from the heap top.
+  void skim();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> pending_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace sda::sim

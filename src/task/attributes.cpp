@@ -1,0 +1,14 @@
+// Attributes is a header-only value type; this translation unit exists to
+// anchor the module in the build and to hold its static checks.
+#include "src/task/attributes.hpp"
+
+#include <type_traits>
+
+namespace sda::task {
+
+static_assert(std::is_trivially_copyable_v<Attributes>,
+              "Attributes must stay a plain value type");
+static_assert(std::is_aggregate_v<Attributes>,
+              "Attributes must stay aggregate-initializable");
+
+}  // namespace sda::task

@@ -1,0 +1,41 @@
+// Real-time attributes of a task (paper Section 3.1).
+//
+// Every task X carries:  ar(X) arrival time, dl(X) deadline, sl(X) slack,
+// ex(X) real execution time, pex(X) predicted execution time, related by
+// dl(X) = ar(X) + ex(X) + sl(X).
+//
+// Deadline-assignment strategies never see ex(X); schedulers never see
+// pex(X).  The scheduler additionally sees a *virtual* deadline, which is
+// what the SDA strategies manipulate; the *real* deadline is what miss
+// statistics are measured against.
+#pragma once
+
+#include "src/sim/event_queue.hpp"
+
+namespace sda::task {
+
+using sim::Time;
+
+struct Attributes {
+  Time arrival = 0.0;           ///< ar(X): submission time
+  Time real_deadline = 0.0;     ///< dl(X): end-to-end deadline
+  Time virtual_deadline = 0.0;  ///< deadline presented to the scheduler
+  Time exec_time = 0.0;         ///< ex(X): actual service demand
+  Time pred_exec = 0.0;         ///< pex(X): estimate available to strategies
+
+  /// sl(X) = dl(X) - ar(X) - ex(X).
+  Time slack() const noexcept { return real_deadline - arrival - exec_time; }
+
+  /// Slack as the scheduler perceives it (against the virtual deadline).
+  Time virtual_slack() const noexcept {
+    return virtual_deadline - arrival - exec_time;
+  }
+
+  /// True when the attribute relation dl = ar + ex + sl holds and fields are
+  /// physically sensible (non-negative execution time).
+  bool consistent() const noexcept {
+    return exec_time >= 0.0 && pred_exec >= 0.0;
+  }
+};
+
+}  // namespace sda::task

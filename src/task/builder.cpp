@@ -1,0 +1,63 @@
+#include "src/task/builder.hpp"
+
+#include <stdexcept>
+
+namespace sda::task {
+
+CompositeBuilder& CompositeBuilder::leaf(int exec_node, Time exec_time,
+                                         Time pred_exec, std::string name) {
+  children_.push_back(
+      make_leaf(exec_node, exec_time, pred_exec, std::move(name)));
+  return *this;
+}
+
+CompositeBuilder& CompositeBuilder::serial(
+    const std::function<void(CompositeBuilder&)>& fill) {
+  CompositeBuilder nested(TreeNode::Kind::Serial);
+  fill(nested);
+  children_.push_back(nested.build());
+  return *this;
+}
+
+CompositeBuilder& CompositeBuilder::parallel(
+    const std::function<void(CompositeBuilder&)>& fill) {
+  CompositeBuilder nested(TreeNode::Kind::Parallel);
+  fill(nested);
+  children_.push_back(nested.build());
+  return *this;
+}
+
+CompositeBuilder& CompositeBuilder::subtree(TreePtr t) {
+  if (!t) throw std::invalid_argument("builder: null subtree");
+  children_.push_back(std::move(t));
+  return *this;
+}
+
+TreePtr CompositeBuilder::build() {
+  if (children_.empty()) {
+    throw std::invalid_argument("builder: composite has no children");
+  }
+  TreePtr result;
+  if (children_.size() == 1) {
+    result = std::move(children_.front());  // collapse trivial composite
+  } else if (kind_ == TreeNode::Kind::Serial) {
+    result = make_serial(std::move(children_));
+  } else {
+    result = make_parallel(std::move(children_));
+  }
+  children_.clear();
+  if (const std::string why = validate(*result); !why.empty()) {
+    throw std::invalid_argument("builder: " + why);
+  }
+  return result;
+}
+
+CompositeBuilder serial() {
+  return CompositeBuilder(TreeNode::Kind::Serial);
+}
+
+CompositeBuilder parallel() {
+  return CompositeBuilder(TreeNode::Kind::Parallel);
+}
+
+}  // namespace sda::task

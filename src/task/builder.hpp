@@ -1,0 +1,64 @@
+// Fluent builder for serial-parallel task trees.
+//
+// The notation parser is convenient for text; this builder is convenient
+// for code that composes structures dynamically:
+//
+//   TreePtr t = serial()
+//                   .leaf(0, 1.0)                       // init
+//                   .parallel([](auto& p) {             // fan-out
+//                     for (int i = 1; i <= 4; ++i) p.leaf(i, 1.0);
+//                   })
+//                   .leaf(5, 2.0, 1.8, "analysis")
+//                   .build();
+//
+// build() validates the result and throws std::invalid_argument on
+// malformed trees (empty composites, unbound leaves with negative demand).
+#pragma once
+
+#include <functional>
+
+#include "src/task/tree.hpp"
+
+namespace sda::task {
+
+class CompositeBuilder {
+ public:
+  /// Adds a simple subtask. pex < 0 defaults to ex.
+  CompositeBuilder& leaf(int exec_node, Time exec_time, Time pred_exec = -1.0,
+                         std::string name = {});
+
+  /// Adds a nested serial group populated by @p fill.
+  CompositeBuilder& serial(
+      const std::function<void(CompositeBuilder&)>& fill);
+
+  /// Adds a nested parallel group populated by @p fill.
+  CompositeBuilder& parallel(
+      const std::function<void(CompositeBuilder&)>& fill);
+
+  /// Adds an already-built subtree (takes ownership).
+  CompositeBuilder& subtree(TreePtr t);
+
+  /// Number of direct children added so far.
+  std::size_t size() const noexcept { return children_.size(); }
+
+  /// Finalizes: validates and returns the tree.  A single-child composite
+  /// collapses to its child (as in the notation).  Throws on empty or
+  /// invalid structure.
+  TreePtr build();
+
+ private:
+  friend CompositeBuilder serial();
+  friend CompositeBuilder parallel();
+  explicit CompositeBuilder(TreeNode::Kind kind) : kind_(kind) {}
+
+  TreeNode::Kind kind_;
+  std::vector<TreePtr> children_;
+};
+
+/// Starts a top-level serial composition.
+CompositeBuilder serial();
+
+/// Starts a top-level parallel composition.
+CompositeBuilder parallel();
+
+}  // namespace sda::task

@@ -1,0 +1,47 @@
+// Text notation for serial-parallel tasks, mirroring the paper's shorthand:
+//
+//   [T1 T2 T3]              three subtasks in series        (paper §3.1)
+//   [T1 || T2 || T3]        three subtasks in parallel
+//   [T1 [T2 || [T3 T4 T5]] [T6 || T7] T8]   Figure 1's example task
+//
+// Leaves may carry execution metadata so trees round-trip through text:
+//
+//   name[@node][:ex[/pex]]      e.g.  T3@2:1.5/1.2
+//
+// A missing @node leaves exec_node = -1 (to be bound by a placement step);
+// a missing :ex leaves zero demand; a missing /pex defaults pex to ex.
+// Mixing separators at one level ("[A || B C]") is rejected: the paper's
+// class only composes pure-serial and pure-parallel groups.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "src/task/tree.hpp"
+
+namespace sda::task {
+
+/// Error with position information raised on malformed notation.
+class NotationError : public std::runtime_error {
+ public:
+  NotationError(const std::string& what, std::size_t position)
+      : std::runtime_error(what + " (at offset " +
+                           std::to_string(position) + ")"),
+        position_(position) {}
+
+  std::size_t position() const noexcept { return position_; }
+
+ private:
+  std::size_t position_;
+};
+
+/// Parses the notation; throws NotationError on malformed input.
+/// A bare leaf ("T1") is valid and yields a single-leaf tree.
+TreePtr parse_notation(const std::string& text);
+
+/// Prints a tree in the notation above. With @p with_attrs, leaves include
+/// their @node and :ex/pex metadata so that
+/// parse_notation(to_notation(t, true)) reproduces t.
+std::string to_notation(const TreeNode& t, bool with_attrs = false);
+
+}  // namespace sda::task

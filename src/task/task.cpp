@@ -1,0 +1,56 @@
+#include "src/task/task.hpp"
+
+namespace sda::task {
+
+const char* to_string(TaskState s) noexcept {
+  switch (s) {
+    case TaskState::kCreated: return "created";
+    case TaskState::kQueued: return "queued";
+    case TaskState::kRunning: return "running";
+    case TaskState::kCompleted: return "completed";
+    case TaskState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+const char* to_string(TaskKind k) noexcept {
+  switch (k) {
+    case TaskKind::kLocal: return "local";
+    case TaskKind::kSubtask: return "subtask";
+  }
+  return "?";
+}
+
+TaskPtr make_local_task(std::uint64_t id, int exec_node, Time arrival,
+                        Time exec_time, Time deadline) {
+  auto t = std::make_shared<SimpleTask>();
+  t->id = id;
+  t->kind = TaskKind::kLocal;
+  t->exec_node = exec_node;
+  t->attrs.arrival = arrival;
+  t->attrs.exec_time = exec_time;
+  t->attrs.pred_exec = exec_time;
+  t->attrs.real_deadline = deadline;
+  t->attrs.virtual_deadline = deadline;
+  t->remaining = exec_time;
+  return t;
+}
+
+TaskPtr make_subtask(std::uint64_t id, std::uint64_t owner_run, int exec_node,
+                     Time arrival, Time exec_time, Time pred_exec,
+                     Time real_deadline) {
+  auto t = std::make_shared<SimpleTask>();
+  t->id = id;
+  t->kind = TaskKind::kSubtask;
+  t->owner_run = owner_run;
+  t->exec_node = exec_node;
+  t->attrs.arrival = arrival;
+  t->attrs.exec_time = exec_time;
+  t->attrs.pred_exec = pred_exec;
+  t->attrs.real_deadline = real_deadline;
+  t->attrs.virtual_deadline = real_deadline;  // UD until a strategy runs
+  t->remaining = exec_time;
+  return t;
+}
+
+}  // namespace sda::task

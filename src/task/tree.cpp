@@ -1,0 +1,149 @@
+#include "src/task/tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sda::task {
+
+TreePtr make_leaf(int exec_node, Time exec_time, Time pred_exec,
+                  std::string name) {
+  auto t = std::make_unique<TreeNode>();
+  t->kind = TreeNode::Kind::Leaf;
+  t->exec_node = exec_node;
+  t->exec_time = exec_time;
+  t->pred_exec = pred_exec < 0.0 ? exec_time : pred_exec;
+  t->name = std::move(name);
+  return t;
+}
+
+namespace {
+TreePtr make_composite(TreeNode::Kind kind, std::vector<TreePtr> children,
+                       std::string name) {
+  if (children.empty()) {
+    throw std::invalid_argument("composite task needs at least one child");
+  }
+  for (const auto& c : children) {
+    if (!c) throw std::invalid_argument("composite task has a null child");
+  }
+  auto t = std::make_unique<TreeNode>();
+  t->kind = kind;
+  t->children = std::move(children);
+  t->name = std::move(name);
+  return t;
+}
+}  // namespace
+
+TreePtr make_serial(std::vector<TreePtr> children, std::string name) {
+  return make_composite(TreeNode::Kind::Serial, std::move(children),
+                        std::move(name));
+}
+
+TreePtr make_parallel(std::vector<TreePtr> children, std::string name) {
+  return make_composite(TreeNode::Kind::Parallel, std::move(children),
+                        std::move(name));
+}
+
+TreePtr clone(const TreeNode& t) {
+  auto copy = std::make_unique<TreeNode>();
+  copy->kind = t.kind;
+  copy->name = t.name;
+  copy->exec_node = t.exec_node;
+  copy->exec_time = t.exec_time;
+  copy->pred_exec = t.pred_exec;
+  copy->children.reserve(t.children.size());
+  for (const auto& c : t.children) copy->children.push_back(clone(*c));
+  return copy;
+}
+
+int leaf_count(const TreeNode& t) noexcept {
+  if (t.is_leaf()) return 1;
+  int n = 0;
+  for (const auto& c : t.children) n += leaf_count(*c);
+  return n;
+}
+
+int depth(const TreeNode& t) noexcept {
+  if (t.is_leaf()) return 1;
+  int d = 0;
+  for (const auto& c : t.children) d = std::max(d, depth(*c));
+  return d + 1;
+}
+
+namespace {
+template <typename Demand>
+Time critical_path(const TreeNode& t, Demand demand) noexcept {
+  if (t.is_leaf()) return demand(t);
+  Time acc = 0.0;
+  if (t.is_serial()) {
+    for (const auto& c : t.children) acc += critical_path(*c, demand);
+  } else {
+    for (const auto& c : t.children) {
+      acc = std::max(acc, critical_path(*c, demand));
+    }
+  }
+  return acc;
+}
+}  // namespace
+
+Time critical_path_ex(const TreeNode& t) noexcept {
+  return critical_path(t, [](const TreeNode& n) { return n.exec_time; });
+}
+
+Time critical_path_pex(const TreeNode& t) noexcept {
+  return critical_path(t, [](const TreeNode& n) { return n.pred_exec; });
+}
+
+Time total_ex(const TreeNode& t) noexcept {
+  if (t.is_leaf()) return t.exec_time;
+  Time acc = 0.0;
+  for (const auto& c : t.children) acc += total_ex(*c);
+  return acc;
+}
+
+Time total_pex(const TreeNode& t) noexcept {
+  if (t.is_leaf()) return t.pred_exec;
+  Time acc = 0.0;
+  for (const auto& c : t.children) acc += total_pex(*c);
+  return acc;
+}
+
+namespace {
+void collect_leaves(const TreeNode& t, std::vector<const TreeNode*>& out) {
+  if (t.is_leaf()) {
+    out.push_back(&t);
+    return;
+  }
+  for (const auto& c : t.children) collect_leaves(*c, out);
+}
+}  // namespace
+
+std::vector<const TreeNode*> leaves(const TreeNode& t) {
+  std::vector<const TreeNode*> out;
+  out.reserve(static_cast<std::size_t>(leaf_count(t)));
+  collect_leaves(t, out);
+  return out;
+}
+
+std::string validate(const TreeNode& t) {
+  if (t.name.find_first_of("[]|") != std::string::npos) {
+    return "task name '" + t.name + "' contains notation metacharacters";
+  }
+  if (t.is_leaf()) {
+    if (t.exec_node < 0) return "leaf '" + t.name + "' has no execution node";
+    if (t.exec_time < 0.0) return "leaf '" + t.name + "' has negative ex";
+    if (t.pred_exec < 0.0) return "leaf '" + t.name + "' has negative pex";
+    if (!t.children.empty()) return "leaf '" + t.name + "' has children";
+    return {};
+  }
+  if (t.children.empty()) {
+    return std::string(t.is_serial() ? "serial" : "parallel") +
+           " composite has no children";
+  }
+  for (const auto& c : t.children) {
+    if (!c) return "composite has a null child";
+    if (auto why = validate(*c); !why.empty()) return why;
+  }
+  return {};
+}
+
+}  // namespace sda::task

@@ -1,0 +1,88 @@
+// Serial-parallel task structure (paper rules GT1-GT3).
+//
+// A TreeNode describes the *shape* of a global task: a leaf is a simple
+// subtask destined for one node; Serial children execute one after another;
+// Parallel children all start together and the composite finishes when the
+// last child finishes.  Arbitrary composition is allowed, e.g. the paper's
+// Figure 1 task [T1 [T2 || [T3 T4 T5]] [T6 || T7] T8].
+//
+// The tree carries the per-leaf execution demand (ex) and prediction (pex)
+// drawn by the workload generator; runtime state (queueing, completion)
+// lives in core::ProcessManager, not here.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+
+namespace sda::task {
+
+using sim::Time;
+
+struct TreeNode;
+using TreePtr = std::unique_ptr<TreeNode>;
+
+struct TreeNode {
+  enum class Kind { Leaf, Serial, Parallel };
+
+  Kind kind = Kind::Leaf;
+  std::string name;  ///< optional label (used by the notation printer)
+
+  // Leaf-only fields.
+  int exec_node = -1;    ///< index of the node this simple subtask runs on
+  Time exec_time = 0.0;  ///< ex: drawn service demand
+  Time pred_exec = 0.0;  ///< pex: estimate visible to SDA strategies
+
+  // Composite-only field.
+  std::vector<TreePtr> children;
+
+  bool is_leaf() const noexcept { return kind == Kind::Leaf; }
+  bool is_serial() const noexcept { return kind == Kind::Serial; }
+  bool is_parallel() const noexcept { return kind == Kind::Parallel; }
+};
+
+/// Creates a simple subtask bound to @p exec_node with the given demand.
+/// pex defaults to ex (perfect prediction) when negative.
+TreePtr make_leaf(int exec_node, Time exec_time, Time pred_exec = -1.0,
+                  std::string name = {});
+
+/// Creates a serial composition of the given children. Requires >= 1 child.
+TreePtr make_serial(std::vector<TreePtr> children, std::string name = {});
+
+/// Creates a parallel composition of the given children. Requires >= 1 child.
+TreePtr make_parallel(std::vector<TreePtr> children, std::string name = {});
+
+/// Deep copy.
+TreePtr clone(const TreeNode& t);
+
+/// Number of leaves (simple subtasks) in the tree.
+int leaf_count(const TreeNode& t) noexcept;
+
+/// Maximum nesting depth; a leaf has depth 1.
+int depth(const TreeNode& t) noexcept;
+
+/// Critical-path execution time: leaves contribute ex; serial nodes sum
+/// their children; parallel nodes take the max.  For a flat parallel task
+/// this is max_i ex(T_i), exactly the term in the paper's Equation 2.
+Time critical_path_ex(const TreeNode& t) noexcept;
+
+/// Critical path over the *predicted* execution times (pex).
+Time critical_path_pex(const TreeNode& t) noexcept;
+
+/// Total execution demand over all leaves (system work for the task).
+Time total_ex(const TreeNode& t) noexcept;
+
+/// Total predicted demand over all leaves.
+Time total_pex(const TreeNode& t) noexcept;
+
+/// Collects pointers to all leaves in execution-independent DFS order.
+std::vector<const TreeNode*> leaves(const TreeNode& t);
+
+/// Structural validation: composites have >= 1 child, leaves have a
+/// non-negative exec_node and demands, names contain no brackets.
+/// Returns an empty string when valid, else a human-readable reason.
+std::string validate(const TreeNode& t);
+
+}  // namespace sda::task

@@ -1,0 +1,102 @@
+#include "src/util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace sda::util {
+
+void AsciiChart::add(Series s) { series_.push_back(std::move(s)); }
+
+void AsciiChart::set_labels(std::string x_label, std::string y_label) {
+  x_label_ = std::move(x_label);
+  y_label_ = std::move(y_label);
+}
+
+void AsciiChart::set_y_range(double lo, double hi) {
+  fixed_y_ = true;
+  y_lo_ = lo;
+  y_hi_ = hi;
+}
+
+std::string AsciiChart::render() const {
+  double x_lo = 1e300, x_hi = -1e300, y_lo = 1e300, y_hi = -1e300;
+  bool any = false;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      any = true;
+      x_lo = std::min(x_lo, s.xs[i]);
+      x_hi = std::max(x_hi, s.xs[i]);
+      y_lo = std::min(y_lo, s.ys[i]);
+      y_hi = std::max(y_hi, s.ys[i]);
+    }
+  }
+  if (!any) return "(no data)\n";
+  if (fixed_y_) {
+    y_lo = y_lo_;
+    y_hi = y_hi_;
+  }
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(height_),
+                                std::string(static_cast<std::size_t>(width_), ' '));
+  auto plot = [&](double x, double y, char m) {
+    if (!std::isfinite(x) || !std::isfinite(y)) return;
+    int col = static_cast<int>(std::lround((x - x_lo) / (x_hi - x_lo) *
+                                           (width_ - 1)));
+    int row = static_cast<int>(std::lround((y - y_lo) / (y_hi - y_lo) *
+                                           (height_ - 1)));
+    col = std::clamp(col, 0, width_ - 1);
+    row = std::clamp(row, 0, height_ - 1);
+    grid[static_cast<std::size_t>(height_ - 1 - row)]
+        [static_cast<std::size_t>(col)] = m;
+  };
+
+  for (const auto& s : series_) {
+    // Linear interpolation between consecutive points gives a line feel.
+    for (std::size_t i = 0; i + 1 < s.xs.size() && i + 1 < s.ys.size(); ++i) {
+      const int steps = width_;
+      for (int k = 0; k <= steps; ++k) {
+        const double t = static_cast<double>(k) / steps;
+        plot(s.xs[i] + t * (s.xs[i + 1] - s.xs[i]),
+             s.ys[i] + t * (s.ys[i + 1] - s.ys[i]), '.');
+      }
+    }
+    for (std::size_t i = 0; i < s.xs.size() && i < s.ys.size(); ++i) {
+      plot(s.xs[i], s.ys[i], s.marker);
+    }
+  }
+
+  std::ostringstream os;
+  if (!y_label_.empty()) os << y_label_ << '\n';
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%8.3g", y_hi);
+  os << buf << " +" << grid.front() << '\n';
+  for (int r = 1; r < height_ - 1; ++r) {
+    os << "         |" << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  std::snprintf(buf, sizeof buf, "%8.3g", y_lo);
+  os << buf << " +" << grid.back() << '\n';
+  os << "          ";
+  std::snprintf(buf, sizeof buf, "%-8.3g", x_lo);
+  std::string bottom(static_cast<std::size_t>(width_) + 1, '-');
+  bottom.front() = '+';
+  os << bottom << '\n';
+  os << "          " << buf;
+  std::snprintf(buf, sizeof buf, "%8.3g", x_hi);
+  os << std::string(static_cast<std::size_t>(std::max(0, width_ - 16)), ' ')
+     << buf;
+  if (!x_label_.empty()) os << "  " << x_label_;
+  os << '\n';
+  os << "  legend: ";
+  for (std::size_t i = 0; i < series_.size(); ++i) {
+    if (i) os << "   ";
+    os << series_[i].marker << " = " << series_[i].name;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace sda::util

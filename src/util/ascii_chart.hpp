@@ -1,0 +1,47 @@
+// Terminal line charts for the figure benches.
+//
+// Each bench regenerates one figure from the paper.  Besides the numeric
+// table, it renders the series as an ASCII scatter/line chart so the *shape*
+// (orderings, crossovers, flattening) can be compared with the paper's plot
+// at a glance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sda::util {
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders series onto a fixed character grid with axes and a legend.
+class AsciiChart {
+ public:
+  AsciiChart(int width = 72, int height = 20) : width_(width), height_(height) {}
+
+  /// Adds a series; points with non-finite coordinates are skipped.
+  void add(Series s);
+
+  /// Optional axis labels.
+  void set_labels(std::string x_label, std::string y_label);
+
+  /// Forces the y-axis range instead of auto-scaling to the data.
+  void set_y_range(double lo, double hi);
+
+  /// Renders the chart. Later series overwrite earlier ones on collisions.
+  std::string render() const;
+
+ private:
+  int width_, height_;
+  std::vector<Series> series_;
+  std::string x_label_, y_label_;
+  bool fixed_y_ = false;
+  double y_lo_ = 0.0, y_hi_ = 1.0;
+};
+
+}  // namespace sda::util

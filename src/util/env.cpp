@@ -1,0 +1,52 @@
+#include "src/util/env.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace sda::util {
+
+double env_double(const char* name, double fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end != nullptr && end != v) ? parsed : fallback;
+}
+
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end != nullptr && end != v) ? parsed : fallback;
+}
+
+bool env_flag(const char* name) noexcept {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return false;
+  return std::strcmp(v, "1") == 0 || std::strcmp(v, "true") == 0 ||
+         std::strcmp(v, "yes") == 0 || std::strcmp(v, "on") == 0;
+}
+
+std::string BenchEnv::describe() const {
+  std::ostringstream os;
+  os << "sim_time=" << sim_time << " x " << replications
+     << " replications, warmup=" << warmup_fraction * 100 << "%, seed=" << seed;
+  return os.str();
+}
+
+BenchEnv bench_env() noexcept {
+  BenchEnv e;
+  if (env_flag("SDA_FULL")) {
+    e.sim_time = 1e6;  // the paper's run length
+    e.replications = 2;
+  }
+  e.sim_time = env_double("SDA_SIM_TIME", e.sim_time);
+  e.replications = static_cast<int>(env_int("SDA_REPS", e.replications));
+  e.warmup_fraction = env_double("SDA_WARMUP", e.warmup_fraction);
+  e.seed = static_cast<std::uint64_t>(env_int("SDA_SEED", static_cast<std::int64_t>(e.seed)));
+  return e;
+}
+
+}  // namespace sda::util

@@ -1,0 +1,43 @@
+// Environment-variable configuration knobs shared by the bench binaries.
+//
+// The paper's experiments use two runs of one million time units per data
+// point.  That is reproducible here but slow for a full regeneration of every
+// figure, so the benches read their run length from the environment:
+//
+//   SDA_SIM_TIME  simulated time units per replication (default 200000)
+//   SDA_REPS      independent replications per data point (default 2)
+//   SDA_WARMUP    warm-up fraction excluded from statistics (default 0.05)
+//   SDA_SEED      master seed (default 20250707)
+//   SDA_FULL=1    paper-length runs (1e6 time units x 2 replications)
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sda::util {
+
+/// Reads a double env var; returns @p fallback when unset or unparsable.
+double env_double(const char* name, double fallback) noexcept;
+
+/// Reads an integer env var; returns @p fallback when unset or unparsable.
+std::int64_t env_int(const char* name, std::int64_t fallback) noexcept;
+
+/// True when the env var is set to a truthy value ("1", "true", "yes", "on").
+bool env_flag(const char* name) noexcept;
+
+/// Bench run-length settings resolved from the environment.
+struct BenchEnv {
+  double sim_time = 200000.0;
+  int replications = 2;
+  double warmup_fraction = 0.05;
+  std::uint64_t seed = 20250707;
+
+  /// One-line summary for bench headers.
+  std::string describe() const;
+};
+
+/// Resolves BenchEnv from SDA_* variables (SDA_FULL overrides to
+/// paper-length runs).
+BenchEnv bench_env() noexcept;
+
+}  // namespace sda::util

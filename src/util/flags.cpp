@@ -1,0 +1,85 @@
+#include "src/util/flags.hpp"
+
+#include <cstdlib>
+
+namespace sda::util {
+
+Flags::Flags(int argc, const char* const* argv) {
+  bool only_positional = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (only_positional || arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    if (arg == "--") {
+      only_positional = true;
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // "--name value" form: consume the next token unless it is a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[body] = argv[++i];
+    } else {
+      values_[body] = "";  // valueless switch
+    }
+  }
+}
+
+bool Flags::has(const std::string& name) const {
+  touched_[name] = true;
+  return values_.count(name) != 0;
+}
+
+std::string Flags::get_string(const std::string& name,
+                              const std::string& fallback) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end() || it->second.empty()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  touched_[name] = true;
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "1" || v == "true" || v == "yes" || v == "on") {
+    return true;
+  }
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    if (touched_.count(name) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace sda::util

@@ -1,0 +1,47 @@
+// Minimal command-line flag parsing for the example/driver binaries.
+//
+// Supported syntax:  --name=value   --name value   --switch
+// Anything not starting with "--" is a positional argument.  A bare
+// "--" ends flag parsing (the rest is positional).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sda::util {
+
+class Flags {
+ public:
+  /// Parses argv[1..argc).  "--name value" consumes the next token as the
+  /// value unless it also starts with "--".
+  Flags(int argc, const char* const* argv);
+
+  /// True when --name was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value accessors with fallbacks; unparsable numbers return the
+  /// fallback.  A valueless switch returns fallback for numbers and "" for
+  /// strings.
+  std::string get_string(const std::string& name,
+                         const std::string& fallback = {}) const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback = false) const;
+
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Flags that were parsed but never read by any accessor — for catching
+  /// typos in driver binaries.
+  std::vector<std::string> unused() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> touched_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace sda::util

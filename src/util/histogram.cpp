@@ -1,0 +1,75 @@
+#include "src/util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sda::util {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  if (!(lo < hi) || buckets < 1) {
+    throw std::invalid_argument("Histogram: need lo < hi and buckets >= 1");
+  }
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+  } else if (x >= hi_) {
+    ++overflow_;
+  } else {
+    auto idx = static_cast<std::size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);  // guard FP edge at hi_
+    ++counts_[idx];
+  }
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const noexcept {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * width_;
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::ostringstream os;
+  const std::size_t peak =
+      std::max<std::size_t>(1, *std::max_element(counts_.begin(), counts_.end()));
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto bar =
+        static_cast<std::size_t>(std::llround(static_cast<double>(counts_[i]) /
+                                              static_cast<double>(peak) *
+                                              static_cast<double>(max_bar)));
+    os << '[';
+    os.precision(3);
+    os << bucket_lo(i) << ", " << bucket_hi(i) << ") " << std::string(bar, '#')
+       << ' ' << counts_[i] << '\n';
+  }
+  if (underflow_) os << "underflow " << underflow_ << '\n';
+  if (overflow_) os << "overflow " << overflow_ << '\n';
+  return os.str();
+}
+
+}  // namespace sda::util

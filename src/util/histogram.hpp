@@ -1,0 +1,43 @@
+// Fixed-width histogram used for response-time and lateness distributions.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sda::util {
+
+/// Equal-width histogram over [lo, hi) with explicit under/overflow buckets.
+class Histogram {
+ public:
+  /// Requires lo < hi and buckets >= 1.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  std::size_t underflow() const noexcept { return underflow_; }
+  std::size_t overflow() const noexcept { return overflow_; }
+  std::size_t total() const noexcept { return total_; }
+
+  /// Inclusive lower edge of a bucket.
+  double bucket_lo(std::size_t bucket) const noexcept;
+  /// Exclusive upper edge of a bucket.
+  double bucket_hi(std::size_t bucket) const noexcept;
+
+  /// Approximate quantile (q in [0,1]) via linear interpolation within the
+  /// containing bucket. Returns lo/hi bounds for out-of-range mass.
+  double quantile(double q) const noexcept;
+
+  /// Multi-line ASCII rendering (one row per bucket with a bar).
+  std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace sda::util

@@ -1,0 +1,95 @@
+#include "src/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace sda::util {
+
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64_next(s);
+}
+
+Rng::result_type Rng::operator()() noexcept {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::split() noexcept {
+  // Mix the current state with a per-generator split counter so successive
+  // splits give unrelated streams without consuming generator output.
+  std::uint64_t s = state_[0] ^ rotl(state_[1], 13) ^ rotl(state_[2], 29) ^
+                    rotl(state_[3], 41) ^ (++split_ctr_ * 0xd1342543de82ef95ULL);
+  std::uint64_t seed = splitmix64_next(s);
+  return Rng(seed);
+}
+
+double Rng::uniform01() noexcept {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+  assert(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Lemire's rejection-free-in-expectation bounded generation.
+  std::uint64_t x = (*this)();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < span) {
+    const std::uint64_t threshold = (0 - span) % span;
+    while (l < threshold) {
+      x = (*this)();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return lo + static_cast<std::int64_t>(m >> 64);
+}
+
+double Rng::exponential(double mean) noexcept {
+  assert(mean > 0.0);
+  // -log(1-U) with U in [0,1) avoids log(0).
+  return -mean * std::log1p(-uniform01());
+}
+
+bool Rng::bernoulli(double p) noexcept { return uniform01() < p; }
+
+void Rng::sample_distinct(int n, int count, int* out) noexcept {
+  assert(count <= n);
+  // Selection sampling (Knuth 3.4.2 S): O(n), no allocation.
+  int chosen = 0;
+  for (int i = 0; i < n && chosen < count; ++i) {
+    const double need = static_cast<double>(count - chosen);
+    const double left = static_cast<double>(n - i);
+    if (uniform01() * left < need) out[chosen++] = i;
+  }
+}
+
+}  // namespace sda::util

@@ -1,0 +1,72 @@
+// Pseudo-random number generation for the sda simulator.
+//
+// The simulator needs many *independent* random streams (one per workload
+// source) so that, e.g., changing the number of nodes does not perturb the
+// sequence of global-task arrivals.  We use xoshiro256++ (Blackman & Vigna),
+// seeded through SplitMix64 as its authors recommend, and derive substreams
+// with a deterministic split() so a single experiment seed reproduces the
+// entire run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace sda::util {
+
+/// SplitMix64 step: used for seeding and stream derivation.
+/// Advances @p state and returns the next 64-bit output.
+std::uint64_t splitmix64_next(std::uint64_t& state) noexcept;
+
+/// xoshiro256++ pseudo-random generator.
+///
+/// Satisfies the essential parts of std::uniform_random_bit_generator so it
+/// can be handed to <random> distributions, though the convenience members
+/// below are what the simulator uses (they are deterministic across standard
+/// library implementations, unlike std::exponential_distribution).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator deterministically from @p seed via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next raw 64-bit output.
+  result_type operator()() noexcept;
+
+  /// Derives an independent substream. The i-th split of a given generator is
+  /// deterministic; splitting does not advance this generator's own sequence
+  /// beyond one SplitMix64 step per call.
+  Rng split() noexcept;
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in the inclusive range [lo, hi]. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Exponentially distributed value with mean @p mean (mean = 1/rate).
+  /// Requires mean > 0.
+  double exponential(double mean) noexcept;
+
+  /// Bernoulli trial with success probability @p p.
+  bool bernoulli(double p) noexcept;
+
+  /// Fisher-Yates style draw of @p count distinct integers from [0, n).
+  /// Writes them to @p out (must have room for count). Requires count <= n.
+  void sample_distinct(int n, int count, int* out) noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+  std::uint64_t split_ctr_ = 0;
+};
+
+}  // namespace sda::util

@@ -1,0 +1,101 @@
+#include "src/util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sda::util {
+
+void RunningStat::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+double RunningStat::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const noexcept { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+namespace {
+// Two-sided 95% critical values for df = 1..30.
+constexpr double kT95[30] = {
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+// Two-sided 99% critical values for df = 1..30.
+constexpr double kT99[30] = {
+    63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499, 3.355, 3.250, 3.169,
+    3.106,  3.055, 3.012, 2.977, 2.947, 2.921, 2.898, 2.878, 2.861, 2.845,
+    2.831,  2.819, 2.807, 2.797, 2.787, 2.779, 2.771, 2.763, 2.756, 2.750};
+}  // namespace
+
+double t_critical(double confidence, int df) noexcept {
+  if (df <= 0) return 1e12;
+  const bool want99 = confidence > 0.97;
+  if (df <= 30) return want99 ? kT99[df - 1] : kT95[df - 1];
+  return want99 ? 2.576 : 1.960;  // normal approximation
+}
+
+ConfidenceInterval confidence_interval(const std::vector<double>& samples,
+                                       double confidence) noexcept {
+  ConfidenceInterval ci;
+  ci.n = samples.size();
+  if (samples.empty()) return ci;
+  RunningStat rs;
+  for (double x : samples) rs.add(x);
+  ci.mean = rs.mean();
+  if (samples.size() >= 2) {
+    const double t =
+        t_critical(confidence, static_cast<int>(samples.size()) - 1);
+    ci.half_width = t * rs.stddev() / std::sqrt(static_cast<double>(ci.n));
+  }
+  return ci;
+}
+
+void BatchMeans::add(double x) {
+  all_.add(x);
+  current_.add(x);
+  if (current_.count() >= batch_size_) {
+    batch_means_.push_back(current_.mean());
+    current_ = RunningStat{};
+    // Keep the number of batches bounded: once we exceed 2x the target,
+    // pairwise-merge adjacent batches and double the batch size.
+    if (batch_means_.size() >= 2 * target_batches_) {
+      std::vector<double> merged;
+      merged.reserve(batch_means_.size() / 2);
+      for (std::size_t i = 0; i + 1 < batch_means_.size(); i += 2) {
+        merged.push_back(0.5 * (batch_means_[i] + batch_means_[i + 1]));
+      }
+      batch_means_ = std::move(merged);
+      batch_size_ *= 2;
+    }
+  }
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const noexcept {
+  return confidence_interval(batch_means_, confidence);
+}
+
+}  // namespace sda::util

@@ -1,0 +1,95 @@
+// Streaming statistics and confidence intervals.
+//
+// The paper reports missed-deadline fractions with 95% confidence intervals
+// obtained from independent replications.  RunningStat accumulates samples
+// with Welford's numerically stable one-pass algorithm; ConfidenceInterval
+// turns replication means into a t-based interval.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sda::util {
+
+/// One-pass mean/variance accumulator (Welford).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void add(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+
+  /// Sample mean; 0 when empty.
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const noexcept;
+
+  /// Sample standard deviation.
+  double stddev() const noexcept;
+
+  /// Minimum observation; +inf when empty.
+  double min() const noexcept { return min_; }
+
+  /// Maximum observation; -inf when empty.
+  double max() const noexcept { return max_; }
+
+  /// Sum of all observations.
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 1e308 * 10;   // +inf without <limits> in the header
+  double max_ = -1e308 * 10;  // -inf
+};
+
+/// Two-sided Student-t critical value for the given confidence level and
+/// degrees of freedom. Tabulated for 95% and 99%; other levels fall back to
+/// the normal approximation. df <= 0 returns +inf-like large value.
+double t_critical(double confidence, int df) noexcept;
+
+/// Symmetric confidence interval summary over replication means.
+struct ConfidenceInterval {
+  double mean = 0.0;       ///< point estimate (mean of replications)
+  double half_width = 0.0; ///< t * s / sqrt(n); 0 for a single replication
+  std::size_t n = 0;       ///< number of replications
+
+  double lo() const noexcept { return mean - half_width; }
+  double hi() const noexcept { return mean + half_width; }
+};
+
+/// Builds a t-based CI from replication values at the given confidence level.
+ConfidenceInterval confidence_interval(const std::vector<double>& samples,
+                                       double confidence = 0.95) noexcept;
+
+/// Batch-means estimator for a single long run: splits the sample stream into
+/// @p batches contiguous batches and treats batch means as i.i.d.
+/// replications.  Used by the long-run validation tests (M/M/1).
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t batches = 20) : target_batches_(batches) {}
+
+  void add(double x);
+
+  /// CI over the batch means collected so far. Incomplete final batch is
+  /// ignored.
+  ConfidenceInterval interval(double confidence = 0.95) const noexcept;
+
+  /// Overall mean of every sample seen (not just complete batches).
+  double grand_mean() const noexcept { return all_.mean(); }
+
+ private:
+  std::size_t target_batches_;
+  std::vector<double> batch_means_;
+  RunningStat current_;
+  RunningStat all_;
+  std::size_t batch_size_ = 64;  // grows geometrically
+};
+
+}  // namespace sda::util

@@ -1,0 +1,98 @@
+#include "src/util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace sda::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' || c == '-' ||
+          c == '+' || c == '%' || c == 'e' || c == 'E' || c == ' ' ||
+          c == '\xc2' || c == '\xb1')) {  // UTF-8 for the +/- sign
+      return false;
+    }
+  }
+  return true;
+}
+
+// Width in display columns; the UTF-8 +/- sign is 2 bytes but 1 column.
+std::size_t display_width(const std::string& s) {
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    if ((c & 0xc0) != 0x80) ++w;  // count non-continuation bytes
+  }
+  return w;
+}
+}  // namespace
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = display_width(header_[c]);
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], display_width(row[c]));
+    }
+  }
+
+  std::ostringstream os;
+  auto emit_cell = [&](const std::string& cell, std::size_t width,
+                       bool right) {
+    const std::size_t w = display_width(cell);
+    const std::string pad(width > w ? width - w : 0, ' ');
+    if (right) {
+      os << pad << cell;
+    } else {
+      os << cell << pad;
+    }
+  };
+
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c) os << "  ";
+    emit_cell(header_[c], widths[c], false);
+  }
+  os << '\n';
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < header_.size(); ++c) rule += widths[c] + (c ? 2 : 0);
+  os << std::string(rule, '-') << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      emit_cell(row[c], widths[c], looks_numeric(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string fmt(double v, int digits) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(digits);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_pct(double fraction, int digits) {
+  return fmt(fraction * 100.0, digits) + "%";
+}
+
+std::string fmt_pct_ci(double mean, double half_width, int digits) {
+  return fmt(mean * 100.0, digits) + "\xc2\xb1" + fmt(half_width * 100.0, digits) +
+         "%";
+}
+
+}  // namespace sda::util

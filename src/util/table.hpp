@@ -1,0 +1,41 @@
+// Plain-text table formatting for the bench binaries.
+//
+// Every figure/table bench prints its series as an aligned text table
+// (paper value next to measured value) so results can be eyeballed and
+// diffed.  Cells are strings; numeric helpers format with fixed precision.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sda::util {
+
+/// Column-aligned text table with a header row and a rule under it.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it may have fewer cells than the header (padded blank).
+  void add_row(std::vector<std::string> row);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with two spaces between columns, right-aligning numeric-looking
+  /// cells and left-aligning the rest.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with @p digits fractional digits.
+std::string fmt(double v, int digits = 3);
+
+/// Formats a fraction as a percentage string, e.g. 0.251 -> "25.1%".
+std::string fmt_pct(double fraction, int digits = 1);
+
+/// Formats "m ± h" for a confidence interval (both as percentages).
+std::string fmt_pct_ci(double mean, double half_width, int digits = 1);
+
+}  // namespace sda::util

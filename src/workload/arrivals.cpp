@@ -1,0 +1,54 @@
+#include "src/workload/arrivals.hpp"
+
+#include <stdexcept>
+
+namespace sda::workload {
+
+InterarrivalSampler::InterarrivalSampler(double rate, double burst_factor,
+                                         double mean_cycle)
+    : rate_(rate), factor_(burst_factor),
+      on_dwell_mean_(mean_cycle / burst_factor),
+      off_dwell_mean_(mean_cycle * (1.0 - 1.0 / burst_factor)) {
+  if (rate < 0.0) throw std::invalid_argument("arrivals: negative rate");
+  if (burst_factor < 1.0) {
+    throw std::invalid_argument("arrivals: burst_factor must be >= 1");
+  }
+  if (mean_cycle <= 0.0) {
+    throw std::invalid_argument("arrivals: mean_cycle must be positive");
+  }
+}
+
+double InterarrivalSampler::next(util::Rng& rng) {
+  if (rate_ <= 0.0) {
+    throw std::logic_error("arrivals: next() on a zero-rate sampler");
+  }
+  // Poisson fast path: identical draw sequence to the plain implementation.
+  if (factor_ == 1.0) return rng.exponential(1.0 / rate_);
+
+  const double burst_rate = rate_ * factor_;
+  double elapsed = 0.0;
+  while (true) {
+    if (!in_burst_) {
+      // OFF period: nothing arrives; wait it out.
+      elapsed += rng.exponential(off_dwell_mean_);
+      in_burst_ = true;
+      dwell_initialized_ = false;
+    }
+    if (!dwell_initialized_) {
+      dwell_left_ = rng.exponential(on_dwell_mean_);
+      dwell_initialized_ = true;
+    }
+    const double gap = rng.exponential(1.0 / burst_rate);
+    if (gap <= dwell_left_) {
+      dwell_left_ -= gap;
+      return elapsed + gap;
+    }
+    // The ON period ends before the candidate arrival: discard it (the
+    // exponential's memorylessness makes this exact) and go OFF.
+    elapsed += dwell_left_;
+    in_burst_ = false;
+    dwell_initialized_ = false;
+  }
+}
+
+}  // namespace sda::workload

@@ -1,0 +1,47 @@
+// Arrival-process sampling: Poisson and bursty (interrupted Poisson).
+//
+// The paper notes that "it is the occasional experience of transient
+// overload that accounts for most of the missed deadlines" (§5).  Its
+// experiments induce transients only through Poisson randomness; this
+// module adds an explicitly bursty arrival process so the claim can be
+// probed directly (bench/ablation_burstiness).
+//
+// Model: a two-state interrupted Poisson process (IPP).  The source
+// alternates between ON periods (arrival rate = burst_factor * rate) and
+// OFF periods (no arrivals), with exponentially distributed dwell times.
+// The ON fraction is 1/burst_factor, so the *long-run mean rate* equals
+// `rate` for every burst_factor — burstiness changes variability, not
+// offered load.  burst_factor == 1 degenerates to plain Poisson and draws
+// exactly the same random sequence as the pre-burstiness implementation.
+#pragma once
+
+#include "src/util/rng.hpp"
+
+namespace sda::workload {
+
+class InterarrivalSampler {
+ public:
+  /// @param rate         long-run mean arrival rate (> 0 to ever arrive)
+  /// @param burst_factor >= 1; 1 = Poisson
+  /// @param mean_cycle   expected ON+OFF cycle length in time units
+  ///                     (controls how long transients last)
+  InterarrivalSampler(double rate, double burst_factor = 1.0,
+                      double mean_cycle = 50.0);
+
+  /// Time until the next arrival.
+  double next(util::Rng& rng);
+
+  double mean_rate() const noexcept { return rate_; }
+  double burst_factor() const noexcept { return factor_; }
+
+ private:
+  double rate_;
+  double factor_;
+  double on_dwell_mean_;   ///< expected ON period length
+  double off_dwell_mean_;  ///< expected OFF period length
+  bool in_burst_ = true;
+  double dwell_left_ = 0.0;
+  bool dwell_initialized_ = false;
+};
+
+}  // namespace sda::workload

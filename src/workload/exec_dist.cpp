@@ -1,0 +1,84 @@
+#include "src/workload/exec_dist.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sda::workload {
+
+ExecDistribution ExecDistribution::deterministic(double value) {
+  if (value < 0.0) {
+    throw std::invalid_argument("deterministic: value must be >= 0");
+  }
+  return ExecDistribution(Kind::kDeterministic, value, 0.0, value, 0.0);
+}
+
+ExecDistribution ExecDistribution::uniform(double lo, double hi) {
+  if (lo < 0.0 || lo > hi) {
+    throw std::invalid_argument("uniform: need 0 <= lo <= hi");
+  }
+  const double mean = 0.5 * (lo + hi);
+  const double sd = (hi - lo) / (2.0 * std::sqrt(3.0));
+  return ExecDistribution(Kind::kUniform, lo, hi, mean,
+                          mean > 0.0 ? sd / mean : 0.0);
+}
+
+ExecDistribution ExecDistribution::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential: mean must be > 0");
+  return ExecDistribution(Kind::kExponential, mean, 0.0, mean, 1.0);
+}
+
+ExecDistribution ExecDistribution::hyperexponential(double mean, double cv) {
+  if (mean <= 0.0) throw std::invalid_argument("H2: mean must be > 0");
+  if (cv <= 1.0) throw std::invalid_argument("H2: cv must be > 1");
+  // Balanced-means two-phase H2: phase probability p and rates such that
+  // p/mu1 = (1-p)/mu2 = mean/2.
+  const double c2 = cv * cv;
+  const double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+  return ExecDistribution(Kind::kHyperExp, p, mean, mean, cv);
+}
+
+double ExecDistribution::sample(util::Rng& rng) const {
+  switch (kind_) {
+    case Kind::kDeterministic:
+      return a_;
+    case Kind::kUniform:
+      return rng.uniform(a_, b_);
+    case Kind::kExponential:
+      return rng.exponential(a_);
+    case Kind::kHyperExp: {
+      const double p = a_, mean = b_;
+      // Balanced means: each phase contributes mean/2 in expectation.
+      const double phase_mean =
+          rng.uniform01() < p ? mean / (2.0 * p) : mean / (2.0 * (1.0 - p));
+      return rng.exponential(phase_mean);
+    }
+  }
+  return 0.0;
+}
+
+ExecDistribution make_exec_distribution(const std::string& name, double mean,
+                                        double cv) {
+  if (name == "exponential") return ExecDistribution::exponential(mean);
+  if (name == "deterministic") return ExecDistribution::deterministic(mean);
+  if (name == "uniform") return ExecDistribution::uniform(0.0, 2.0 * mean);
+  if (name == "hyperexp") return ExecDistribution::hyperexponential(mean, cv);
+  throw std::invalid_argument(
+      "unknown service distribution: " + name +
+      " (expected exponential, deterministic, uniform, or hyperexp)");
+}
+
+std::string ExecDistribution::describe() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kDeterministic: os << "deterministic(" << a_ << ")"; break;
+    case Kind::kUniform: os << "uniform[" << a_ << ", " << b_ << "]"; break;
+    case Kind::kExponential: os << "exponential(mean=" << a_ << ")"; break;
+    case Kind::kHyperExp:
+      os << "H2(mean=" << b_ << ", cv=" << cv_ << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace sda::workload

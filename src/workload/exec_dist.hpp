@@ -1,0 +1,71 @@
+// Service-time (execution-demand) distributions.
+//
+// The paper uses exponential execution times throughout.  Whether its
+// conclusions depend on that choice is a fair question — exponential has a
+// coefficient of variation (CV) of exactly 1, while real workloads range
+// from near-deterministic (CV ~ 0) to heavy-tailed (CV >> 1).  This module
+// provides the classic laboratory set:
+//
+//   deterministic(v)          CV = 0
+//   uniform(lo, hi)           CV = (hi-lo)/(sqrt(3)(hi+lo)) <= 1/sqrt(3)
+//   exponential(m)            CV = 1          (the paper)
+//   hyperexponential(m, cv)   CV > 1          (balanced-means 2-phase H2)
+//
+// bench/ablation_service_dist sweeps CV; tests validate the sampler moments
+// and the M/D/1 / M/G/1 Pollaczek-Khinchine waiting-time formulas.
+#pragma once
+
+#include <string>
+
+#include "src/util/rng.hpp"
+
+namespace sda::workload {
+
+class ExecDistribution {
+ public:
+  /// Always exactly @p value (CV = 0). Requires value >= 0.
+  static ExecDistribution deterministic(double value);
+
+  /// Uniform on [lo, hi]. Requires 0 <= lo <= hi.
+  static ExecDistribution uniform(double lo, double hi);
+
+  /// Exponential with the given mean. Requires mean > 0.
+  static ExecDistribution exponential(double mean);
+
+  /// Two-phase hyperexponential with balanced means, given mean and
+  /// coefficient of variation. Requires mean > 0 and cv > 1.
+  static ExecDistribution hyperexponential(double mean, double cv);
+
+  /// Draws one value (always >= 0).
+  double sample(util::Rng& rng) const;
+
+  /// Distribution mean.
+  double mean() const noexcept { return mean_; }
+
+  /// Coefficient of variation (stddev / mean); 0 for zero-mean edge case.
+  double cv() const noexcept { return cv_; }
+
+  /// e.g. "exponential(mean=1)", "H2(mean=1, cv=4)".
+  std::string describe() const;
+
+ private:
+  friend ExecDistribution make_exec_distribution(const std::string& name,
+                                                 double mean, double cv);
+
+  enum class Kind { kDeterministic, kUniform, kExponential, kHyperExp };
+
+  ExecDistribution(Kind kind, double a, double b, double mean, double cv)
+      : kind_(kind), a_(a), b_(b), mean_(mean), cv_(cv) {}
+
+  Kind kind_;
+  double a_, b_;  ///< kind-specific parameters
+  double mean_, cv_;
+};
+
+/// Factory by name with a target mean: "exponential", "deterministic",
+/// "uniform" (over [0, 2*mean]), "hyperexp" (uses @p cv).  Throws
+/// std::invalid_argument on unknown names or invalid parameters.
+ExecDistribution make_exec_distribution(const std::string& name, double mean,
+                                        double cv = 4.0);
+
+}  // namespace sda::workload

@@ -1,0 +1,92 @@
+#include "src/workload/global_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+namespace sda::workload {
+
+double ParallelGlobalSource::expected_work(const Config& c) noexcept {
+  double spread_mean = 1.0;
+  if (c.exec_spread > 1.0) {
+    const double s = c.exec_spread;
+    spread_mean = (s - 1.0 / s) / (2.0 * std::log(s));
+  }
+  return 0.5 * static_cast<double>(c.n_min + c.n_max) * c.mean_subtask_exec *
+         spread_mean;
+}
+
+ParallelGlobalSource::ParallelGlobalSource(sim::Engine& engine,
+                                           core::ProcessManager& pm,
+                                           util::Rng rng, Config config)
+    : engine_(engine), pm_(pm), rng_(rng), config_(config) {
+  if (config_.lambda < 0.0) {
+    throw std::invalid_argument("ParallelGlobalSource: negative arrival rate");
+  }
+  if (config_.n_min < 1 || config_.n_min > config_.n_max) {
+    throw std::invalid_argument("ParallelGlobalSource: bad [n_min, n_max]");
+  }
+  if (config_.n_max > config_.k) {
+    throw std::invalid_argument(
+        "ParallelGlobalSource: n_max exceeds node count (subtasks must run "
+        "at distinct nodes)");
+  }
+  if (config_.slack_min > config_.slack_max) {
+    throw std::invalid_argument("ParallelGlobalSource: slack_min > slack_max");
+  }
+  if (config_.mean_subtask_exec <= 0.0) {
+    throw std::invalid_argument(
+        "ParallelGlobalSource: mean_subtask_exec must be positive");
+  }
+  if (config_.exec_spread < 1.0) {
+    throw std::invalid_argument(
+        "ParallelGlobalSource: exec_spread must be >= 1");
+  }
+  if (!config_.placement) {
+    config_.placement = std::make_shared<UniformPlacement>();
+  }
+  if (!config_.exec) {
+    config_.exec = ExecDistribution::exponential(config_.mean_subtask_exec);
+  }
+}
+
+void ParallelGlobalSource::start() {
+  if (config_.lambda <= 0.0) return;
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+void ParallelGlobalSource::arrival() {
+  const sim::Time now = engine_.now();
+  const int n = static_cast<int>(
+      rng_.uniform_int(config_.n_min, config_.n_max));
+
+  std::vector<int> sites(static_cast<std::size_t>(n));
+  config_.placement->choose(config_.k, n, rng_, sites.data());
+
+  std::vector<task::TreePtr> leaves;
+  leaves.reserve(static_cast<std::size_t>(n));
+  double max_ex = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double scale = 1.0;
+    if (config_.exec_spread > 1.0) {
+      scale = std::pow(config_.exec_spread, rng_.uniform(-1.0, 1.0));
+    }
+    const double ex = config_.exec->sample(rng_) * scale;
+    max_ex = std::max(max_ex, ex);
+    const double pex = config_.pex.predict(ex, rng_);
+    leaves.push_back(task::make_leaf(sites[static_cast<std::size_t>(i)], ex, pex));
+  }
+  task::TreePtr tree = n == 1 ? std::move(leaves.front())
+                              : task::make_parallel(std::move(leaves));
+
+  const double slack = rng_.uniform(config_.slack_min, config_.slack_max);
+  const sim::Time deadline = now + max_ex + slack;  // Equation 2
+
+  ++generated_;
+  pm_.submit(std::move(tree), deadline, metrics::global_class(n),
+             config_.subtask_metrics_class);
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+}  // namespace sda::workload

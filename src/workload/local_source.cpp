@@ -1,0 +1,57 @@
+#include "src/workload/local_source.hpp"
+
+#include <stdexcept>
+
+namespace sda::workload {
+
+LocalSource::LocalSource(sim::Engine& engine, sched::Node& node,
+                         metrics::Collector& collector, util::Rng rng,
+                         Config config)
+    : engine_(engine), node_(node), collector_(collector), rng_(rng),
+      config_(config),
+      arrivals_(config.lambda, config.burst_factor, config.burst_cycle) {
+  if (config_.lambda < 0.0) {
+    throw std::invalid_argument("LocalSource: negative arrival rate");
+  }
+  if (config_.slack_min > config_.slack_max) {
+    throw std::invalid_argument("LocalSource: slack_min > slack_max");
+  }
+  if (config_.mean_exec <= 0.0) {
+    throw std::invalid_argument("LocalSource: mean_exec must be positive");
+  }
+  if (!config_.exec) {
+    config_.exec = ExecDistribution::exponential(config_.mean_exec);
+  }
+}
+
+void LocalSource::start() {
+  if (config_.lambda <= 0.0) return;
+  engine_.in(arrivals_.next(rng_), [this] { arrival(); });
+}
+
+void LocalSource::arrival() {
+  const sim::Time now = engine_.now();
+  const double ex = config_.exec->sample(rng_);
+  const double slack = rng_.uniform(config_.slack_min, config_.slack_max);
+  auto t = task::make_local_task(config_.id_base + ++generated_,
+                                 node_.index(), now, ex, now + ex + slack);
+  t->metrics_class = config_.metrics_class;
+
+  if (config_.abort_at_real_deadline) {
+    std::weak_ptr<task::SimpleTask> weak = t;
+    engine_.at(t->attrs.real_deadline, [this, weak] {
+      task::TaskPtr victim = weak.lock();
+      if (!victim) return;
+      if (victim->state == task::TaskState::kQueued ||
+          victim->state == task::TaskState::kRunning) {
+        node_.abort(*victim);
+        collector_.record_simple(*victim);
+      }
+    });
+  }
+
+  node_.submit(std::move(t));
+  engine_.in(arrivals_.next(rng_), [this] { arrival(); });
+}
+
+}  // namespace sda::workload

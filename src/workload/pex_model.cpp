@@ -1,0 +1,21 @@
+#include "src/workload/pex_model.hpp"
+
+#include <cmath>
+
+namespace sda::workload {
+
+double PexModel::predict(double ex, util::Rng& rng) const {
+  switch (kind_) {
+    case PexKind::kExact:
+      return ex;
+    case PexKind::kLogUniformNoise: {
+      const double u = rng.uniform(-1.0, 1.0);
+      return ex * std::pow(param_, u);
+    }
+    case PexKind::kDistributionMean:
+      return param_;
+  }
+  return ex;
+}
+
+}  // namespace sda::workload

@@ -1,0 +1,49 @@
+// Execution-time prediction models.
+//
+// SDA strategies never see ex(X); they see pex(X), "an approximation to
+// ex(X)" (paper §3.1).  The baseline experiments use perfect predictions;
+// bench/ablation_pex_noise reproduces [6]'s claim that EQF tolerates
+// estimates off by a factor of ~2 using the log-uniform noise model.
+#pragma once
+
+#include "src/util/rng.hpp"
+
+namespace sda::workload {
+
+enum class PexKind {
+  kExact,            ///< pex = ex
+  kLogUniformNoise,  ///< pex = ex * f^u, u ~ U[-1, 1]: off by up to factor f
+  kDistributionMean, ///< pex = the distribution mean, ignoring the draw
+};
+
+class PexModel {
+ public:
+  /// Perfect prediction.
+  static PexModel exact() { return PexModel(PexKind::kExact, 1.0); }
+
+  /// Multiplicative log-uniform noise; @p factor >= 1 bounds the error
+  /// ("off by a factor of 2" => factor = 2).
+  static PexModel log_uniform(double factor) {
+    return PexModel(PexKind::kLogUniformNoise, factor);
+  }
+
+  /// Always predicts @p mean (e.g. 1/mu_subtask) — the weakest estimator a
+  /// system could use without per-task knowledge.
+  static PexModel distribution_mean(double mean) {
+    return PexModel(PexKind::kDistributionMean, mean);
+  }
+
+  /// Predicted execution time for a task whose true demand is @p ex.
+  double predict(double ex, util::Rng& rng) const;
+
+  PexKind kind() const noexcept { return kind_; }
+  double parameter() const noexcept { return param_; }
+
+ private:
+  PexModel(PexKind kind, double param) : kind_(kind), param_(param) {}
+
+  PexKind kind_;
+  double param_;  ///< noise factor or fixed mean, depending on kind
+};
+
+}  // namespace sda::workload

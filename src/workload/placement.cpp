@@ -1,0 +1,62 @@
+#include "src/workload/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace sda::workload {
+
+void UniformPlacement::choose(int k, int count, util::Rng& rng, int* out) {
+  if (count > k) throw std::invalid_argument("placement: count > k");
+  rng.sample_distinct(k, count, out);
+}
+
+LeastQueuedPlacement::LeastQueuedPlacement(
+    std::vector<const sched::Node*> nodes)
+    : nodes_(std::move(nodes)) {
+  for (const auto* n : nodes_) {
+    if (n == nullptr) {
+      throw std::invalid_argument("LeastQueuedPlacement: null node");
+    }
+  }
+}
+
+void LeastQueuedPlacement::choose(int k, int count, util::Rng& rng, int* out) {
+  if (count > k || k > static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument("placement: bad k/count");
+  }
+  // Occupancy = ready queue + in-service task.  Random tie-break via a
+  // random secondary key so equally idle nodes are chosen evenly.
+  struct Entry {
+    std::size_t occupancy;
+    double tiebreak;
+    int index;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<std::size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    const sched::Node* n = nodes_[static_cast<std::size_t>(i)];
+    entries.push_back(Entry{
+        n->queue_length() + (n->in_service() != nullptr ? 1u : 0u),
+        rng.uniform01(), i});
+  }
+  std::partial_sort(entries.begin(), entries.begin() + count, entries.end(),
+                    [](const Entry& a, const Entry& b) {
+                      if (a.occupancy != b.occupancy) {
+                        return a.occupancy < b.occupancy;
+                      }
+                      return a.tiebreak < b.tiebreak;
+                    });
+  for (int i = 0; i < count; ++i) out[i] = entries[static_cast<std::size_t>(i)].index;
+}
+
+std::shared_ptr<Placement> make_placement(
+    const std::string& policy, std::vector<const sched::Node*> nodes) {
+  if (policy == "uniform") return std::make_shared<UniformPlacement>();
+  if (policy == "least-queued") {
+    return std::make_shared<LeastQueuedPlacement>(std::move(nodes));
+  }
+  throw std::invalid_argument("unknown placement policy: " + policy);
+}
+
+}  // namespace sda::workload

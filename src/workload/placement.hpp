@@ -1,0 +1,58 @@
+// Subtask placement policies.
+//
+// The paper's premise is that placement is fixed: "each system component is
+// unique; if a task must be executed at a particular component, it must run
+// there" — modeled by uniform-random placement over distinct nodes.  As an
+// extension ablation we also provide state-aware placement (pick the
+// least-queued nodes), quantifying how much of the PSP problem a system
+// could avoid if placement *were* free — the paper's "no load balancing"
+// premise made measurable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/sched/node.hpp"
+#include "src/util/rng.hpp"
+
+namespace sda::workload {
+
+class Placement {
+ public:
+  virtual ~Placement() = default;
+
+  /// Chooses @p count distinct node indices from [0, k) into @p out.
+  /// Requires count <= k.
+  virtual void choose(int k, int count, util::Rng& rng, int* out) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// The paper's model: uniform over distinct nodes, no system-state input.
+class UniformPlacement final : public Placement {
+ public:
+  void choose(int k, int count, util::Rng& rng, int* out) override;
+  std::string name() const override { return "uniform"; }
+};
+
+/// Extension: place on the nodes with the shortest ready queues (in-service
+/// tasks count as queue occupancy; ties broken by a random permutation so
+/// no node is systematically favored).
+class LeastQueuedPlacement final : public Placement {
+ public:
+  explicit LeastQueuedPlacement(std::vector<const sched::Node*> nodes);
+
+  void choose(int k, int count, util::Rng& rng, int* out) override;
+  std::string name() const override { return "least-queued"; }
+
+ private:
+  std::vector<const sched::Node*> nodes_;
+};
+
+/// Factory used by the experiment runner: "uniform" needs no nodes;
+/// "least-queued" captures the node list.
+std::shared_ptr<Placement> make_placement(
+    const std::string& policy, std::vector<const sched::Node*> nodes);
+
+}  // namespace sda::workload

@@ -1,0 +1,110 @@
+#include "src/workload/random_graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace sda::workload {
+
+RandomGraphSource::RandomGraphSource(sim::Engine& engine,
+                                     core::ProcessManager& pm, util::Rng rng,
+                                     Config config)
+    : engine_(engine), pm_(pm), rng_(rng), config_(config) {
+  if (config_.lambda < 0.0) {
+    throw std::invalid_argument("RandomGraphSource: negative arrival rate");
+  }
+  if (config_.k < 2) {
+    throw std::invalid_argument("RandomGraphSource: need k >= 2");
+  }
+  if (config_.max_depth < 1) {
+    throw std::invalid_argument("RandomGraphSource: max_depth must be >= 1");
+  }
+  if (config_.min_children < 2 || config_.min_children > config_.max_children) {
+    throw std::invalid_argument(
+        "RandomGraphSource: need 2 <= min_children <= max_children");
+  }
+  if (config_.leaf_probability < 0.0 || config_.leaf_probability >= 1.0) {
+    throw std::invalid_argument(
+        "RandomGraphSource: leaf_probability must be in [0, 1)");
+  }
+  if (config_.mean_subtask_exec <= 0.0) {
+    throw std::invalid_argument(
+        "RandomGraphSource: mean_subtask_exec must be positive");
+  }
+  if (config_.slack_min > config_.slack_max) {
+    throw std::invalid_argument("RandomGraphSource: slack_min > slack_max");
+  }
+  if (config_.calibration_samples < 1) {
+    throw std::invalid_argument(
+        "RandomGraphSource: calibration_samples must be >= 1");
+  }
+
+  // Calibrate the expected work per task on a dedicated stream.
+  util::Rng calibration = rng_.split();
+  std::swap(rng_, calibration);  // draw_tree uses rng_
+  double total = 0.0;
+  for (int i = 0; i < config_.calibration_samples; ++i) {
+    total += task::total_ex(*draw_tree());
+  }
+  std::swap(rng_, calibration);  // restore the arrival stream
+  mean_work_ = total / static_cast<double>(config_.calibration_samples);
+}
+
+task::TreePtr RandomGraphSource::draw_node(int depth_left) {
+  if (depth_left == 0 || rng_.uniform01() < config_.leaf_probability) {
+    const double ex = rng_.exponential(config_.mean_subtask_exec);
+    return task::make_leaf(static_cast<int>(rng_.uniform_int(0, config_.k - 1)),
+                           ex, config_.pex.predict(ex, rng_));
+  }
+  const bool parallel = rng_.bernoulli(config_.parallel_probability);
+  int hi = config_.max_children;
+  if (parallel) hi = std::min(hi, config_.k);
+  const int lo = std::min(config_.min_children, hi);
+  const int kids = static_cast<int>(rng_.uniform_int(lo, hi));
+  std::vector<task::TreePtr> children;
+  children.reserve(static_cast<std::size_t>(kids));
+  for (int i = 0; i < kids; ++i) {
+    children.push_back(draw_node(depth_left - 1));
+  }
+  if (parallel) {
+    // Parallel siblings run at distinct nodes: re-place their *leaf roots*
+    // distinctly; nested composites keep their own placement.
+    std::vector<int> sites(static_cast<std::size_t>(kids));
+    rng_.sample_distinct(config_.k, kids, sites.data());
+    for (int i = 0; i < kids; ++i) {
+      if (children[static_cast<std::size_t>(i)]->is_leaf()) {
+        children[static_cast<std::size_t>(i)]->exec_node =
+            sites[static_cast<std::size_t>(i)];
+      }
+    }
+    return task::make_parallel(std::move(children));
+  }
+  return task::make_serial(std::move(children));
+}
+
+task::TreePtr RandomGraphSource::draw_tree() {
+  // The root is always a composite so every "global" is genuinely global.
+  task::TreePtr t;
+  do {
+    t = draw_node(config_.max_depth);
+  } while (t->is_leaf());
+  return t;
+}
+
+void RandomGraphSource::start() {
+  if (config_.lambda <= 0.0) return;
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+void RandomGraphSource::arrival() {
+  const sim::Time now = engine_.now();
+  task::TreePtr tree = draw_tree();
+  const double slack = rng_.uniform(config_.slack_min, config_.slack_max);
+  const sim::Time deadline = now + task::critical_path_ex(*tree) + slack;
+  ++generated_;
+  pm_.submit(std::move(tree), deadline, config_.metrics_class,
+             config_.subtask_metrics_class);
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+}  // namespace sda::workload

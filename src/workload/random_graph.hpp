@@ -1,0 +1,72 @@
+// Random serial-parallel task shapes.
+//
+// §7.4 generalizes the baseline along one axis (the subtask count); this
+// source generalizes along the other: the *shape*.  Each arrival draws a
+// fresh random serial-parallel tree (recursive composition with bounded
+// depth and fan-out), placing parallel siblings on distinct nodes.  It
+// answers "are the heuristics shape-robust, or tuned to flat tasks?"
+// (bench/ablation_random_shapes).
+//
+// Because the expected work of a random shape has no tidy closed form, the
+// source calibrates itself at construction: it draws a sample of trees,
+// measures their mean total work, and exposes it via calibrated_mean_work()
+// for the load equations.  Calibration uses a dedicated RNG stream so it
+// does not perturb the arrival sequence.
+#pragma once
+
+#include <cstdint>
+
+#include "src/core/process_manager.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/exec_dist.hpp"
+#include "src/workload/pex_model.hpp"
+
+namespace sda::workload {
+
+class RandomGraphSource {
+ public:
+  struct Config {
+    double lambda = 0.0;  ///< system-wide arrival rate; 0 disables
+    int k = 6;
+    int max_depth = 3;        ///< composite nesting bound (leaf = depth 0)
+    int min_children = 2;     ///< composite fan-out range
+    int max_children = 4;     ///< parallel fan-out additionally capped at k
+    double leaf_probability = 0.45;  ///< chance a position becomes a leaf
+    double parallel_probability = 0.5;  ///< composite kind choice
+    double mean_subtask_exec = 1.0;
+    double slack_min = 2.5;  ///< random shapes average ~2 serial levels
+    double slack_max = 10.0;
+    PexModel pex = PexModel::exact();
+    int metrics_class = metrics::global_class(0);
+    int subtask_metrics_class = metrics::kSubtaskClass;
+    int calibration_samples = 2000;
+  };
+
+  RandomGraphSource(sim::Engine& engine, core::ProcessManager& pm,
+                    util::Rng rng, Config config);
+
+  /// Schedules the first arrival.
+  void start();
+
+  std::uint64_t generated() const noexcept { return generated_; }
+
+  /// Mean total execution demand per task, estimated at construction.
+  double calibrated_mean_work() const noexcept { return mean_work_; }
+
+  /// Draws one random tree (also used by tests).
+  task::TreePtr draw_tree();
+
+ private:
+  task::TreePtr draw_node(int depth_left);
+  void arrival();
+
+  sim::Engine& engine_;
+  core::ProcessManager& pm_;
+  util::Rng rng_;
+  Config config_;
+  double mean_work_ = 0.0;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace sda::workload

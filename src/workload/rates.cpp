@@ -1,0 +1,50 @@
+#include "src/workload/rates.hpp"
+
+namespace sda::workload {
+
+namespace {
+void check(const RateParams& p) {
+  if (p.k <= 0) throw std::invalid_argument("rates: k must be positive");
+  if (p.load < 0.0) throw std::invalid_argument("rates: load must be >= 0");
+  if (p.frac_local < 0.0 || p.frac_local > 1.0) {
+    throw std::invalid_argument("rates: frac_local must be in [0, 1]");
+  }
+  if (p.mu_local <= 0.0) {
+    throw std::invalid_argument("rates: mu_local must be positive");
+  }
+  if (p.expected_global_work <= 0.0) {
+    throw std::invalid_argument("rates: expected_global_work must be positive");
+  }
+}
+}  // namespace
+
+Rates solve_rates(const RateParams& p) {
+  check(p);
+  Rates r;
+  // Local work rate per node is load*frac_local, and mean local ex is
+  // 1/mu_local, so lambda_local = load * frac_local * mu_local.
+  r.lambda_local = p.load * p.frac_local * p.mu_local;
+  // Global work rate over the whole system is load*(1-frac_local)*k time
+  // units of work per unit time; each global task brings
+  // expected_global_work units.
+  r.lambda_global = p.load * (1.0 - p.frac_local) * static_cast<double>(p.k) /
+                    p.expected_global_work;
+  return r;
+}
+
+double normalized_load(const RateParams& p, const Rates& r) {
+  check(p);
+  const double local_work = static_cast<double>(p.k) * r.lambda_local / p.mu_local;
+  const double global_work = r.lambda_global * p.expected_global_work;
+  return (local_work + global_work) / static_cast<double>(p.k);
+}
+
+double fraction_local(const RateParams& p, const Rates& r) {
+  check(p);
+  const double local_work = static_cast<double>(p.k) * r.lambda_local / p.mu_local;
+  const double global_work = r.lambda_global * p.expected_global_work;
+  const double total = local_work + global_work;
+  return total > 0.0 ? local_work / total : 0.0;
+}
+
+}  // namespace sda::workload

@@ -1,0 +1,43 @@
+// Arrival-rate arithmetic for the paper's load model (Section 5).
+//
+//   load = ( n*lambda_global/mu_subtask + k*lambda_local/mu_local ) / k
+//   frac_local = (k*lambda_local/mu_local) / (numerator above)
+//
+// Experiments are parameterized by (load, frac_local); this module solves
+// for the per-node local arrival rate lambda_local and the single-stream
+// global arrival rate lambda_global.  For non-flat global tasks, `n` is
+// generalized to the *expected work per global task* in time units (e.g.
+// 11 subtasks x mean 1.0 for the Figure 14 graph, or E[n] = 4 for
+// n ~ U[2..6]).
+#pragma once
+
+#include <stdexcept>
+
+namespace sda::workload {
+
+struct RateParams {
+  int k = 6;                        ///< number of nodes
+  double load = 0.5;                ///< normalized system load in [0, 1)
+  double frac_local = 0.75;         ///< fraction of load due to local tasks
+  double mu_local = 1.0;            ///< local service rate (mean ex = 1/mu)
+  double expected_global_work = 4;  ///< E[total ex] of one global task
+};
+
+struct Rates {
+  double lambda_local = 0.0;   ///< per-node local arrival rate
+  double lambda_global = 0.0;  ///< system-wide global arrival rate
+};
+
+/// Solves the load equations. frac_local == 0 gives lambda_local == 0;
+/// frac_local == 1 gives lambda_global == 0.  Throws std::invalid_argument
+/// on out-of-range parameters (load < 0, frac_local outside [0,1], k <= 0,
+/// non-positive service rates or work).
+Rates solve_rates(const RateParams& p);
+
+/// Inverse of solve_rates: recovers the normalized load from rates.
+double normalized_load(const RateParams& p, const Rates& r);
+
+/// Inverse of solve_rates: recovers frac_local from rates.
+double fraction_local(const RateParams& p, const Rates& r);
+
+}  // namespace sda::workload

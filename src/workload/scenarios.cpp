@@ -1,0 +1,42 @@
+#include "src/workload/scenarios.hpp"
+
+#include <stdexcept>
+
+namespace sda::workload {
+
+const std::vector<Scenario>& scenarios() {
+  static const std::vector<Scenario> kScenarios = {
+      {"stock-trading",
+       "the paper's Figure 14 pipeline: init, gather information from 4 "
+       "sources, analyze, implement 4 buy/sell actions, conclude",
+       {1, 4, 1, 4, 1}},
+      {"web-request",
+       "interactive request: parse, fan out to 5 backend services, render",
+       {1, 5, 1}},
+      {"sensor-fusion",
+       "control loop: sample 6 sensors in parallel, fuse, actuate",
+       {6, 1, 1}},
+      {"etl-pipeline",
+       "batch ETL: extract, 3-way transform, merge, 3-way load, verify",
+       {1, 3, 1, 3, 1}},
+      {"map-reduce",
+       "one wave of map-reduce: split, 6 parallel mappers, reduce",
+       {1, 6, 1}},
+  };
+  return kScenarios;
+}
+
+const Scenario& find_scenario(const std::string& name) {
+  for (const Scenario& s : scenarios()) {
+    if (s.name == name) return s;
+  }
+  std::string known;
+  for (const Scenario& s : scenarios()) {
+    if (!known.empty()) known += ", ";
+    known += s.name;
+  }
+  throw std::invalid_argument("unknown scenario '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace sda::workload

@@ -1,0 +1,112 @@
+#include "src/workload/taskgraph_source.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace sda::workload {
+
+GraphGlobalSource::GraphGlobalSource(sim::Engine& engine,
+                                     core::ProcessManager& pm, util::Rng rng,
+                                     Config config)
+    : engine_(engine), pm_(pm), rng_(rng), config_(std::move(config)) {
+  if (config_.lambda < 0.0) {
+    throw std::invalid_argument("GraphGlobalSource: negative arrival rate");
+  }
+  if (config_.stage_widths.empty()) {
+    throw std::invalid_argument("GraphGlobalSource: no stages");
+  }
+  for (int w : config_.stage_widths) {
+    if (w < 1) throw std::invalid_argument("GraphGlobalSource: stage width < 1");
+    if (w > config_.k) {
+      throw std::invalid_argument(
+          "GraphGlobalSource: stage width exceeds node count");
+    }
+  }
+  if (config_.slack_min > config_.slack_max) {
+    throw std::invalid_argument("GraphGlobalSource: slack_min > slack_max");
+  }
+  if (config_.mean_subtask_exec <= 0.0) {
+    throw std::invalid_argument(
+        "GraphGlobalSource: mean_subtask_exec must be positive");
+  }
+  for (int link : config_.link_nodes) {
+    if (link >= 0 && link < config_.k) {
+      throw std::invalid_argument(
+          "GraphGlobalSource: link nodes must be outside the computation "
+          "range [0, k)");
+    }
+  }
+  if (!config_.link_nodes.empty() && config_.mean_msg_time <= 0.0) {
+    throw std::invalid_argument(
+        "GraphGlobalSource: mean_msg_time must be positive");
+  }
+  if (!config_.exec) {
+    config_.exec = ExecDistribution::exponential(config_.mean_subtask_exec);
+  }
+}
+
+double GraphGlobalSource::expected_work(const Config& c) noexcept {
+  const int subtasks = std::accumulate(c.stage_widths.begin(),
+                                       c.stage_widths.end(), 0);
+  return static_cast<double>(subtasks) * c.mean_subtask_exec;
+}
+
+double GraphGlobalSource::expected_message_work(const Config& c) noexcept {
+  if (c.link_nodes.empty() || c.stage_widths.size() < 2) return 0.0;
+  return static_cast<double>(c.stage_widths.size() - 1) * c.mean_msg_time;
+}
+
+task::TreePtr GraphGlobalSource::draw_tree() {
+  std::vector<task::TreePtr> stages;
+  stages.reserve(2 * config_.stage_widths.size());
+  std::vector<int> sites(static_cast<std::size_t>(config_.k));
+  bool first_stage = true;
+  for (int width : config_.stage_widths) {
+    // A message transfer precedes every stage after the first when links
+    // are modeled: the process manager ships the previous stage's result
+    // over a uniformly chosen link resource.
+    if (!first_stage && !config_.link_nodes.empty()) {
+      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(config_.link_nodes.size()) - 1));
+      const double ex = rng_.exponential(config_.mean_msg_time);
+      stages.push_back(task::make_leaf(config_.link_nodes[pick], ex,
+                                       config_.pex.predict(ex, rng_), "msg"));
+    }
+    first_stage = false;
+    rng_.sample_distinct(config_.k, width, sites.data());
+    if (width == 1) {
+      const double ex = config_.exec->sample(rng_);
+      stages.push_back(
+          task::make_leaf(sites[0], ex, config_.pex.predict(ex, rng_)));
+      continue;
+    }
+    std::vector<task::TreePtr> branch;
+    branch.reserve(static_cast<std::size_t>(width));
+    for (int i = 0; i < width; ++i) {
+      const double ex = config_.exec->sample(rng_);
+      branch.push_back(task::make_leaf(sites[static_cast<std::size_t>(i)], ex,
+                                       config_.pex.predict(ex, rng_)));
+    }
+    stages.push_back(task::make_parallel(std::move(branch)));
+  }
+  if (stages.size() == 1) return std::move(stages.front());
+  return task::make_serial(std::move(stages));
+}
+
+void GraphGlobalSource::start() {
+  if (config_.lambda <= 0.0) return;
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+void GraphGlobalSource::arrival() {
+  const sim::Time now = engine_.now();
+  task::TreePtr tree = draw_tree();
+  const double slack = rng_.uniform(config_.slack_min, config_.slack_max);
+  const sim::Time deadline = now + task::critical_path_ex(*tree) + slack;
+  ++generated_;
+  pm_.submit(std::move(tree), deadline, config_.metrics_class,
+             config_.subtask_metrics_class);
+  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+}
+
+}  // namespace sda::workload

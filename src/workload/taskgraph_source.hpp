@@ -1,0 +1,92 @@
+// Poisson generator of serial-parallel global tasks (paper Section 8).
+//
+// Task shapes are given as a list of stage widths: width 1 is a simple
+// stage, width w > 1 is a complex stage of w parallel simple subtasks.
+// The paper's Figure 14 stock-trading task is {1, 4, 1, 4, 1}:
+// (1) initialization, (2) distributed information gathering, (3) analysis,
+// (4) action implementation, (5) conclusion.
+//
+// The end-to-end deadline generalizes Equation 2 to
+//
+//   dl(T) = ar(T) + critical_path_ex(T) + slack
+//
+// (critical path = sum over stages of the stage's longest subtask), which
+// degenerates to Equation 2 for a single parallel stage.  The §8 experiment
+// scales the slack range by the number of stages ([6.25, 25] = 5 x the
+// locals' [1.25, 5]).
+//
+// Placement: subtasks of one parallel stage run at distinct nodes; stages
+// place independently and uniformly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/core/process_manager.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/util/rng.hpp"
+#include "src/workload/exec_dist.hpp"
+#include "src/workload/pex_model.hpp"
+
+namespace sda::workload {
+
+class GraphGlobalSource {
+ public:
+  struct Config {
+    double lambda = 0.0;  ///< system-wide arrival rate; 0 disables
+    int k = 6;            ///< computation nodes [0, k)
+    std::vector<int> stage_widths = {1, 4, 1, 4, 1};  ///< Figure 14 default
+    double mean_subtask_exec = 1.0;
+    double slack_min = 6.25;
+    double slack_max = 25.0;
+    PexModel pex = PexModel::exact();
+    int metrics_class = metrics::global_class(0);  ///< scenario class
+    int subtask_metrics_class = metrics::kSubtaskClass;
+
+    /// Communication modeling (§3.2: "even the communication network is
+    /// considered as one or more of the resources ... a direct link is one
+    /// resource, a LAN is another").  When non-empty, a message-transfer
+    /// subtask (exponential, mean mean_msg_time) is inserted between
+    /// consecutive stages, executed at a uniformly chosen link node.  Link
+    /// nodes must NOT be in [0, k); they are extra resources the placement
+    /// of computation never uses.
+    std::vector<int> link_nodes;
+    double mean_msg_time = 0.25;
+
+    /// Computation-stage service distribution; unset =
+    /// exponential(mean_subtask_exec).  Message legs stay exponential.
+    std::optional<ExecDistribution> exec;
+  };
+
+  GraphGlobalSource(sim::Engine& engine, core::ProcessManager& pm,
+                    util::Rng rng, Config config);
+
+  /// Schedules the first arrival. No tasks are generated before start().
+  void start();
+
+  std::uint64_t generated() const noexcept { return generated_; }
+
+  /// Expected *computation* work per task: (sum of stage widths) *
+  /// mean_subtask_exec.  Message work rides on the link nodes and is
+  /// excluded from the compute-load equations by design.
+  static double expected_work(const Config& c) noexcept;
+
+  /// Expected communication work per task:
+  /// (#stage boundaries) * mean_msg_time, 0 without link nodes.
+  static double expected_message_work(const Config& c) noexcept;
+
+  /// Draws one task tree (exposed for tests and examples).
+  task::TreePtr draw_tree();
+
+ private:
+  void arrival();
+
+  sim::Engine& engine_;
+  core::ProcessManager& pm_;
+  util::Rng rng_;
+  Config config_;
+  std::uint64_t generated_ = 0;
+};
+
+}  // namespace sda::workload

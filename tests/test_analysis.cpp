@@ -1,0 +1,102 @@
+// Unit tests for the closed-form analysis helpers.
+#include "src/core/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace {
+
+using namespace sda::core::analysis;
+
+TEST(Amplification, PaperSection4Example) {
+  // "if an average node misses 5% ... a global task of 6 parallel subtasks
+  //  misses 1 - (1 - 0.05)^6 = 26.5%."
+  EXPECT_NEAR(global_miss_probability(0.05, 6), 0.265, 0.001);
+}
+
+TEST(Amplification, PaperSection61Example) {
+  // "7.1% subtask miss ... 1-(1-7.1%)^4 ~ 25.5%".
+  EXPECT_NEAR(global_miss_probability(0.071, 4), 0.255, 0.001);
+}
+
+TEST(Amplification, EdgeCases) {
+  EXPECT_DOUBLE_EQ(global_miss_probability(0.0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(global_miss_probability(1.0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(global_miss_probability(0.3, 0), 0.0);  // empty task
+  EXPECT_DOUBLE_EQ(global_miss_probability(0.3, 1), 0.3);  // no amplification
+  EXPECT_THROW(global_miss_probability(-0.1, 2), std::invalid_argument);
+  EXPECT_THROW(global_miss_probability(1.1, 2), std::invalid_argument);
+  EXPECT_THROW(global_miss_probability(0.5, -1), std::invalid_argument);
+}
+
+TEST(Amplification, InverseRoundTrip) {
+  for (int n : {1, 2, 4, 6, 16}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9}) {
+      const double g = global_miss_probability(p, n);
+      // (1-p)^n underflows toward 1 for large n*p, so the inverse loses
+      // precision there; 1e-3 relative is plenty for a sanity anchor.
+      EXPECT_NEAR(required_subtask_miss(g, n), p, 1e-3);
+    }
+  }
+  EXPECT_THROW(required_subtask_miss(0.5, 0), std::invalid_argument);
+}
+
+TEST(Amplification, MonotoneInN) {
+  double prev = 0.0;
+  for (int n = 1; n <= 10; ++n) {
+    const double g = global_miss_probability(0.07, n);
+    EXPECT_GT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(Harmonic, KnownValues) {
+  EXPECT_DOUBLE_EQ(harmonic(0), 0.0);
+  EXPECT_DOUBLE_EQ(harmonic(1), 1.0);
+  EXPECT_DOUBLE_EQ(harmonic(2), 1.5);
+  EXPECT_NEAR(harmonic(4), 25.0 / 12.0, 1e-12);
+  EXPECT_THROW(harmonic(-1), std::invalid_argument);
+}
+
+TEST(MaxExponential, HarmonicScaling) {
+  // E[max of 4 exp(1)] = H_4 ~ 2.083: globals get only ~2x a local's
+  // allowance despite having 4x the work — the structural reason globals
+  // are "less competitive" per unit of work.
+  EXPECT_NEAR(expected_max_exponential(4, 1.0), 2.0833, 1e-3);
+  EXPECT_DOUBLE_EQ(expected_max_exponential(1, 2.0), 2.0);
+  EXPECT_THROW(expected_max_exponential(3, 0.0), std::invalid_argument);
+}
+
+TEST(Mm1Formulas, KnownPoint) {
+  const Mm1 r = mm1(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(r.rho, 0.5);
+  EXPECT_DOUBLE_EQ(r.mean_in_system, 1.0);
+  EXPECT_DOUBLE_EQ(r.mean_in_queue, 0.5);
+  EXPECT_DOUBLE_EQ(r.mean_sojourn, 2.0);
+  EXPECT_DOUBLE_EQ(r.mean_wait, 1.0);
+}
+
+TEST(Mm1Formulas, LittlesLawIdentity) {
+  for (double lambda : {0.1, 0.5, 0.9}) {
+    const Mm1 r = mm1(lambda, 1.0);
+    EXPECT_NEAR(r.mean_in_system, lambda * r.mean_sojourn, 1e-12);
+    EXPECT_NEAR(r.mean_in_queue, lambda * r.mean_wait, 1e-12);
+  }
+}
+
+TEST(Mm1Formulas, Validation) {
+  EXPECT_THROW(mm1(1.0, 1.0), std::invalid_argument);  // unstable
+  EXPECT_THROW(mm1(-0.1, 1.0), std::invalid_argument);
+  EXPECT_THROW(mm1(0.5, 0.0), std::invalid_argument);
+}
+
+TEST(Mm1Tail, Basics) {
+  EXPECT_DOUBLE_EQ(mm1_sojourn_tail(0.5, 1.0, 0.0), 1.0);
+  EXPECT_NEAR(mm1_sojourn_tail(0.5, 1.0, 2.0), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(mm1_sojourn_tail(0.5, 1.0, -1.0), 1.0);
+  EXPECT_THROW(mm1_sojourn_tail(1.5, 1.0, 1.0), std::invalid_argument);
+}
+
+}  // namespace

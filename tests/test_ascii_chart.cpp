@@ -1,0 +1,73 @@
+// Unit tests for the ASCII chart renderer.
+#include "src/util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using sda::util::AsciiChart;
+using sda::util::Series;
+
+TEST(AsciiChart, EmptyChart) {
+  AsciiChart c;
+  EXPECT_EQ(c.render(), "(no data)\n");
+}
+
+TEST(AsciiChart, MarkersAppear) {
+  AsciiChart c(40, 10);
+  c.add(Series{"rising", '*', {0, 1, 2}, {0.0, 0.5, 1.0}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("legend"), std::string::npos);
+  EXPECT_NE(out.find("rising"), std::string::npos);
+}
+
+TEST(AsciiChart, LabelsAppear) {
+  AsciiChart c(40, 10);
+  c.set_labels("load", "missed fraction");
+  c.add(Series{"s", 'o', {0, 1}, {0, 1}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("load"), std::string::npos);
+  EXPECT_NE(out.find("missed fraction"), std::string::npos);
+}
+
+TEST(AsciiChart, NonFinitePointsSkipped) {
+  AsciiChart c(40, 10);
+  c.add(Series{"s", 'o', {0, 1, 2}, {0, std::nan(""), 1}});
+  EXPECT_NO_THROW(c.render());
+}
+
+TEST(AsciiChart, FixedYRangeRespected) {
+  AsciiChart c(40, 10);
+  c.set_y_range(0.0, 1.0);
+  c.add(Series{"s", 'o', {0, 1}, {0.2, 0.4}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("1"), std::string::npos);   // y_hi label
+  EXPECT_NE(out.find("0"), std::string::npos);   // y_lo label
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  AsciiChart c(40, 10);
+  c.add(Series{"flat", 'f', {0, 1, 2}, {0.5, 0.5, 0.5}});
+  EXPECT_NO_THROW(c.render());
+}
+
+TEST(AsciiChart, SinglePointSeries) {
+  AsciiChart c(40, 10);
+  c.add(Series{"dot", 'd', {3}, {0.7}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find('d'), std::string::npos);
+}
+
+TEST(AsciiChart, MultipleSeriesInLegend) {
+  AsciiChart c(40, 10);
+  c.add(Series{"one", '1', {0, 1}, {0, 1}});
+  c.add(Series{"two", '2', {0, 1}, {1, 0}});
+  const std::string out = c.render();
+  EXPECT_NE(out.find("1 = one"), std::string::npos);
+  EXPECT_NE(out.find("2 = two"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,52 @@
+// Unit tests for task attributes (paper §3.1's dl = ar + ex + sl relation).
+#include "src/task/attributes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sda::task::Attributes;
+
+TEST(Attributes, SlackRelation) {
+  Attributes a;
+  a.arrival = 2.0;
+  a.exec_time = 3.0;
+  a.real_deadline = 10.0;
+  EXPECT_DOUBLE_EQ(a.slack(), 5.0);
+  // dl = ar + ex + sl holds by construction.
+  EXPECT_DOUBLE_EQ(a.arrival + a.exec_time + a.slack(), a.real_deadline);
+}
+
+TEST(Attributes, NegativeSlackMeansInfeasible) {
+  Attributes a;
+  a.arrival = 0.0;
+  a.exec_time = 5.0;
+  a.real_deadline = 3.0;
+  EXPECT_LT(a.slack(), 0.0);
+}
+
+TEST(Attributes, VirtualSlackUsesVirtualDeadline) {
+  Attributes a;
+  a.arrival = 0.0;
+  a.exec_time = 2.0;
+  a.real_deadline = 10.0;
+  a.virtual_deadline = 4.0;  // a DIV-x style promotion
+  EXPECT_DOUBLE_EQ(a.slack(), 8.0);
+  EXPECT_DOUBLE_EQ(a.virtual_slack(), 2.0);
+}
+
+TEST(Attributes, ConsistencyChecks) {
+  Attributes ok;
+  ok.exec_time = 1.0;
+  ok.pred_exec = 2.0;
+  EXPECT_TRUE(ok.consistent());
+
+  Attributes bad;
+  bad.exec_time = -1.0;
+  EXPECT_FALSE(bad.consistent());
+  bad.exec_time = 1.0;
+  bad.pred_exec = -0.5;
+  EXPECT_FALSE(bad.consistent());
+}
+
+}  // namespace

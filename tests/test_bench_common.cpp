@@ -1,0 +1,72 @@
+// Tests for the bench output helpers (bench/common.hpp) — they feed every
+// figure binary, so formatting regressions matter.
+#include "bench/common.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sda;
+
+exp::SweepPoint point(double x, int cls, int finished, int missed, int reps) {
+  exp::SweepPoint p;
+  p.x = x;
+  for (int rep = 0; rep < reps; ++rep) {
+    metrics::Collector c;
+    for (int i = 0; i < finished; ++i) {
+      c.record(cls, 0.0, i < missed, false, 1.0);
+    }
+    p.report.add_replication(c);
+  }
+  return p;
+}
+
+TEST(BenchCommon, MdCellSingleReplication) {
+  const auto p = point(0.5, metrics::kLocalClass, 10, 2, 1);
+  EXPECT_EQ(bench::md_cell(p, metrics::kLocalClass), "20.0%");
+}
+
+TEST(BenchCommon, MdCellWithCi) {
+  const auto p = point(0.5, metrics::kLocalClass, 10, 2, 2);
+  const std::string cell = bench::md_cell(p, metrics::kLocalClass);
+  EXPECT_NE(cell.find("20.0"), std::string::npos);
+  EXPECT_NE(cell.find("\xc2\xb1"), std::string::npos);
+}
+
+TEST(BenchCommon, LoadSweepTablePrints) {
+  exp::figures::LoadSweepSeries s{"ud", "ud", {}};
+  s.points.push_back(point(0.3, metrics::kLocalClass, 10, 1, 1));
+  s.points.push_back(point(0.6, metrics::kLocalClass, 10, 4, 1));
+  testing::internal::CaptureStdout();
+  bench::print_load_sweep_table({s}, "load");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("MD_local(ud)"), std::string::npos);
+  EXPECT_NE(out.find("0.30"), std::string::npos);
+  EXPECT_NE(out.find("40.0%"), std::string::npos);
+}
+
+TEST(BenchCommon, SspTagInHeader) {
+  exp::figures::LoadSweepSeries s{"div-1", "eqf", {}};
+  s.points.push_back(point(0.5, metrics::kLocalClass, 10, 1, 1));
+  testing::internal::CaptureStdout();
+  bench::print_load_sweep_table({s}, "load");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("eqf-div-1"), std::string::npos);
+}
+
+TEST(BenchCommon, ChartHandlesEmptySeries) {
+  testing::internal::CaptureStdout();
+  bench::chart_load_sweep({}, "load");
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("no data"), std::string::npos);
+}
+
+TEST(BenchCommon, CheckLineFormatsPercentages) {
+  testing::internal::CaptureStdout();
+  bench::check_line("MD_global", 0.251, 0.25);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("25.1%"), std::string::npos);
+  EXPECT_NE(out.find("25.0%"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,79 @@
+// Unit tests for the fluent task-tree builder.
+#include "src/task/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/task/notation.hpp"
+
+namespace {
+
+using namespace sda::task;
+
+TEST(Builder, FlatSerial) {
+  TreePtr t = serial().leaf(0, 1.0).leaf(1, 2.0).leaf(2, 3.0).build();
+  ASSERT_TRUE(t->is_serial());
+  EXPECT_EQ(leaf_count(*t), 3);
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 6.0);
+}
+
+TEST(Builder, FlatParallel) {
+  TreePtr t = parallel().leaf(0, 1.0).leaf(1, 5.0).build();
+  ASSERT_TRUE(t->is_parallel());
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 5.0);
+}
+
+TEST(Builder, NestedMatchesNotation) {
+  // Reconstruct the paper's Figure 14 pipeline and compare with the
+  // notation parser's version structurally.
+  TreePtr built = serial()
+                      .leaf(0, 1.0)
+                      .parallel([](CompositeBuilder& p) {
+                        for (int i = 1; i <= 4; ++i) p.leaf(i, 1.0);
+                      })
+                      .leaf(5, 1.0)
+                      .parallel([](CompositeBuilder& p) {
+                        for (int i = 0; i <= 3; ++i) p.leaf(i, 1.0);
+                      })
+                      .leaf(4, 1.0)
+                      .build();
+  EXPECT_EQ(leaf_count(*built), 11);
+  EXPECT_EQ(built->children.size(), 5u);
+  EXPECT_TRUE(built->children[1]->is_parallel());
+  EXPECT_TRUE(validate(*built).empty());
+}
+
+TEST(Builder, SingleChildCollapses) {
+  TreePtr t = serial().leaf(0, 2.0).build();
+  EXPECT_TRUE(t->is_leaf());
+}
+
+TEST(Builder, SubtreeSplicing) {
+  TreePtr inner = parse_notation("[A@0:1 || B@1:1]");
+  TreePtr t = serial().leaf(2, 1.0).subtree(std::move(inner)).build();
+  EXPECT_EQ(leaf_count(*t), 3);
+  EXPECT_TRUE(t->children[1]->is_parallel());
+  EXPECT_THROW(serial().subtree(nullptr), std::invalid_argument);
+}
+
+TEST(Builder, EmptyCompositeThrows) {
+  EXPECT_THROW(serial().build(), std::invalid_argument);
+  EXPECT_THROW(
+      serial().leaf(0, 1.0).parallel([](CompositeBuilder&) {}).build(),
+      std::invalid_argument);
+}
+
+TEST(Builder, ValidatesLeaves) {
+  EXPECT_THROW(serial().leaf(-1, 1.0).leaf(0, 1.0).build(),
+               std::invalid_argument);  // unbound node
+  EXPECT_THROW(serial().leaf(0, -1.0).leaf(1, 1.0).build(),
+               std::invalid_argument);  // negative demand
+}
+
+TEST(Builder, PexDefaultsAndNames) {
+  TreePtr t = parallel().leaf(0, 2.0, -1.0, "alpha").leaf(1, 3.0, 2.5).build();
+  EXPECT_DOUBLE_EQ(t->children[0]->pred_exec, 2.0);
+  EXPECT_EQ(t->children[0]->name, "alpha");
+  EXPECT_DOUBLE_EQ(t->children[1]->pred_exec, 2.5);
+}
+
+}  // namespace

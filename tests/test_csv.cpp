@@ -1,0 +1,80 @@
+// Unit tests for CSV export.
+#include "src/exp/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "src/metrics/task_class.hpp"
+
+namespace {
+
+using namespace sda;
+using namespace sda::exp;
+
+SweepPoint make_point(double x, int cls, int finished, int missed) {
+  metrics::Collector c;
+  for (int i = 0; i < finished; ++i) c.record(cls, 0.0, i < missed, false, 1.0);
+  SweepPoint p;
+  p.x = x;
+  p.report.add_replication(c);
+  return p;
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::vector<SweepPoint> points;
+  points.push_back(make_point(0.3, metrics::kLocalClass, 10, 1));
+  points.push_back(make_point(0.6, metrics::kLocalClass, 10, 4));
+  const std::string csv = sweep_to_csv(points, "load");
+  std::istringstream is(csv);
+  std::string line;
+  std::getline(is, line);
+  EXPECT_EQ(line,
+            "load,class,class_name,miss_rate,miss_rate_hw,missed_work,"
+            "finished");
+  std::getline(is, line);
+  EXPECT_NE(line.find("0.3,0,local,0.1"), std::string::npos);
+  std::getline(is, line);
+  EXPECT_NE(line.find("0.6,0,local,0.4"), std::string::npos);
+  EXPECT_FALSE(std::getline(is, line) && !line.empty());
+}
+
+TEST(Csv, MultipleClassesPerPoint) {
+  metrics::Collector c;
+  c.record(metrics::kLocalClass, 0.0, false, false, 1.0);
+  c.record(metrics::global_class(4), 0.0, true, false, 4.0);
+  SweepPoint p;
+  p.x = 0.5;
+  p.report.add_replication(c);
+  const std::string csv = sweep_to_csv({p});
+  EXPECT_NE(csv.find("local"), std::string::npos);
+  EXPECT_NE(csv.find("global(n=4)"), std::string::npos);
+}
+
+TEST(Csv, SeriesForm) {
+  std::vector<std::pair<std::string, std::vector<SweepPoint>>> series;
+  series.push_back({"ud", {make_point(0.5, 0, 10, 5)}});
+  series.push_back({"gf", {make_point(0.5, 0, 10, 1)}});
+  const std::string csv = series_to_csv(series, "load");
+  EXPECT_NE(csv.find("series,load,"), std::string::npos);
+  EXPECT_NE(csv.find("ud,0.5,"), std::string::npos);
+  EXPECT_NE(csv.find("gf,0.5,"), std::string::npos);
+}
+
+TEST(Csv, WriteTextFileRoundTrip) {
+  const std::string path = testing::TempDir() + "sda_csv_test.csv";
+  ASSERT_TRUE(write_text_file(path, "a,b\n1,2\n"));
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\n1,2\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, WriteToBadPathFails) {
+  EXPECT_FALSE(write_text_file("/nonexistent-dir-xyz/file.csv", "x"));
+}
+
+}  // namespace

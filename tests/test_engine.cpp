@@ -1,0 +1,184 @@
+// Unit tests for the discrete-event engine.
+#include "src/sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using sda::sim::Engine;
+using sda::sim::EventId;
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+  EXPECT_EQ(e.events_fired(), 0u);
+  EXPECT_EQ(e.events_pending(), 0u);
+}
+
+TEST(Engine, AtAdvancesClockToEventTime) {
+  Engine e;
+  double seen = -1.0;
+  e.at(5.0, [&] { seen = e.now(); });
+  e.run();
+  EXPECT_DOUBLE_EQ(seen, 5.0);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+}
+
+TEST(Engine, InIsRelative) {
+  Engine e;
+  std::vector<double> times;
+  e.at(2.0, [&] {
+    e.in(3.0, [&] { times.push_back(e.now()); });
+  });
+  e.run();
+  ASSERT_EQ(times.size(), 1u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+}
+
+TEST(Engine, SchedulingInPastThrows) {
+  Engine e;
+  e.at(10.0, [] {});
+  e.run();
+  EXPECT_THROW(e.at(5.0, [] {}), std::logic_error);
+  EXPECT_THROW(e.in(-1.0, [] {}), std::logic_error);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    e.at(static_cast<double>(i), [&] { ++fired; });
+  }
+  const auto n = e.run_until(5.0);
+  EXPECT_EQ(n, 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_DOUBLE_EQ(e.now(), 5.0);
+  EXPECT_EQ(e.events_pending(), 5u);
+}
+
+TEST(Engine, RunUntilIncludesEventsExactlyAtHorizon) {
+  Engine e;
+  bool fired = false;
+  e.at(5.0, [&] { fired = true; });
+  e.run_until(5.0);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Engine, RunUntilAdvancesClockToHorizonWhenIdle) {
+  Engine e;
+  e.run_until(100.0);
+  EXPECT_DOUBLE_EQ(e.now(), 100.0);
+}
+
+TEST(Engine, StopBreaksRun) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    e.at(static_cast<double>(i), [&] {
+      ++fired;
+      if (fired == 3) e.stop();
+    });
+  }
+  e.run();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(e.events_pending(), 7u);
+  // A subsequent run() resumes.
+  e.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, StepFiresExactlyOne) {
+  Engine e;
+  int fired = 0;
+  e.at(1.0, [&] { ++fired; });
+  e.at(2.0, [&] { ++fired; });
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(e.step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(e.step());
+}
+
+TEST(Engine, CancelPending) {
+  Engine e;
+  bool fired = false;
+  const EventId id = e.at(1.0, [&] { fired = true; });
+  EXPECT_TRUE(e.pending(id));
+  EXPECT_TRUE(e.cancel(id));
+  EXPECT_FALSE(e.pending(id));
+  e.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Engine, EventsFiredAccumulates) {
+  Engine e;
+  for (int i = 0; i < 5; ++i) e.at(static_cast<double>(i), [] {});
+  e.run();
+  for (int i = 0; i < 3; ++i) e.at(e.now() + 1.0, [] {});
+  e.run();
+  EXPECT_EQ(e.events_fired(), 8u);
+}
+
+TEST(Engine, SelfSchedulingChainTerminates) {
+  Engine e;
+  int remaining = 100;
+  std::function<void()> tick = [&] {
+    if (--remaining > 0) e.in(0.5, tick);
+  };
+  e.in(0.5, tick);
+  e.run();
+  EXPECT_EQ(remaining, 0);
+  EXPECT_DOUBLE_EQ(e.now(), 50.0);
+}
+
+TEST(Engine, CancelFromWithinEarlierSimultaneousEvent) {
+  // Two events at the same timestamp; the first cancels the second.
+  Engine e;
+  bool second_fired = false;
+  EventId second;
+  e.at(1.0, [&] { EXPECT_TRUE(e.cancel(second)); });
+  second = e.at(1.0, [&] { second_fired = true; });
+  e.run();
+  EXPECT_FALSE(second_fired);
+}
+
+TEST(Engine, RescheduleFromWithinCallback) {
+  Engine e;
+  std::vector<double> fired_at;
+  e.at(1.0, [&] {
+    fired_at.push_back(e.now());
+    e.at(1.0, [&] { fired_at.push_back(e.now()); });  // same timestamp again
+  });
+  e.run();
+  ASSERT_EQ(fired_at.size(), 2u);
+  EXPECT_DOUBLE_EQ(fired_at[0], 1.0);
+  EXPECT_DOUBLE_EQ(fired_at[1], 1.0);
+}
+
+TEST(Engine, RunUntilRepeatedHorizons) {
+  Engine e;
+  int fired = 0;
+  for (int i = 1; i <= 4; ++i) e.at(static_cast<double>(i), [&] { ++fired; });
+  e.run_until(2.0);
+  EXPECT_EQ(fired, 2);
+  e.run_until(2.0);  // no-op: nothing left at or before 2
+  EXPECT_EQ(fired, 2);
+  e.run_until(10.0);
+  EXPECT_EQ(fired, 4);
+  EXPECT_DOUBLE_EQ(e.now(), 10.0);
+}
+
+TEST(Engine, SimultaneousEventsFireInScheduleOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.at(1.0, [&] { order.push_back(1); });
+  e.at(1.0, [&] { order.push_back(2); });
+  e.at(1.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+// Unit tests for environment-variable configuration.
+#include "src/util/env.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace {
+
+using sda::util::bench_env;
+using sda::util::env_double;
+using sda::util::env_flag;
+using sda::util::env_int;
+
+class EnvTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const char* name : {"SDA_TEST_X", "SDA_SIM_TIME", "SDA_REPS",
+                             "SDA_WARMUP", "SDA_SEED", "SDA_FULL"}) {
+      unsetenv(name);
+    }
+  }
+};
+
+TEST_F(EnvTest, DoubleFallback) {
+  EXPECT_DOUBLE_EQ(env_double("SDA_TEST_X", 1.5), 1.5);
+  setenv("SDA_TEST_X", "2.25", 1);
+  EXPECT_DOUBLE_EQ(env_double("SDA_TEST_X", 1.5), 2.25);
+  setenv("SDA_TEST_X", "not-a-number", 1);
+  EXPECT_DOUBLE_EQ(env_double("SDA_TEST_X", 1.5), 1.5);
+  setenv("SDA_TEST_X", "", 1);
+  EXPECT_DOUBLE_EQ(env_double("SDA_TEST_X", 1.5), 1.5);
+}
+
+TEST_F(EnvTest, IntFallback) {
+  EXPECT_EQ(env_int("SDA_TEST_X", 7), 7);
+  setenv("SDA_TEST_X", "42", 1);
+  EXPECT_EQ(env_int("SDA_TEST_X", 7), 42);
+  setenv("SDA_TEST_X", "-3", 1);
+  EXPECT_EQ(env_int("SDA_TEST_X", 7), -3);
+}
+
+TEST_F(EnvTest, Flags) {
+  EXPECT_FALSE(env_flag("SDA_TEST_X"));
+  for (const char* truthy : {"1", "true", "yes", "on"}) {
+    setenv("SDA_TEST_X", truthy, 1);
+    EXPECT_TRUE(env_flag("SDA_TEST_X")) << truthy;
+  }
+  setenv("SDA_TEST_X", "0", 1);
+  EXPECT_FALSE(env_flag("SDA_TEST_X"));
+}
+
+TEST_F(EnvTest, BenchEnvDefaults) {
+  const auto e = bench_env();
+  EXPECT_DOUBLE_EQ(e.sim_time, 200000.0);
+  EXPECT_EQ(e.replications, 2);
+  EXPECT_DOUBLE_EQ(e.warmup_fraction, 0.05);
+}
+
+TEST_F(EnvTest, BenchEnvOverrides) {
+  setenv("SDA_SIM_TIME", "5000", 1);
+  setenv("SDA_REPS", "3", 1);
+  setenv("SDA_SEED", "99", 1);
+  const auto e = bench_env();
+  EXPECT_DOUBLE_EQ(e.sim_time, 5000.0);
+  EXPECT_EQ(e.replications, 3);
+  EXPECT_EQ(e.seed, 99u);
+}
+
+TEST_F(EnvTest, FullFlagSetsPaperRunLength) {
+  setenv("SDA_FULL", "1", 1);
+  const auto e = bench_env();
+  EXPECT_DOUBLE_EQ(e.sim_time, 1e6);
+  EXPECT_EQ(e.replications, 2);
+}
+
+TEST_F(EnvTest, ExplicitSimTimeBeatsFull) {
+  setenv("SDA_FULL", "1", 1);
+  setenv("SDA_SIM_TIME", "123", 1);
+  EXPECT_DOUBLE_EQ(bench_env().sim_time, 123.0);
+}
+
+TEST_F(EnvTest, DescribeMentionsSettings) {
+  const auto e = bench_env();
+  const std::string d = e.describe();
+  EXPECT_NE(d.find("sim_time"), std::string::npos);
+  EXPECT_NE(d.find("seed"), std::string::npos);
+}
+
+}  // namespace

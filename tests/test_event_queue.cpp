@@ -1,0 +1,135 @@
+// Unit tests for the cancellable event queue.
+#include "src/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/util/rng.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace {
+
+using sda::sim::EventId;
+using sda::sim::EventQueue;
+
+TEST(EventQueue, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(3.0, [&] { fired.push_back(3); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(2.0, [&] { fired.push_back(2); });
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, PeekDoesNotRemove) {
+  EventQueue q;
+  q.push(7.0, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), 7.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  q.push(2.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_DOUBLE_EQ(q.peek_time(), 2.0);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelDefaultIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, PendingTracksLifecycle) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  EXPECT_TRUE(q.pending(id));
+  q.pop();
+  EXPECT_FALSE(q.pending(id));
+  const EventId id2 = q.push(1.0, [] {});
+  q.cancel(id2);
+  EXPECT_FALSE(q.pending(id2));
+}
+
+TEST(EventQueue, PopOnEmptyThrows) {
+  EventQueue q;
+  EXPECT_THROW(q.pop(), std::logic_error);
+  EXPECT_THROW(q.peek_time(), std::logic_error);
+}
+
+TEST(EventQueue, AllCancelledBehavesEmpty) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 5; ++i) ids.push_back(q.push(i, [] {}));
+  for (EventId id : ids) q.cancel(id);
+  EXPECT_TRUE(q.empty());
+  EXPECT_THROW(q.pop(), std::logic_error);
+}
+
+TEST(EventQueue, InterleavedCancelKeepsOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ids.push_back(q.push(static_cast<double>(i), [&fired, i] { fired.push_back(i); }));
+  }
+  for (int i = 0; i < 10; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3, 5, 7, 9}));
+}
+
+TEST(EventQueue, ManyEventsStressOrder) {
+  EventQueue q;
+  // Deterministic pseudo-random times; verify nondecreasing pop order.
+  std::uint64_t s = 99;
+  for (int i = 0; i < 10000; ++i) {
+    const double t = static_cast<double>(sda::util::splitmix64_next(s) >> 40);
+    q.push(t, [] {});
+  }
+  double last = -1.0;
+  while (!q.empty()) {
+    const double t = q.peek_time();
+    q.pop();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace

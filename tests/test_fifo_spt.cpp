@@ -1,0 +1,77 @@
+// Unit tests for the FIFO and SPT ablation schedulers and the factory.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/sched/fifo.hpp"
+#include "src/sched/scheduler.hpp"
+#include "src/sched/spt.hpp"
+#include "src/task/task.hpp"
+
+namespace {
+
+using namespace sda;
+using task::make_local_task;
+using task::TaskPtr;
+
+TEST(Fifo, ArrivalOrder) {
+  sched::FifoScheduler q;
+  q.push(make_local_task(1, 0, 0.0, 1.0, 100.0));
+  q.push(make_local_task(2, 0, 0.0, 1.0, 1.0));  // earlier deadline, later pop
+  q.push(make_local_task(3, 0, 0.0, 1.0, 50.0));
+  EXPECT_EQ(q.pop()->id, 1u);
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop(), nullptr);
+}
+
+TEST(Fifo, PeekAndRemove) {
+  sched::FifoScheduler q;
+  TaskPtr a = make_local_task(1, 0, 0.0, 1.0, 1.0);
+  TaskPtr b = make_local_task(2, 0, 0.0, 1.0, 2.0);
+  q.push(a);
+  q.push(b);
+  EXPECT_EQ(q.peek()->id, 1u);
+  EXPECT_EQ(q.remove(*a).get(), a.get());
+  EXPECT_EQ(q.peek()->id, 2u);
+  EXPECT_EQ(q.remove(*a), nullptr);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Spt, ShortestPredictedFirst) {
+  sched::SptScheduler q;
+  TaskPtr slow = make_local_task(1, 0, 0.0, 5.0, 100.0);
+  TaskPtr fast = make_local_task(2, 0, 0.0, 0.5, 100.0);
+  TaskPtr mid = make_local_task(3, 0, 0.0, 2.0, 100.0);
+  q.push(slow);
+  q.push(fast);
+  q.push(mid);
+  EXPECT_EQ(q.pop()->id, 2u);
+  EXPECT_EQ(q.pop()->id, 3u);
+  EXPECT_EQ(q.pop()->id, 1u);
+}
+
+TEST(Spt, TiesFifoAndRemove) {
+  sched::SptScheduler q;
+  TaskPtr a = make_local_task(1, 0, 0.0, 1.0, 10.0);
+  TaskPtr b = make_local_task(2, 0, 0.0, 1.0, 20.0);
+  q.push(a);
+  q.push(b);
+  EXPECT_EQ(q.peek()->id, 1u);
+  EXPECT_EQ(q.remove(*a).get(), a.get());
+  EXPECT_EQ(q.pop()->id, 2u);
+}
+
+TEST(Factory, KnownPolicies) {
+  EXPECT_EQ(sched::make_scheduler("edf")->name(), "EDF");
+  EXPECT_EQ(sched::make_scheduler("EDF")->name(), "EDF");
+  EXPECT_EQ(sched::make_scheduler("fifo")->name(), "FIFO");
+  EXPECT_EQ(sched::make_scheduler("spt")->name(), "SPT");
+}
+
+TEST(Factory, UnknownPolicyThrows) {
+  EXPECT_THROW(sched::make_scheduler("lifo"), std::invalid_argument);
+  EXPECT_THROW(sched::make_scheduler(""), std::invalid_argument);
+}
+
+}  // namespace

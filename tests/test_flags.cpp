@@ -1,0 +1,91 @@
+// Unit tests for the command-line flag parser.
+#include "src/util/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sda::util::Flags;
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const Flags f = parse({"--load=0.6", "--psp=div-1"});
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 0.6);
+  EXPECT_EQ(f.get_string("psp"), "div-1");
+}
+
+TEST(Flags, SpaceForm) {
+  const Flags f = parse({"--load", "0.6", "--psp", "gf"});
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 0.6);
+  EXPECT_EQ(f.get_string("psp"), "gf");
+}
+
+TEST(Flags, SwitchForm) {
+  const Flags f = parse({"--pm-abort", "--load", "0.5"});
+  EXPECT_TRUE(f.has("pm-abort"));
+  EXPECT_TRUE(f.get_bool("pm-abort"));
+  EXPECT_FALSE(f.get_bool("local-abort"));
+  EXPECT_FALSE(f.has("local-abort"));
+}
+
+TEST(Flags, SwitchFollowedByFlagTakesNoValue) {
+  const Flags f = parse({"--preemptive", "--load=0.7"});
+  EXPECT_TRUE(f.get_bool("preemptive"));
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 0.7);
+}
+
+TEST(Flags, BoolValues) {
+  EXPECT_FALSE(parse({"--x=false"}).get_bool("x", true));
+  EXPECT_FALSE(parse({"--x=0"}).get_bool("x", true));
+  EXPECT_TRUE(parse({"--x=yes"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=on"}).get_bool("x"));
+  EXPECT_TRUE(parse({"--x=garbage"}).get_bool("x", true));  // fallback
+}
+
+TEST(Flags, IntParsing) {
+  const Flags f = parse({"--k=8", "--seed", "42", "--bad=x2"});
+  EXPECT_EQ(f.get_int("k", 0), 8);
+  EXPECT_EQ(f.get_int("seed", 0), 42);
+  EXPECT_EQ(f.get_int("bad", 7), 7);
+  EXPECT_EQ(f.get_int("absent", -1), -1);
+}
+
+TEST(Flags, DoubleFallbacks) {
+  const Flags f = parse({"--x=abc"});
+  EXPECT_DOUBLE_EQ(f.get_double("x", 1.5), 1.5);
+  EXPECT_DOUBLE_EQ(f.get_double("absent", 2.5), 2.5);
+}
+
+TEST(Flags, Positionals) {
+  const Flags f = parse({"input.txt", "--load=0.5", "more"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.txt");
+  EXPECT_EQ(f.positional()[1], "more");
+}
+
+TEST(Flags, DoubleDashEndsFlags) {
+  const Flags f = parse({"--load=0.5", "--", "--not-a-flag"});
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 0.5);
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "--not-a-flag");
+}
+
+TEST(Flags, UnusedTracking) {
+  const Flags f = parse({"--used=1", "--typo=2"});
+  (void)f.get_int("used", 0);
+  const auto unused = f.unused();
+  ASSERT_EQ(unused.size(), 1u);
+  EXPECT_EQ(unused[0], "typo");
+}
+
+TEST(Flags, LastWriteWins) {
+  const Flags f = parse({"--load=0.3", "--load=0.9"});
+  EXPECT_DOUBLE_EQ(f.get_double("load", 0.0), 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,75 @@
+// Unit tests for the fixed-width histogram.
+#include "src/util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using sda::util::Histogram;
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(h.bucket_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsFallInRightBuckets) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bucket 0 (inclusive lower edge)
+  h.add(1.99);  // bucket 0
+  h.add(2.0);   // bucket 1
+  h.add(9.99);  // bucket 4
+  h.add(-0.1);  // underflow
+  h.add(10.0);  // overflow (hi is exclusive)
+  h.add(100.0); // overflow
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 7u);
+}
+
+TEST(Histogram, QuantileOnUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+  EXPECT_NEAR(h.quantile(1.0), 100.0, 1.5);
+}
+
+TEST(Histogram, QuantileEmptyReturnsLo) {
+  Histogram h(5.0, 10.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+}
+
+TEST(Histogram, QuantileClampsArgument) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25);
+  EXPECT_NO_THROW(h.quantile(-1.0));
+  EXPECT_NO_THROW(h.quantile(2.0));
+}
+
+TEST(Histogram, RenderMentionsCountsAndOverflow) {
+  Histogram h(0.0, 2.0, 2);
+  h.add(0.5);
+  h.add(0.6);
+  h.add(5.0);
+  const std::string out = h.render();
+  EXPECT_NE(out.find("2"), std::string::npos);
+  EXPECT_NE(out.find("overflow 1"), std::string::npos);
+  EXPECT_EQ(out.find("underflow"), std::string::npos);
+}
+
+}  // namespace

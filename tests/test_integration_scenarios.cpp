@@ -1,0 +1,58 @@
+// End-to-end integration: every named scenario runs through the full stack
+// (runner + PM + EDF nodes) and produces sane, strategy-sensitive results.
+#include <gtest/gtest.h>
+
+#include "src/exp/runner.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/workload/scenarios.hpp"
+
+namespace {
+
+using namespace sda;
+
+class ScenarioIntegration
+    : public ::testing::TestWithParam<workload::Scenario> {};
+
+TEST_P(ScenarioIntegration, RunsCleanlyUnderBothSdaExtremes) {
+  const workload::Scenario& scenario = GetParam();
+  exp::ExperimentConfig c = exp::graph_config();
+  c.stage_widths = scenario.stage_widths;
+  c.sim_time = 15000.0;
+  c.replications = 1;
+  c.load = 0.55;
+
+  const exp::RunResult naive = exp::run_once(c, 13);
+  c.psp = "div-1";
+  c.ssp = "eqf";
+  const exp::RunResult tuned = exp::run_once(c, 13);
+
+  for (const exp::RunResult* r : {&naive, &tuned}) {
+    EXPECT_NEAR(r->mean_utilization, 0.55, 0.06) << scenario.name;
+    const auto counts = r->collector.counts(metrics::global_class(0));
+    EXPECT_GT(counts.finished, 50u) << scenario.name;
+    EXPECT_LE(counts.missed, counts.finished);
+  }
+  // EQF-DIV1 never does meaningfully worse than UD-UD on globals, and for
+  // multi-stage scenarios it should do clearly better.
+  const double md_naive =
+      naive.collector.counts(metrics::global_class(0)).miss_rate();
+  const double md_tuned =
+      tuned.collector.counts(metrics::global_class(0)).miss_rate();
+  EXPECT_LE(md_tuned, md_naive + 0.02) << scenario.name;
+  if (scenario.stage_widths.size() >= 3) {
+    EXPECT_LT(md_tuned, md_naive) << scenario.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, ScenarioIntegration,
+    ::testing::ValuesIn(workload::scenarios()),
+    [](const ::testing::TestParamInfo<workload::Scenario>& info) {
+      std::string name = info.param.name;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+}  // namespace

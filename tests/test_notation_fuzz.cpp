@@ -1,0 +1,100 @@
+// Fuzz-style robustness tests for the notation parser:
+//  * random well-formed trees round-trip through print -> parse exactly;
+//  * random byte garbage either parses (if it happens to be valid) or
+//    throws NotationError — never crashes, never throws anything else.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/task/notation.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sda;
+using task::TreePtr;
+
+task::TreePtr random_tree(util::Rng& rng, int depth) {
+  if (depth == 0 || rng.uniform01() < 0.45) {
+    // Quantize demands so text round-trips are exact.
+    const double ex = static_cast<double>(rng.uniform_int(0, 80)) / 16.0;
+    const double pex = static_cast<double>(rng.uniform_int(0, 80)) / 16.0;
+    std::string name("t");
+    name += std::to_string(rng.uniform_int(0, 999));
+    return task::make_leaf(static_cast<int>(rng.uniform_int(0, 9)), ex, pex,
+                           std::move(name));
+  }
+  const int kids = static_cast<int>(rng.uniform_int(2, 4));
+  std::vector<TreePtr> children;
+  for (int i = 0; i < kids; ++i) children.push_back(random_tree(rng, depth - 1));
+  return rng.bernoulli(0.5) ? task::make_serial(std::move(children))
+                            : task::make_parallel(std::move(children));
+}
+
+bool structurally_equal(const task::TreeNode& a, const task::TreeNode& b) {
+  if (a.kind != b.kind || a.name != b.name) return false;
+  if (a.is_leaf()) {
+    return a.exec_node == b.exec_node && a.exec_time == b.exec_time &&
+           a.pred_exec == b.pred_exec;
+  }
+  if (a.children.size() != b.children.size()) return false;
+  for (std::size_t i = 0; i < a.children.size(); ++i) {
+    if (!structurally_equal(*a.children[i], *b.children[i])) return false;
+  }
+  return true;
+}
+
+TEST(NotationFuzz, RandomTreesRoundTripExactly) {
+  util::Rng rng(31337);
+  for (int trial = 0; trial < 500; ++trial) {
+    const TreePtr original = random_tree(rng, 3);
+    const std::string text = task::to_notation(*original, /*with_attrs=*/true);
+    TreePtr reparsed;
+    ASSERT_NO_THROW(reparsed = task::parse_notation(text)) << text;
+    EXPECT_TRUE(structurally_equal(*original, *reparsed)) << text;
+  }
+}
+
+TEST(NotationFuzz, PlainPrintAlsoReparses) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const TreePtr original = random_tree(rng, 3);
+    const std::string text = task::to_notation(*original, /*with_attrs=*/false);
+    TreePtr reparsed;
+    ASSERT_NO_THROW(reparsed = task::parse_notation(text)) << text;
+    EXPECT_EQ(task::leaf_count(*reparsed), task::leaf_count(*original));
+    EXPECT_EQ(task::depth(*reparsed), task::depth(*original));
+  }
+}
+
+TEST(NotationFuzz, GarbageNeverCrashes) {
+  util::Rng rng(4242);
+  const std::string alphabet = "[]|@:/. abcT0129-_e+";
+  for (int trial = 0; trial < 3000; ++trial) {
+    const int len = static_cast<int>(rng.uniform_int(0, 40));
+    std::string input;
+    for (int i = 0; i < len; ++i) {
+      input += alphabet[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+    }
+    try {
+      const TreePtr t = task::parse_notation(input);
+      // If it parsed, printing must reparse too (parser/printer agreement).
+      ASSERT_NO_THROW(task::parse_notation(task::to_notation(*t, true)))
+          << input;
+    } catch (const task::NotationError&) {
+      // expected for malformed inputs
+    }
+  }
+}
+
+TEST(NotationFuzz, DeepNestingDoesNotOverflow) {
+  // 2000 levels of brackets exercise the recursive parser's stack usage.
+  std::string text(2000, '[');
+  text.push_back('A');
+  text.append(2000, ']');
+  const TreePtr t = task::parse_notation(text);
+  EXPECT_TRUE(t->is_leaf());  // singleton composites collapse
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Unit tests for the execution-time prediction models.
+#include "src/workload/pex_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace {
+
+using sda::util::Rng;
+using sda::workload::PexKind;
+using sda::workload::PexModel;
+
+TEST(PexModel, ExactIsIdentity) {
+  Rng rng(1);
+  const PexModel m = PexModel::exact();
+  EXPECT_EQ(m.kind(), PexKind::kExact);
+  for (double ex : {0.0, 0.5, 3.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(m.predict(ex, rng), ex);
+  }
+}
+
+TEST(PexModel, LogUniformBounded) {
+  Rng rng(2);
+  const PexModel m = PexModel::log_uniform(2.0);
+  for (int i = 0; i < 10000; ++i) {
+    const double p = m.predict(4.0, rng);
+    ASSERT_GE(p, 2.0 - 1e-12);   // 4 / 2
+    ASSERT_LE(p, 8.0 + 1e-12);   // 4 * 2
+  }
+}
+
+TEST(PexModel, LogUniformUnbiasedInLogSpace) {
+  Rng rng(3);
+  const PexModel m = PexModel::log_uniform(4.0);
+  double log_sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) log_sum += std::log(m.predict(1.0, rng));
+  EXPECT_NEAR(log_sum / n, 0.0, 0.02);
+}
+
+TEST(PexModel, LogUniformFactorOneIsExact) {
+  Rng rng(4);
+  const PexModel m = PexModel::log_uniform(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(m.predict(2.5, rng), 2.5);
+}
+
+TEST(PexModel, DistributionMeanIgnoresDraw) {
+  Rng rng(5);
+  const PexModel m = PexModel::distribution_mean(1.0);
+  EXPECT_DOUBLE_EQ(m.predict(0.01, rng), 1.0);
+  EXPECT_DOUBLE_EQ(m.predict(50.0, rng), 1.0);
+  EXPECT_EQ(m.kind(), PexKind::kDistributionMean);
+  EXPECT_DOUBLE_EQ(m.parameter(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Unit tests for the analytic miss-probability predictor.
+#include "src/core/predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/analysis.hpp"
+#include "src/task/notation.hpp"
+
+namespace {
+
+using namespace sda;
+using core::leaf_on_time_probability;
+using core::NodeModel;
+using core::predict_miss;
+
+TEST(LeafOnTime, Mm1Tail) {
+  const NodeModel m{0.5, 1.0};
+  EXPECT_DOUBLE_EQ(leaf_on_time_probability(0.0, m), 0.0);
+  EXPECT_DOUBLE_EQ(leaf_on_time_probability(-1.0, m), 0.0);
+  // P[T <= 2] with sojourn rate 0.5 -> 1 - e^-1.
+  EXPECT_NEAR(leaf_on_time_probability(2.0, m), 1.0 - std::exp(-1.0), 1e-12);
+  // Monotone in window and decreasing in rho.
+  EXPECT_GT(leaf_on_time_probability(4.0, m), leaf_on_time_probability(2.0, m));
+  EXPECT_GT(leaf_on_time_probability(2.0, NodeModel{0.3, 1.0}),
+            leaf_on_time_probability(2.0, m));
+}
+
+TEST(LeafOnTime, Validation) {
+  EXPECT_THROW(leaf_on_time_probability(1.0, NodeModel{1.0, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(leaf_on_time_probability(1.0, NodeModel{-0.1, 1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(leaf_on_time_probability(1.0, NodeModel{0.5, 0.0}),
+               std::invalid_argument);
+}
+
+TEST(Predict, SingleLeafMatchesTail) {
+  const auto tree = task::parse_notation("A@0:1/1");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const NodeModel m{0.5, 1.0};
+  const auto pred = predict_miss(*tree, 0.0, 3.0, *psp, *ssp, m);
+  ASSERT_EQ(pred.leaves.size(), 1u);
+  EXPECT_DOUBLE_EQ(pred.leaves[0].window, 3.0);
+  EXPECT_NEAR(pred.on_time_probability,
+              leaf_on_time_probability(3.0, m), 1e-12);
+}
+
+TEST(Predict, ParallelAmplificationMatchesSection4) {
+  // n identical parallel leaves under UD: miss = 1 - (1 - p)^n where p is
+  // one leaf's miss probability — exactly the paper's formula.
+  const auto tree =
+      task::parse_notation("[A@0:1/1 || B@1:1/1 || C@2:1/1 || D@3:1/1]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const NodeModel m{0.5, 1.0};
+  const auto pred = predict_miss(*tree, 0.0, 5.0, *psp, *ssp, m);
+  const double leaf_miss = 1.0 - leaf_on_time_probability(5.0, m);
+  EXPECT_NEAR(pred.miss_probability,
+              core::analysis::global_miss_probability(leaf_miss, 4), 1e-12);
+}
+
+TEST(Predict, UdWindowsClampedToRealDeadline) {
+  // DIV-0.5 on one branch *extends* the virtual deadline past the real
+  // one; the predictor must clamp the window at the end-to-end deadline.
+  const auto tree = task::parse_notation("A@0:1/1");
+  const auto psp = core::make_psp_strategy("div-0.5");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const auto pred =
+      predict_miss(*tree, 0.0, 4.0, *psp, *ssp, NodeModel{0.5, 1.0});
+  EXPECT_LE(pred.leaves[0].window, 4.0);
+}
+
+TEST(Predict, MorePromotionSmallerWindows) {
+  // DIV-x shrinks windows, so the *predicted* single-task miss grows with
+  // x.  (In the real system this is offset by higher EDF priority, which
+  // the M/M/1 model cannot see — documented limitation.)
+  const auto tree = task::parse_notation("[A@0:1/1 || B@1:1/1]");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const NodeModel m{0.5, 1.0};
+  double prev = -1.0;
+  for (const char* psp_name : {"ud", "div-1", "div-2"}) {
+    const auto psp = core::make_psp_strategy(psp_name);
+    const auto pred = predict_miss(*tree, 0.0, 8.0, *psp, *ssp, m);
+    EXPECT_GT(pred.miss_probability, prev);
+    prev = pred.miss_probability;
+  }
+}
+
+TEST(Predict, SerialStagesMultiply) {
+  const auto tree = task::parse_notation("[A@0:2/2 B@1:2/2]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("eqs");
+  const NodeModel m{0.4, 1.0};
+  const auto pred = predict_miss(*tree, 0.0, 10.0, *psp, *ssp, m);
+  ASSERT_EQ(pred.leaves.size(), 2u);
+  EXPECT_NEAR(pred.on_time_probability,
+              pred.leaves[0].on_time * pred.leaves[1].on_time, 1e-12);
+  // EQS splits slack evenly: both windows are 2 + 3 = 5.
+  EXPECT_DOUBLE_EQ(pred.leaves[0].window, 5.0);
+  EXPECT_DOUBLE_EQ(pred.leaves[1].window, 5.0);
+}
+
+TEST(Predict, InfeasibleDeadlineIsCertainMiss) {
+  const auto tree = task::parse_notation("[A@0:5/5 B@1:5/5]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  const auto pred =
+      predict_miss(*tree, 0.0, 1.0, *psp, *ssp, NodeModel{0.5, 1.0});
+  // EQF with negative slack can push a stage window to <= 0.
+  EXPECT_GT(pred.miss_probability, 0.9);
+}
+
+}  // namespace

@@ -1,0 +1,256 @@
+// Cross-cutting property tests: parameterized sweeps over strategy/abort/
+// policy grids asserting invariants that must hold for EVERY configuration,
+// plus randomized EQF/plan invariants over generated trees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+
+#include "src/core/sda.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/task/tree.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sda;
+
+// ---------------------------------------------------------------------------
+// Grid property: for every (psp, pm-abort, local-abort, policy) combination
+// the assembled system satisfies basic sanity invariants.
+// ---------------------------------------------------------------------------
+
+using GridParam =
+    std::tuple<std::string /*psp*/, int /*abort mode*/, std::string /*policy*/>;
+
+class SystemInvariants : public ::testing::TestWithParam<GridParam> {};
+
+TEST_P(SystemInvariants, HoldOnShortRun) {
+  const auto& [psp, abort_mode, policy] = GetParam();
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.sim_time = 8000.0;
+  c.replications = 1;
+  c.load = 0.6;
+  c.psp = psp;
+  c.scheduler_policy = policy;
+  switch (abort_mode) {
+    case 0: break;
+    case 1: c.pm_abort = core::PmAbortMode::kRealDeadline; break;
+    case 2: c.local_abort = sched::LocalAbortPolicy::kAbortOnVirtualDeadline;
+            break;
+  }
+  if (abort_mode == 2 && psp == "gf") {
+    // GF is inapplicable under local aborts unless subtasks are protected
+    // (§7.3); exercise the protected variant.
+    c.subtasks_non_abortable = true;
+  }
+
+  const exp::RunResult r = exp::run_once(c, 77);
+
+  // Rates: miss fractions are probabilities.
+  for (int cls : r.collector.classes()) {
+    const auto counts = r.collector.counts(cls);
+    EXPECT_LE(counts.missed, counts.finished);
+    EXPECT_LE(counts.aborted, counts.missed);
+    EXPECT_GE(counts.work_total, counts.work_missed);
+  }
+  // Utilization can never exceed 1 and roughly tracks the offered load
+  // (abortion regimes shed some work, so only an upper bound plus slack).
+  EXPECT_LE(r.mean_utilization, 1.0);
+  EXPECT_GT(r.mean_utilization, 0.3);
+  // Globals are conserved.
+  EXPECT_LE(r.globals_completed + r.globals_aborted, r.globals_generated);
+  EXPECT_GE(r.globals_completed + r.globals_aborted + 200,
+            r.globals_generated);
+  // Someone finished something.
+  EXPECT_GT(r.collector.total_finished(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SystemInvariants,
+    ::testing::Combine(::testing::Values("ud", "div-1", "div-4", "gf"),
+                       ::testing::Values(0, 1, 2),
+                       ::testing::Values("edf", "fifo", "llf", "spt")),
+    [](const ::testing::TestParamInfo<GridParam>& info) {
+      const int abort_mode = std::get<1>(info.param);
+      std::string name = std::get<0>(info.param) + "_" +
+                         (abort_mode == 0   ? "noabort"
+                          : abort_mode == 1 ? "pmabort"
+                                            : "localabort") +
+                         "_" + std::get<2>(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Grid property over the serial-parallel graph workload: every SSP x PSP
+// pair (plus links and burstiness) keeps the system consistent.
+// ---------------------------------------------------------------------------
+
+using GraphParam = std::tuple<std::string /*psp*/, std::string /*ssp*/,
+                              int /*links*/, double /*burst*/>;
+
+class GraphInvariants : public ::testing::TestWithParam<GraphParam> {};
+
+TEST_P(GraphInvariants, HoldOnShortRun) {
+  const auto& [psp, ssp, links, burst] = GetParam();
+  exp::ExperimentConfig c = exp::graph_config();
+  c.sim_time = 8000.0;
+  c.replications = 1;
+  c.load = 0.55;
+  c.psp = psp;
+  c.ssp = ssp;
+  c.link_count = links;
+  c.local_burst_factor = burst;
+
+  const exp::RunResult r = exp::run_once(c, 101);
+  EXPECT_LE(r.mean_utilization, 1.0);
+  EXPECT_GT(r.mean_utilization, 0.3);
+  if (links > 0) {
+    EXPECT_GT(r.mean_link_utilization, 0.0);
+    EXPECT_LT(r.mean_link_utilization, 0.8);
+  } else {
+    EXPECT_DOUBLE_EQ(r.mean_link_utilization, 0.0);
+  }
+  EXPECT_LE(r.globals_completed, r.globals_generated);
+  EXPECT_GE(r.globals_completed + 100, r.globals_generated);
+  const auto counts = r.collector.counts(metrics::global_class(0));
+  EXPECT_GT(counts.finished, 50u);
+  EXPECT_LE(counts.missed, counts.finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, GraphInvariants,
+    ::testing::Combine(::testing::Values("ud", "div-1", "gf"),
+                       ::testing::Values("ud", "ed", "eqs", "eqf"),
+                       ::testing::Values(0, 2),
+                       ::testing::Values(1.0, 4.0)),
+    [](const ::testing::TestParamInfo<GraphParam>& info) {
+      std::string name = std::get<0>(info.param) + "_" +
+                         std::get<1>(info.param) + "_links" +
+                         std::to_string(std::get<2>(info.param)) + "_burst" +
+                         std::to_string(static_cast<int>(std::get<3>(info.param)));
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// Randomized structural property: for random serial-parallel trees and any
+// strategy pair, the offline plan covers every leaf exactly once, in DFS
+// order, and planned dispatch times are non-decreasing along serial chains.
+// ---------------------------------------------------------------------------
+
+task::TreePtr random_tree(util::Rng& rng, int depth_budget) {
+  const double roll = rng.uniform01();
+  if (depth_budget == 0 || roll < 0.4) {
+    return task::make_leaf(static_cast<int>(rng.uniform_int(0, 5)),
+                           rng.exponential(1.0), rng.exponential(1.0));
+  }
+  const int kids = static_cast<int>(rng.uniform_int(2, 4));
+  std::vector<task::TreePtr> children;
+  for (int i = 0; i < kids; ++i) {
+    children.push_back(random_tree(rng, depth_budget - 1));
+  }
+  if (roll < 0.7) return task::make_serial(std::move(children));
+  return task::make_parallel(std::move(children));
+}
+
+class PlanProperties
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {};
+
+TEST_P(PlanProperties, CoverageAndMonotoneDispatch) {
+  const auto& [psp_name, ssp_name] = GetParam();
+  const auto psp = core::make_psp_strategy(psp_name);
+  const auto ssp = core::make_ssp_strategy(ssp_name);
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 200; ++trial) {
+    const task::TreePtr tree = random_tree(rng, 3);
+    const double deadline = task::critical_path_pex(*tree) +
+                            rng.uniform(0.0, 20.0);
+    const auto plan =
+        core::plan_assignment(*tree, 0.0, deadline, *psp, *ssp);
+    const auto ls = task::leaves(*tree);
+    ASSERT_EQ(plan.size(), ls.size());
+    for (std::size_t i = 0; i < ls.size(); ++i) {
+      EXPECT_EQ(plan[i].leaf, ls[i]);
+      EXPECT_GE(plan[i].planned_dispatch, 0.0);
+      if (psp_name != "gf") {
+        // Everything except GF stays within [dispatch-anchored, deadline].
+        EXPECT_LE(plan[i].virtual_deadline, deadline + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StrategyPairs, PlanProperties,
+    ::testing::Combine(::testing::Values("ud", "div-1", "gf"),
+                       ::testing::Values("ud", "ed", "eqs", "eqf")),
+    [](const auto& info) {
+      std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      return name;
+    });
+
+// ---------------------------------------------------------------------------
+// EQF flexibility invariant on random serial chains (optimistic plan): the
+// slack/pex ratio is the same for every stage.
+// ---------------------------------------------------------------------------
+
+TEST(EqfProperty, UniformFlexibilityOnRandomChains) {
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  util::Rng rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int stages = static_cast<int>(rng.uniform_int(2, 8));
+    std::vector<task::TreePtr> chain;
+    double total_pex = 0.0;
+    for (int i = 0; i < stages; ++i) {
+      const double pex = rng.uniform(0.1, 5.0);
+      total_pex += pex;
+      chain.push_back(task::make_leaf(0, pex, pex));
+    }
+    const task::TreePtr tree = task::make_serial(std::move(chain));
+    const double slack = rng.uniform(0.1, 30.0);
+    const double deadline = total_pex + slack;
+    const auto plan = core::plan_assignment(*tree, 0.0, deadline, *psp, *ssp);
+
+    const double expected_flex = slack / total_pex;
+    for (const auto& a : plan) {
+      const double flex =
+          (a.virtual_deadline - a.planned_dispatch - a.leaf->pred_exec) /
+          a.leaf->pred_exec;
+      EXPECT_NEAR(flex, expected_flex, 1e-6);
+    }
+    // The last stage's deadline equals the end-to-end deadline.
+    EXPECT_NEAR(plan.back().virtual_deadline, deadline, 1e-6);
+  }
+}
+
+// The DIV-x virtual deadline converges to the arrival time as x -> inf but
+// never reaches it (the paper's DIV-100 discussion).
+TEST(DivProperty, ApproachesArrivalFromAbove) {
+  core::PspContext ctx;
+  ctx.now = 5.0;
+  ctx.deadline = 15.0;
+  ctx.branch_count = 4;
+  double prev = 1e300;
+  for (double x : {1.0, 10.0, 100.0, 1000.0, 1e6}) {
+    const auto div = core::make_psp_strategy("div-" + std::to_string(x));
+    const double v = div->assign(ctx, 0, 1.0);
+    EXPECT_GT(v, ctx.now);
+    EXPECT_LT(v, prev);
+    prev = v;
+  }
+  EXPECT_NEAR(prev, ctx.now, 1e-5);
+}
+
+}  // namespace

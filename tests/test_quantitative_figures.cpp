@@ -1,0 +1,97 @@
+// Quantitative regression locks: the numbers recorded in EXPERIMENTS.md,
+// re-measured at reduced run length with tolerances wide enough for the
+// statistical noise but tight enough to catch real regressions in the
+// simulator or the strategies.
+#include <gtest/gtest.h>
+
+#include "src/exp/figures.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/task_class.hpp"
+
+namespace {
+
+using namespace sda;
+
+exp::ExperimentConfig quick_baseline() {
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.sim_time = 50000.0;
+  c.replications = 1;
+  return c;
+}
+
+double md(const metrics::Report& r, int cls) {
+  return r.summary(cls).miss_rate.mean;
+}
+
+TEST(QuantFig5, BaselinePointsAtLoads) {
+  // EXPERIMENTS.md table: load -> (local, global) under UD.
+  const struct {
+    double load, local, global;
+  } expected[] = {
+      {0.3, 0.034, 0.086},
+      {0.5, 0.088, 0.251},
+      {0.7, 0.230, 0.595},
+  };
+  for (const auto& e : expected) {
+    exp::ExperimentConfig c = quick_baseline();
+    c.load = e.load;
+    const auto r = exp::run_experiment(c);
+    EXPECT_NEAR(md(r, metrics::kLocalClass), e.local, 0.02)
+        << "load " << e.load;
+    EXPECT_NEAR(md(r, metrics::global_class(4)), e.global, 0.04)
+        << "load " << e.load;
+  }
+}
+
+TEST(QuantFig7, GfAtHighLoad) {
+  exp::ExperimentConfig c = quick_baseline();
+  c.load = 0.8;
+  c.psp = "gf";
+  const auto r = exp::run_experiment(c);
+  // EXPERIMENTS.md: 15.8% at load 0.8 (vs 81.3% under UD).
+  EXPECT_NEAR(md(r, metrics::global_class(4)), 0.158, 0.05);
+}
+
+TEST(QuantFig11, AbortionPoints) {
+  exp::ExperimentConfig c = quick_baseline();
+  c.pm_abort = core::PmAbortMode::kRealDeadline;
+  const auto ud = exp::run_experiment(c);
+  EXPECT_NEAR(md(ud, metrics::global_class(4)), 0.149, 0.03);
+  c.psp = "div-1";
+  const auto div1 = exp::run_experiment(c);
+  EXPECT_NEAR(md(div1, metrics::global_class(4)), 0.082, 0.025);
+}
+
+TEST(QuantFig12, PerClassPointsUnderUd) {
+  exp::ExperimentConfig c = quick_baseline();
+  c.sim_time = 80000.0;
+  c.n_min = 2;
+  c.n_max = 6;
+  const auto r = exp::run_experiment(c);
+  EXPECT_NEAR(md(r, metrics::global_class(2)), 0.148, 0.04);
+  EXPECT_NEAR(md(r, metrics::global_class(6)), 0.321, 0.06);
+}
+
+TEST(QuantFig15, GraphPointsAtLoad06) {
+  exp::ExperimentConfig c = exp::graph_config();
+  c.sim_time = 50000.0;
+  c.replications = 1;
+  c.load = 0.6;
+  const auto udud = exp::run_experiment(c);
+  EXPECT_NEAR(md(udud, metrics::global_class(0)), 0.474, 0.07);
+  c.psp = "div-1";
+  c.ssp = "eqf";
+  const auto eqfdiv = exp::run_experiment(c);
+  EXPECT_NEAR(md(eqfdiv, metrics::global_class(0)), 0.193, 0.06);
+}
+
+TEST(QuantMissedWork, Section61Numbers) {
+  exp::ExperimentConfig c = quick_baseline();
+  const auto ud = exp::run_experiment(c);
+  c.psp = "div-1";
+  const auto div1 = exp::run_experiment(c);
+  EXPECT_NEAR(ud.overall_missed_work().mean, 0.141, 0.025);
+  EXPECT_NEAR(div1.overall_missed_work().mean, 0.117, 0.025);
+}
+
+}  // namespace

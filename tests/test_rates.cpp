@@ -1,0 +1,96 @@
+// Unit tests for the load-equation solver (paper Section 5).
+#include "src/workload/rates.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sda::workload;
+
+TEST(Rates, BaselineTable1) {
+  // k=6, load .5, frac_local .75, n=4 (expected work 4):
+  // lambda_local = .5*.75 = .375 per node;
+  // lambda_global = .5*.25*6/4 = .1875.
+  RateParams p;
+  const Rates r = solve_rates(p);
+  EXPECT_DOUBLE_EQ(r.lambda_local, 0.375);
+  EXPECT_DOUBLE_EQ(r.lambda_global, 0.1875);
+}
+
+TEST(Rates, RoundTripThroughInverses) {
+  for (double load : {0.1, 0.5, 0.9}) {
+    for (double frac : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      RateParams p;
+      p.k = 6;
+      p.load = load;
+      p.frac_local = frac;
+      p.expected_global_work = 11.0;  // the Fig 14 graph
+      const Rates r = solve_rates(p);
+      EXPECT_NEAR(normalized_load(p, r), load, 1e-12);
+      if (load > 0.0) {
+        EXPECT_NEAR(fraction_local(p, r), frac, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Rates, NoLocals) {
+  RateParams p;
+  p.frac_local = 0.0;
+  const Rates r = solve_rates(p);
+  EXPECT_DOUBLE_EQ(r.lambda_local, 0.0);
+  EXPECT_GT(r.lambda_global, 0.0);
+}
+
+TEST(Rates, NoGlobals) {
+  RateParams p;
+  p.frac_local = 1.0;
+  const Rates r = solve_rates(p);
+  EXPECT_DOUBLE_EQ(r.lambda_global, 0.0);
+  EXPECT_DOUBLE_EQ(r.lambda_local, 0.5);
+}
+
+TEST(Rates, ZeroLoad) {
+  RateParams p;
+  p.load = 0.0;
+  const Rates r = solve_rates(p);
+  EXPECT_DOUBLE_EQ(r.lambda_local, 0.0);
+  EXPECT_DOUBLE_EQ(r.lambda_global, 0.0);
+  EXPECT_DOUBLE_EQ(normalized_load(p, r), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_local(p, r), 0.0);  // degenerate: no work at all
+}
+
+TEST(Rates, MuLocalScalesLocalRate) {
+  RateParams p;
+  p.mu_local = 2.0;  // locals take 0.5 time units on average
+  const Rates r = solve_rates(p);
+  EXPECT_DOUBLE_EQ(r.lambda_local, 0.75);  // twice as many to carry the load
+}
+
+TEST(Rates, ExpectedWorkScalesGlobalRate) {
+  RateParams a, b;
+  a.expected_global_work = 4.0;
+  b.expected_global_work = 8.0;
+  EXPECT_DOUBLE_EQ(solve_rates(a).lambda_global,
+                   2.0 * solve_rates(b).lambda_global);
+}
+
+TEST(Rates, Validation) {
+  RateParams p;
+  p.k = 0;
+  EXPECT_THROW(solve_rates(p), std::invalid_argument);
+  p = RateParams{};
+  p.load = -0.1;
+  EXPECT_THROW(solve_rates(p), std::invalid_argument);
+  p = RateParams{};
+  p.frac_local = 1.5;
+  EXPECT_THROW(solve_rates(p), std::invalid_argument);
+  p = RateParams{};
+  p.mu_local = 0.0;
+  EXPECT_THROW(solve_rates(p), std::invalid_argument);
+  p = RateParams{};
+  p.expected_global_work = 0.0;
+  EXPECT_THROW(solve_rates(p), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,76 @@
+// Unit tests for cross-replication aggregation.
+#include "src/metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sda;
+using metrics::Collector;
+using metrics::Report;
+
+Collector collector_with(int cls, int finished, int missed) {
+  Collector c;
+  for (int i = 0; i < finished; ++i) {
+    c.record(cls, 0.0, i < missed, false, 1.0);
+  }
+  return c;
+}
+
+TEST(Report, SingleReplicationHasNoHalfWidth) {
+  Report r;
+  r.add_replication(collector_with(metrics::kLocalClass, 10, 2));
+  const auto s = r.summary(metrics::kLocalClass);
+  EXPECT_EQ(r.replications(), 1u);
+  EXPECT_DOUBLE_EQ(s.miss_rate.mean, 0.2);
+  EXPECT_DOUBLE_EQ(s.miss_rate.half_width, 0.0);
+  EXPECT_EQ(s.finished_total, 10u);
+}
+
+TEST(Report, MeanOverReplications) {
+  Report r;
+  r.add_replication(collector_with(0, 10, 2));  // 0.2
+  r.add_replication(collector_with(0, 10, 4));  // 0.4
+  const auto s = r.summary(0);
+  EXPECT_DOUBLE_EQ(s.miss_rate.mean, 0.3);
+  EXPECT_GT(s.miss_rate.half_width, 0.0);
+  EXPECT_EQ(s.finished_total, 20u);
+}
+
+TEST(Report, IdenticalReplicationsHaveZeroWidth) {
+  Report r;
+  r.add_replication(collector_with(0, 10, 3));
+  r.add_replication(collector_with(0, 10, 3));
+  EXPECT_NEAR(r.summary(0).miss_rate.half_width, 0.0, 1e-12);
+}
+
+TEST(Report, UnknownClassIsEmptySummary) {
+  Report r;
+  r.add_replication(collector_with(0, 10, 3));
+  const auto s = r.summary(99);
+  EXPECT_EQ(s.finished_total, 0u);
+  EXPECT_DOUBLE_EQ(s.miss_rate.mean, 0.0);
+}
+
+TEST(Report, ClassesUnionAcrossReplications) {
+  Report r;
+  r.add_replication(collector_with(0, 5, 1));
+  r.add_replication(collector_with(7, 5, 1));
+  const auto classes = r.classes();
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], 0);
+  EXPECT_EQ(classes[1], 7);
+}
+
+TEST(Report, OverallMissedWorkAggregates) {
+  Report r;
+  Collector a, b;
+  a.record(0, 0.0, true, false, 2.0);
+  a.record(0, 0.0, false, false, 2.0);  // 0.5 missed-work
+  b.record(0, 0.0, false, false, 2.0);  // 0.0
+  r.add_replication(a);
+  r.add_replication(b);
+  EXPECT_DOUBLE_EQ(r.overall_missed_work().mean, 0.25);
+}
+
+}  // namespace

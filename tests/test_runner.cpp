@@ -1,0 +1,230 @@
+// Whole-system integration tests: the assembled simulator must reproduce
+// the paper's qualitative results and satisfy internal-consistency
+// invariants.  Run lengths are kept moderate so the suite stays fast; the
+// assertions use generous tolerances accordingly.
+#include "src/exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/metrics/task_class.hpp"
+
+namespace {
+
+using namespace sda;
+using exp::baseline_config;
+using exp::ExperimentConfig;
+using exp::run_once;
+
+ExperimentConfig quick(double sim_time = 30000.0) {
+  ExperimentConfig c = baseline_config();
+  c.sim_time = sim_time;
+  c.replications = 1;
+  return c;
+}
+
+TEST(Runner, UtilizationTracksLoad) {
+  for (double load : {0.3, 0.5, 0.8}) {
+    ExperimentConfig c = quick();
+    c.load = load;
+    const auto r = run_once(c, 1);
+    EXPECT_NEAR(r.mean_utilization, load, 0.03) << "load " << load;
+  }
+}
+
+TEST(Runner, DeterministicForSameSeed) {
+  const ExperimentConfig c = quick(5000.0);
+  const auto a = run_once(c, 123);
+  const auto b = run_once(c, 123);
+  EXPECT_EQ(a.events_fired, b.events_fired);
+  EXPECT_EQ(a.locals_generated, b.locals_generated);
+  EXPECT_EQ(a.globals_generated, b.globals_generated);
+  EXPECT_DOUBLE_EQ(
+      a.collector.counts(metrics::kLocalClass).miss_rate(),
+      b.collector.counts(metrics::kLocalClass).miss_rate());
+  EXPECT_DOUBLE_EQ(
+      a.collector.counts(metrics::global_class(4)).miss_rate(),
+      b.collector.counts(metrics::global_class(4)).miss_rate());
+}
+
+TEST(Runner, DifferentSeedsDiffer) {
+  const ExperimentConfig c = quick(5000.0);
+  const auto a = run_once(c, 1);
+  const auto b = run_once(c, 2);
+  EXPECT_NE(a.events_fired, b.events_fired);
+}
+
+TEST(Runner, GenerationRatesMatchTheory) {
+  // At baseline: lambda_local = .375/node (x6 nodes), lambda_global = .1875.
+  const auto r = run_once(quick(40000.0), 3);
+  EXPECT_NEAR(static_cast<double>(r.locals_generated), 0.375 * 6 * 40000.0,
+              0.375 * 6 * 40000.0 * 0.03);
+  EXPECT_NEAR(static_cast<double>(r.globals_generated), 0.1875 * 40000.0,
+              0.1875 * 40000.0 * 0.05);
+}
+
+TEST(Runner, ConservationOfGlobals) {
+  const auto r = run_once(quick(20000.0), 4);
+  // Every generated global either completed, was aborted, or is in flight
+  // at the horizon.  Without abortion, aborted == 0.
+  EXPECT_EQ(r.globals_aborted, 0u);
+  EXPECT_LE(r.globals_completed, r.globals_generated);
+  EXPECT_GE(r.globals_completed + 100, r.globals_generated);  // few in flight
+}
+
+TEST(Runner, UdGlobalMissAmplification) {
+  // Paper §6.1: MD_global ~ 1-(1-MD_subtask)^4 and ~3x MD_local at load .5.
+  const auto r = run_once(quick(60000.0), 5);
+  const double md_local = r.collector.counts(metrics::kLocalClass).miss_rate();
+  const double md_sub = r.collector.counts(metrics::kSubtaskClass).miss_rate();
+  const double md_glob =
+      r.collector.counts(metrics::global_class(4)).miss_rate();
+
+  EXPECT_NEAR(md_local, 0.089, 0.02);
+  EXPECT_NEAR(md_sub, 0.071, 0.02);
+  EXPECT_NEAR(md_glob, 0.25, 0.04);
+  // Subtasks slightly easier than locals (Equation 3).
+  EXPECT_LT(md_sub, md_local);
+  // Independence approximation within a few points.
+  EXPECT_NEAR(md_glob, 1.0 - std::pow(1.0 - md_sub, 4.0), 0.05);
+}
+
+TEST(Runner, Div1HalvesGlobalMissRate) {
+  ExperimentConfig c = quick(60000.0);
+  const auto ud = run_once(c, 6);
+  c.psp = "div-1";
+  const auto div1 = run_once(c, 6);
+
+  const double ud_glob =
+      ud.collector.counts(metrics::global_class(4)).miss_rate();
+  const double div_glob =
+      div1.collector.counts(metrics::global_class(4)).miss_rate();
+  const double ud_local = ud.collector.counts(metrics::kLocalClass).miss_rate();
+  const double div_local =
+      div1.collector.counts(metrics::kLocalClass).miss_rate();
+
+  EXPECT_LT(div_glob, ud_glob * 0.65);   // roughly halved
+  EXPECT_GT(div_local, ud_local);        // locals pay a little
+  EXPECT_LT(div_local, ud_local + 0.05); // ... but only a little
+  // Missed *work* improves under DIV-1 (paper §6.1).
+  EXPECT_LT(div1.collector.overall_missed_work_rate(),
+            ud.collector.overall_missed_work_rate() + 0.002);
+}
+
+TEST(Runner, GfBeatsDiv1OnGlobals) {
+  ExperimentConfig c = quick(60000.0);
+  c.load = 0.7;  // the gap is widest at high load
+  c.psp = "div-1";
+  const auto div1 = run_once(c, 7);
+  c.psp = "gf";
+  const auto gf = run_once(c, 7);
+  EXPECT_LT(gf.collector.counts(metrics::global_class(4)).miss_rate(),
+            div1.collector.counts(metrics::global_class(4)).miss_rate());
+  // Similar local miss rates (within a couple of points).
+  EXPECT_NEAR(gf.collector.counts(metrics::kLocalClass).miss_rate(),
+              div1.collector.counts(metrics::kLocalClass).miss_rate(), 0.025);
+}
+
+TEST(Runner, GfEqualsUdWithoutLocals) {
+  // frac_local = 0: GF shifts all deadlines by the same constant, which
+  // cannot change the EDF order among subtasks — identical outcomes with
+  // common random numbers.
+  ExperimentConfig c = quick(20000.0);
+  c.frac_local = 0.0;
+  const auto ud = run_once(c, 8);
+  c.psp = "gf";
+  const auto gf = run_once(c, 8);
+  EXPECT_DOUBLE_EQ(ud.collector.counts(metrics::global_class(4)).miss_rate(),
+                   gf.collector.counts(metrics::global_class(4)).miss_rate());
+  EXPECT_EQ(ud.events_fired, gf.events_fired);
+}
+
+TEST(Runner, PmAbortionReducesMissRates) {
+  ExperimentConfig c = quick(60000.0);
+  c.load = 0.6;
+  const auto plain = run_once(c, 9);
+  c.pm_abort = core::PmAbortMode::kRealDeadline;
+  const auto abort = run_once(c, 9);
+  EXPECT_LT(abort.collector.counts(metrics::global_class(4)).miss_rate(),
+            plain.collector.counts(metrics::global_class(4)).miss_rate());
+  EXPECT_LT(abort.collector.counts(metrics::kLocalClass).miss_rate(),
+            plain.collector.counts(metrics::kLocalClass).miss_rate());
+  EXPECT_GT(abort.globals_aborted, 0u);
+}
+
+TEST(Runner, NonHomogeneousMissRateGrowsWithN) {
+  ExperimentConfig c = quick(80000.0);
+  c.n_min = 2;
+  c.n_max = 6;
+  const auto r = run_once(c, 10);
+  const double md2 = r.collector.counts(metrics::global_class(2)).miss_rate();
+  const double md6 = r.collector.counts(metrics::global_class(6)).miss_rate();
+  EXPECT_GT(md6, md2 * 1.5);  // Fig 12: bigger tasks miss far more under UD
+}
+
+TEST(Runner, GraphWorkloadRunsAndEqfDiv1Helps) {
+  ExperimentConfig c = exp::graph_config();
+  c.sim_time = 40000.0;
+  c.replications = 1;
+  c.load = 0.6;
+  const auto udud = run_once(c, 11);
+  c.psp = "div-1";
+  c.ssp = "eqf";
+  const auto eqfdiv = run_once(c, 11);
+  const double md_udud =
+      udud.collector.counts(metrics::global_class(0)).miss_rate();
+  const double md_eqfdiv =
+      eqfdiv.collector.counts(metrics::global_class(0)).miss_rate();
+  EXPECT_LT(md_eqfdiv, md_udud * 0.7);  // combined strategies help a lot
+}
+
+TEST(Runner, LocalAbortRegimeResubmits) {
+  ExperimentConfig c = quick(20000.0);
+  c.local_abort = sched::LocalAbortPolicy::kAbortOnVirtualDeadline;
+  c.psp = "div-1";
+  const auto r = run_once(c, 12);
+  EXPECT_GT(r.resubmissions, 0u);
+  EXPECT_GT(r.local_scheduler_aborts, 0u);
+}
+
+TEST(Runner, NonAbortableDirectiveSuppressesSubtaskAborts) {
+  ExperimentConfig c = quick(20000.0);
+  c.local_abort = sched::LocalAbortPolicy::kAbortOnVirtualDeadline;
+  c.psp = "div-1";
+  c.subtasks_non_abortable = true;
+  const auto r = run_once(c, 13);
+  EXPECT_EQ(r.resubmissions, 0u);  // only locals can be locally aborted now
+}
+
+TEST(Runner, PreemptiveModePreempts) {
+  ExperimentConfig c = quick(10000.0);
+  c.preemptive = true;
+  const auto r = run_once(c, 14);
+  EXPECT_GT(r.preemptions, 0u);
+}
+
+TEST(Runner, RunExperimentAggregatesReplications) {
+  ExperimentConfig c = quick(10000.0);
+  c.replications = 3;
+  const auto report = exp::run_experiment(c);
+  EXPECT_EQ(report.replications(), 3u);
+  const auto s = report.summary(metrics::kLocalClass);
+  EXPECT_GT(s.finished_total, 0u);
+  EXPECT_GT(s.miss_rate.half_width, 0.0);
+  EXPECT_LT(s.miss_rate.half_width, 0.05);
+}
+
+TEST(Runner, FifoSubstrateMakesStrategiesEquivalent) {
+  ExperimentConfig c = quick(20000.0);
+  c.scheduler_policy = "fifo";
+  const auto ud = run_once(c, 15);
+  c.psp = "gf";
+  const auto gf = run_once(c, 15);
+  // Deadlines are ignored by FIFO: byte-identical dynamics.
+  EXPECT_EQ(ud.events_fired, gf.events_fired);
+  EXPECT_DOUBLE_EQ(ud.collector.counts(metrics::global_class(4)).miss_rate(),
+                   gf.collector.counts(metrics::global_class(4)).miss_rate());
+}
+
+}  // namespace

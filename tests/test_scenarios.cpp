@@ -1,0 +1,52 @@
+// Unit tests for the named scenario library.
+#include "src/workload/scenarios.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace {
+
+using namespace sda::workload;
+
+TEST(Scenarios, AllWellFormed) {
+  ASSERT_GE(scenarios().size(), 5u);
+  std::set<std::string> names;
+  for (const Scenario& s : scenarios()) {
+    EXPECT_FALSE(s.name.empty());
+    EXPECT_FALSE(s.description.empty());
+    EXPECT_GE(s.stage_widths.size(), 2u);
+    for (int w : s.stage_widths) {
+      EXPECT_GE(w, 1);
+      EXPECT_LE(w, 6);  // fits the baseline k = 6 system
+    }
+    EXPECT_TRUE(names.insert(s.name).second) << "duplicate " << s.name;
+  }
+}
+
+TEST(Scenarios, StockTradingIsFigure14) {
+  const Scenario& s = find_scenario("stock-trading");
+  EXPECT_EQ(s.stage_widths, (std::vector<int>{1, 4, 1, 4, 1}));
+  EXPECT_EQ(std::accumulate(s.stage_widths.begin(), s.stage_widths.end(), 0),
+            11);
+}
+
+TEST(Scenarios, LookupByName) {
+  EXPECT_EQ(find_scenario("web-request").stage_widths.size(), 3u);
+  EXPECT_EQ(find_scenario("sensor-fusion").stage_widths.front(), 6);
+}
+
+TEST(Scenarios, UnknownNameListsKnown) {
+  try {
+    find_scenario("bitcoin-miner");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("bitcoin-miner"), std::string::npos);
+    EXPECT_NE(what.find("stock-trading"), std::string::npos);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,128 @@
+// Unit tests for the recursive SDA walk (Figure 13) and per-step helpers.
+#include "src/core/sda.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/task/notation.hpp"
+
+namespace {
+
+using namespace sda;
+using core::assign_branch_deadline;
+using core::assign_stage_deadline;
+using core::plan_assignment;
+using core::stage_pex;
+
+TEST(StagePex, CriticalPathsPerStage) {
+  // [A:1 [B:2 || C:4] D:1] — stage pex are {1, 4, 1}.
+  const auto tree = task::parse_notation("[A@0:1 [B@1:2 || C@2:4] D@0:1]");
+  const auto all = stage_pex(*tree, 0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_DOUBLE_EQ(all[0], 1.0);
+  EXPECT_DOUBLE_EQ(all[1], 4.0);
+  EXPECT_DOUBLE_EQ(all[2], 1.0);
+  const auto tail = stage_pex(*tree, 1);
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_DOUBLE_EQ(tail[0], 4.0);
+}
+
+TEST(StagePex, Validation) {
+  const auto leaf = task::parse_notation("A@0:1");
+  EXPECT_THROW(stage_pex(*leaf, 0), std::invalid_argument);
+  const auto serial = task::parse_notation("[A@0:1 B@0:1]");
+  EXPECT_THROW(stage_pex(*serial, 2), std::out_of_range);
+  EXPECT_THROW(stage_pex(*serial, -1), std::out_of_range);
+}
+
+TEST(AssignBranch, Validation) {
+  const auto psp = core::make_psp_strategy("ud");
+  const auto serial = task::parse_notation("[A@0:1 B@0:1]");
+  EXPECT_THROW(assign_branch_deadline(*psp, *serial, 0, 0.0, 9.0),
+               std::invalid_argument);
+  const auto par = task::parse_notation("[A@0:1 || B@0:1]");
+  EXPECT_THROW(assign_branch_deadline(*psp, *par, 2, 0.0, 9.0),
+               std::out_of_range);
+}
+
+TEST(Plan, UdUdAssignsEndToEndDeadlineToParallelLeaves) {
+  const auto tree = task::parse_notation("[A@0:1 || B@1:2 || C@2:3]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const auto plan = plan_assignment(*tree, 0.0, 9.0, *psp, *ssp);
+  ASSERT_EQ(plan.size(), 3u);
+  for (const auto& a : plan) {
+    EXPECT_DOUBLE_EQ(a.planned_dispatch, 0.0);
+    EXPECT_DOUBLE_EQ(a.virtual_deadline, 9.0);
+  }
+}
+
+TEST(Plan, Div1OnFlatParallel) {
+  // Figure 4: deadline 9, three branches -> every leaf deadline 3.
+  const auto tree = task::parse_notation("[A@0:4 || B@1:4 || C@2:4]");
+  const auto psp = core::make_psp_strategy("div-1");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const auto plan = plan_assignment(*tree, 0.0, 9.0, *psp, *ssp);
+  for (const auto& a : plan) EXPECT_DOUBLE_EQ(a.virtual_deadline, 3.0);
+}
+
+TEST(Plan, SerialStagesDispatchSequentially) {
+  const auto tree = task::parse_notation("[A@0:2 B@1:3 C@2:5]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  const auto plan = plan_assignment(*tree, 0.0, 20.0, *psp, *ssp);
+  ASSERT_EQ(plan.size(), 3u);
+  // EQF with pex {2,3,5}, slack 10: stage deadlines 4, then from 4 the
+  // remaining slack is 20-4-8=8, share 3/8 -> 4+3+3=10, then 20.
+  EXPECT_DOUBLE_EQ(plan[0].planned_dispatch, 0.0);
+  EXPECT_DOUBLE_EQ(plan[0].virtual_deadline, 4.0);
+  EXPECT_DOUBLE_EQ(plan[1].planned_dispatch, 4.0);
+  EXPECT_DOUBLE_EQ(plan[1].virtual_deadline, 10.0);
+  EXPECT_DOUBLE_EQ(plan[2].planned_dispatch, 10.0);
+  EXPECT_DOUBLE_EQ(plan[2].virtual_deadline, 20.0);
+}
+
+TEST(Plan, MixedSerialParallelComposition) {
+  // The paper's SDA algorithm composes both strategies: serial stage
+  // deadlines from SSP, then branch deadlines from PSP inside each stage.
+  const auto tree =
+      task::parse_notation("[A@0:1 [B@1:1 || C@2:1 || D@3:1 || E@4:1] F@5:1]");
+  const auto psp = core::make_psp_strategy("div-1");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  const auto plan = plan_assignment(*tree, 0.0, 18.0, *psp, *ssp);
+  ASSERT_EQ(plan.size(), 6u);
+
+  // Stage pex = {1, 1, 1}; slack 15, flexibility 5: stage deadlines at
+  // 6, 12, 18 under the optimistic plan.
+  EXPECT_DOUBLE_EQ(plan[0].virtual_deadline, 6.0);
+  // Parallel stage: composite deadline 12, dispatched at 6, four branches;
+  // DIV-1 gives 6 + (12-6)/4 = 7.5 to each.
+  for (int i = 1; i <= 4; ++i) {
+    EXPECT_DOUBLE_EQ(plan[static_cast<std::size_t>(i)].planned_dispatch, 6.0);
+    EXPECT_DOUBLE_EQ(plan[static_cast<std::size_t>(i)].virtual_deadline, 7.5);
+  }
+  EXPECT_DOUBLE_EQ(plan[5].virtual_deadline, 18.0);
+}
+
+TEST(Plan, LeafOrderMatchesDfs) {
+  const auto tree = task::parse_notation("[A@0:1 [B@1:1 || C@2:1] D@3:1]");
+  const auto psp = core::make_psp_strategy("ud");
+  const auto ssp = core::make_ssp_strategy("ud");
+  const auto plan = plan_assignment(*tree, 0.0, 10.0, *psp, *ssp);
+  const auto ls = task::leaves(*tree);
+  ASSERT_EQ(plan.size(), ls.size());
+  for (std::size_t i = 0; i < ls.size(); ++i) EXPECT_EQ(plan[i].leaf, ls[i]);
+}
+
+TEST(Plan, SingleLeafGetsDeadlineDirectly) {
+  const auto tree = task::parse_notation("A@0:1");
+  const auto psp = core::make_psp_strategy("div-1");
+  const auto ssp = core::make_ssp_strategy("eqf");
+  const auto plan = plan_assignment(*tree, 5.0, 11.0, *psp, *ssp);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan[0].virtual_deadline, 11.0);
+  EXPECT_DOUBLE_EQ(plan[0].planned_dispatch, 5.0);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+// Unit and property tests for the SSP strategies (UD, ED, EQS, EQF).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "src/core/ssp_ed.hpp"
+#include "src/core/ssp_eqf.hpp"
+#include "src/core/ssp_eqs.hpp"
+#include "src/core/ssp_ud.hpp"
+#include "src/core/strategy.hpp"
+
+namespace {
+
+using namespace sda::core;
+
+SspContext ctx(double now, double deadline, int stage, int stage_count,
+               std::vector<double> remaining_pex) {
+  SspContext c;
+  c.now = now;
+  c.deadline = deadline;
+  c.stage = stage;
+  c.stage_count = stage_count;
+  c.remaining_pex = std::move(remaining_pex);
+  return c;
+}
+
+TEST(SspContextTest, Totals) {
+  const auto c = ctx(2.0, 20.0, 0, 3, {1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(c.remaining_pex_total(), 6.0);
+  EXPECT_DOUBLE_EQ(c.remaining_slack(), 12.0);  // 20 - 2 - 6
+}
+
+TEST(SspUd, InheritsDeadline) {
+  SspUltimateDeadline ud;
+  EXPECT_DOUBLE_EQ(ud.assign(ctx(3.0, 17.0, 1, 4, {1.0, 1.0, 1.0})), 17.0);
+  EXPECT_EQ(ud.name(), "UD");
+}
+
+TEST(SspEd, ReservesDownstreamPex) {
+  SspEffectiveDeadline ed;
+  // dl 20, downstream pex 2 + 3 = 5 -> stage deadline 15.
+  EXPECT_DOUBLE_EQ(ed.assign(ctx(0.0, 20.0, 0, 3, {1.0, 2.0, 3.0})), 15.0);
+  // Last stage: nothing downstream -> full deadline.
+  EXPECT_DOUBLE_EQ(ed.assign(ctx(10.0, 20.0, 2, 3, {3.0})), 20.0);
+  EXPECT_EQ(ed.name(), "ED");
+}
+
+TEST(SspEqs, SplitsSlackEvenly) {
+  SspEqualSlack eqs;
+  // now 0, dl 20, pex {2, 2, 2}: slack 14, three stages -> share 14/3.
+  const double assigned = eqs.assign(ctx(0.0, 20.0, 0, 3, {2.0, 2.0, 2.0}));
+  EXPECT_NEAR(assigned, 0.0 + 2.0 + 14.0 / 3.0, 1e-12);
+  EXPECT_EQ(eqs.name(), "EQS");
+}
+
+TEST(SspEqs, ShareIndependentOfOwnLength) {
+  // EQS gives the same absolute slack share to a long and a short stage.
+  SspEqualSlack eqs;
+  const double a_long =
+      eqs.assign(ctx(0.0, 20.0, 0, 2, {8.0, 2.0}));  // slack 10, share 5
+  const double a_short = eqs.assign(ctx(0.0, 20.0, 0, 2, {2.0, 8.0}));
+  EXPECT_DOUBLE_EQ(a_long - 8.0, a_short - 2.0);  // both get +5 slack
+}
+
+TEST(SspEqf, PaperFormula) {
+  SspEqualFlexibility eqf;
+  // ar 0, dl 20, pex {2, 3, 5}: total 10, slack 10; stage 0 share 2/10.
+  // dl(T_0) = 0 + 2 + 10 * 0.2 = 4.
+  EXPECT_DOUBLE_EQ(eqf.assign(ctx(0.0, 20.0, 0, 3, {2.0, 3.0, 5.0})), 4.0);
+  EXPECT_EQ(eqf.name(), "EQF");
+}
+
+TEST(SspEqf, EqualFlexibilityInvariant) {
+  // With the optimistic assumption that each stage finishes at its assigned
+  // deadline, every stage's slack-to-pex ratio ("flexibility") is equal.
+  SspEqualFlexibility eqf;
+  const std::vector<double> pex = {2.0, 3.0, 5.0};
+  const double deadline = 30.0;
+  double now = 0.0;
+  std::vector<double> ratios;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<double> rem(pex.begin() + i, pex.end());
+    const double dl_i = eqf.assign(ctx(now, deadline, i, 3, rem));
+    ratios.push_back((dl_i - now - pex[static_cast<std::size_t>(i)]) /
+                     pex[static_cast<std::size_t>(i)]);
+    now = dl_i;
+  }
+  EXPECT_NEAR(ratios[0], ratios[1], 1e-9);
+  EXPECT_NEAR(ratios[1], ratios[2], 1e-9);
+  // And the last stage's deadline is exactly the end-to-end deadline.
+  EXPECT_NEAR(now, deadline, 1e-9);
+}
+
+TEST(SspEqf, LastStageGetsWholeRemainingDeadline) {
+  SspEqualFlexibility eqf;
+  EXPECT_DOUBLE_EQ(eqf.assign(ctx(12.0, 20.0, 2, 3, {4.0})), 20.0);
+}
+
+TEST(SspEqf, NegativeSlackStillProportional) {
+  // When the task is already behind (slack < 0), EQF assigns deadlines
+  // before now + pex, keeping urgency proportional.
+  SspEqualFlexibility eqf;
+  const double assigned = eqf.assign(ctx(0.0, 5.0, 0, 2, {4.0, 4.0}));
+  // slack = 5 - 8 = -3; share = 4/8 -> 0 + 4 + (-1.5) = 2.5.
+  EXPECT_DOUBLE_EQ(assigned, 2.5);
+}
+
+TEST(SspEqf, ZeroPexFallsBackToEvenSplit) {
+  SspEqualFlexibility eqf;
+  const double assigned = eqf.assign(ctx(0.0, 9.0, 0, 3, {0.0, 0.0, 0.0}));
+  EXPECT_DOUBLE_EQ(assigned, 3.0);  // even 1/3 share of 9 slack
+}
+
+TEST(SspEqs, EqfEqualWhenStagesUniform) {
+  // With identical pex, proportional and even splits coincide.
+  SspEqualFlexibility eqf;
+  SspEqualSlack eqs;
+  const auto c = ctx(1.0, 25.0, 0, 4, {2.0, 2.0, 2.0, 2.0});
+  EXPECT_NEAR(eqf.assign(c), eqs.assign(c), 1e-12);
+}
+
+TEST(SspFactory, ParsesKnownNames) {
+  EXPECT_EQ(make_ssp_strategy("ud")->name(), "UD");
+  EXPECT_EQ(make_ssp_strategy("ed")->name(), "ED");
+  EXPECT_EQ(make_ssp_strategy("eqs")->name(), "EQS");
+  EXPECT_EQ(make_ssp_strategy("eqf")->name(), "EQF");
+  EXPECT_EQ(make_ssp_strategy("EQF")->name(), "EQF");
+}
+
+TEST(SspFactory, RejectsUnknownNames) {
+  EXPECT_THROW(make_ssp_strategy("eq"), std::invalid_argument);
+  EXPECT_THROW(make_ssp_strategy(""), std::invalid_argument);
+  EXPECT_THROW(make_ssp_strategy("div-1"), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: ordering among strategies for the *first* stage of a task
+// with positive slack: UD gives the latest deadline, ED next (keeps all
+// slack), and EQS/EQF earlier (they reserve slack for later stages).
+// ---------------------------------------------------------------------------
+
+struct SspCase {
+  double deadline;
+  std::vector<double> pex;
+};
+
+class SspOrdering : public ::testing::TestWithParam<SspCase> {};
+
+TEST_P(SspOrdering, FirstStageOrdering) {
+  const SspCase& kase = GetParam();
+  const auto c = ctx(0.0, kase.deadline, 0,
+                     static_cast<int>(kase.pex.size()), kase.pex);
+  const double slack = c.remaining_slack();
+  if (slack <= 0 || kase.pex.size() < 2) GTEST_SKIP();
+
+  SspUltimateDeadline ud;
+  SspEffectiveDeadline ed;
+  SspEqualSlack eqs;
+  SspEqualFlexibility eqf;
+
+  const double v_ud = ud.assign(c);
+  const double v_ed = ed.assign(c);
+  const double v_eqs = eqs.assign(c);
+  const double v_eqf = eqf.assign(c);
+
+  EXPECT_GT(v_ud, v_ed);
+  EXPECT_GT(v_ed, v_eqs);
+  EXPECT_GT(v_ed, v_eqf);
+  // All strategies leave at least pex_0 of room.
+  for (double v : {v_ed, v_eqs, v_eqf}) {
+    EXPECT_GE(v, c.now + kase.pex[0] - 1e-9);
+  }
+  // None exceeds the end-to-end deadline.
+  for (double v : {v_ud, v_ed, v_eqs, v_eqf}) {
+    EXPECT_LE(v, kase.deadline + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SspOrdering,
+    ::testing::Values(SspCase{20.0, {2.0, 3.0, 5.0}},
+                      SspCase{15.0, {1.0, 1.0, 1.0, 1.0, 1.0}},
+                      SspCase{50.0, {10.0, 1.0}},
+                      SspCase{8.0, {0.5, 0.5, 6.0}},
+                      SspCase{100.0, {4.0, 4.0, 4.0, 4.0}}));
+
+}  // namespace

@@ -1,0 +1,132 @@
+// Unit tests for RunningStat, t-based confidence intervals, and BatchMeans.
+#include "src/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/util/rng.hpp"
+
+namespace {
+
+using sda::util::BatchMeans;
+using sda::util::confidence_interval;
+using sda::util::ConfidenceInterval;
+using sda::util::RunningStat;
+using sda::util::t_critical;
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, SingleObservationVarianceZero) {
+  RunningStat s;
+  s.add(3.14);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.14);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+  RunningStat all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(static_cast<double>(i)) * 10.0;
+    all.add(x);
+    (i < 37 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStat b = a;
+  b.merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(TCritical, KnownValues) {
+  EXPECT_NEAR(t_critical(0.95, 1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 10), 2.228, 1e-3);
+  EXPECT_NEAR(t_critical(0.95, 100), 1.960, 1e-3);
+  EXPECT_NEAR(t_critical(0.99, 5), 4.032, 1e-3);
+  EXPECT_GT(t_critical(0.95, 0), 1e9);
+}
+
+TEST(ConfidenceIntervalTest, EmptyAndSingle) {
+  const ConfidenceInterval empty = confidence_interval({});
+  EXPECT_EQ(empty.n, 0u);
+  EXPECT_DOUBLE_EQ(empty.half_width, 0.0);
+
+  const ConfidenceInterval one = confidence_interval({5.0});
+  EXPECT_EQ(one.n, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 5.0);
+  EXPECT_DOUBLE_EQ(one.half_width, 0.0);
+}
+
+TEST(ConfidenceIntervalTest, TwoSamplesKnownHalfWidth) {
+  // mean 10, s = sqrt(2), hw = 12.706 * sqrt(2)/sqrt(2) = 12.706.
+  const ConfidenceInterval ci = confidence_interval({9.0, 11.0});
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  EXPECT_NEAR(ci.half_width, 12.706, 1e-3);
+  EXPECT_NEAR(ci.lo(), 10.0 - 12.706, 1e-3);
+  EXPECT_NEAR(ci.hi(), 10.0 + 12.706, 1e-3);
+}
+
+TEST(ConfidenceIntervalTest, ShrinksWithMoreSamples) {
+  std::vector<double> few, many;
+  for (int i = 0; i < 4; ++i) few.push_back(i % 2 ? 1.0 : -1.0);
+  for (int i = 0; i < 64; ++i) many.push_back(i % 2 ? 1.0 : -1.0);
+  EXPECT_GT(confidence_interval(few).half_width,
+            confidence_interval(many).half_width);
+}
+
+TEST(BatchMeansTest, RecoversIidMean) {
+  BatchMeans bm(20);
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = static_cast<double>(sda::util::splitmix64_next(state) >> 11) *
+                     0x1.0p-53;
+    bm.add(u);
+  }
+  EXPECT_NEAR(bm.grand_mean(), 0.5, 0.01);
+  const ConfidenceInterval ci = bm.interval();
+  EXPECT_NEAR(ci.mean, 0.5, 0.02);
+  EXPECT_GT(ci.half_width, 0.0);
+  EXPECT_LT(ci.half_width, 0.05);
+}
+
+TEST(BatchMeansTest, BatchCountStaysBounded) {
+  BatchMeans bm(10);
+  for (int i = 0; i < 100000; ++i) bm.add(1.0);
+  // All values identical: interval collapses to the mean.
+  const ConfidenceInterval ci = bm.interval();
+  EXPECT_DOUBLE_EQ(ci.mean, 1.0);
+  EXPECT_NEAR(ci.half_width, 0.0, 1e-12);
+}
+
+}  // namespace

@@ -1,0 +1,78 @@
+// Unit tests for the plain-text table renderer and numeric formatters.
+#include "src/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace {
+
+using sda::util::fmt;
+using sda::util::fmt_pct;
+using sda::util::fmt_pct_ci;
+using sda::util::Table;
+
+TEST(Fmt, FixedDigits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.0, 0), "3");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+}
+
+TEST(Fmt, Percent) {
+  EXPECT_EQ(fmt_pct(0.251), "25.1%");
+  EXPECT_EQ(fmt_pct(0.0), "0.0%");
+  EXPECT_EQ(fmt_pct(1.0, 0), "100%");
+}
+
+TEST(Fmt, PercentWithCi) {
+  const std::string s = fmt_pct_ci(0.25, 0.004);
+  EXPECT_NE(s.find("25.0"), std::string::npos);
+  EXPECT_NE(s.find("0.4%"), std::string::npos);
+  EXPECT_NE(s.find("\xc2\xb1"), std::string::npos);  // the +/- sign
+}
+
+TEST(TableTest, HeaderAndRule) {
+  Table t({"a", "bb"});
+  const std::string out = t.render();
+  std::istringstream is(out);
+  std::string line1, line2;
+  std::getline(is, line1);
+  std::getline(is, line2);
+  EXPECT_EQ(line1, "a  bb");
+  EXPECT_EQ(line2, std::string(5, '-'));
+}
+
+TEST(TableTest, ColumnsAlign) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1.5"});
+  t.add_row({"longer-name", "10.25"});
+  const std::string out = t.render();
+  std::istringstream is(out);
+  std::string header, rule, r1, r2;
+  std::getline(is, header);
+  std::getline(is, rule);
+  std::getline(is, r1);
+  std::getline(is, r2);
+  EXPECT_EQ(r1.size(), r2.size());  // padded to equal width
+  // Numeric cells right-align: "1.5" ends at the same column as "10.25".
+  EXPECT_EQ(r1.rfind("1.5"), r1.size() - 3);
+  EXPECT_EQ(r2.rfind("10.25"), r2.size() - 5);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW(t.render());
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(TableTest, TextCellsLeftAlign) {
+  Table t({"strategy", "md"});
+  t.add_row({"ud", "9.0%"});
+  t.add_row({"div-1", "13.0%"});
+  const std::string out = t.render();
+  // "ud" starts at column 0 (left aligned), not pushed right.
+  EXPECT_NE(out.find("\nud "), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,57 @@
+// Unit tests for runtime task instances and their factories.
+#include "src/task/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using namespace sda::task;
+
+TEST(Task, LocalFactorySetsEverything) {
+  const TaskPtr t = make_local_task(7, 3, 10.0, 2.0, 15.0);
+  EXPECT_EQ(t->id, 7u);
+  EXPECT_EQ(t->kind, TaskKind::kLocal);
+  EXPECT_EQ(t->exec_node, 3);
+  EXPECT_DOUBLE_EQ(t->attrs.arrival, 10.0);
+  EXPECT_DOUBLE_EQ(t->attrs.exec_time, 2.0);
+  EXPECT_DOUBLE_EQ(t->attrs.pred_exec, 2.0);  // locals know their own demand
+  EXPECT_DOUBLE_EQ(t->attrs.real_deadline, 15.0);
+  // A local's virtual deadline is its real deadline.
+  EXPECT_DOUBLE_EQ(t->attrs.virtual_deadline, 15.0);
+  EXPECT_EQ(t->state, TaskState::kCreated);
+  EXPECT_EQ(t->owner_run, 0u);
+  EXPECT_DOUBLE_EQ(t->remaining, 2.0);
+}
+
+TEST(Task, SubtaskFactoryDefaultsVirtualToReal) {
+  const TaskPtr t = make_subtask(9, 4, 1, 0.0, 1.5, 1.2, 8.0);
+  EXPECT_EQ(t->kind, TaskKind::kSubtask);
+  EXPECT_EQ(t->owner_run, 4u);
+  EXPECT_DOUBLE_EQ(t->attrs.pred_exec, 1.2);
+  EXPECT_DOUBLE_EQ(t->attrs.virtual_deadline, 8.0);  // UD until assigned
+}
+
+TEST(Task, MetDeadlinePredicate) {
+  const TaskPtr t = make_local_task(1, 0, 0.0, 1.0, 5.0);
+  EXPECT_FALSE(t->met_real_deadline());  // not finished yet
+  t->state = TaskState::kCompleted;
+  t->finished_at = 5.0;
+  EXPECT_TRUE(t->met_real_deadline());  // exactly at the deadline counts
+  t->finished_at = 5.0001;
+  EXPECT_FALSE(t->met_real_deadline());
+  t->state = TaskState::kAborted;
+  t->finished_at = 1.0;
+  EXPECT_FALSE(t->met_real_deadline());  // aborted never counts as met
+}
+
+TEST(Task, StateNames) {
+  EXPECT_STREQ(to_string(TaskState::kCreated), "created");
+  EXPECT_STREQ(to_string(TaskState::kQueued), "queued");
+  EXPECT_STREQ(to_string(TaskState::kRunning), "running");
+  EXPECT_STREQ(to_string(TaskState::kCompleted), "completed");
+  EXPECT_STREQ(to_string(TaskState::kAborted), "aborted");
+  EXPECT_STREQ(to_string(TaskKind::kLocal), "local");
+  EXPECT_STREQ(to_string(TaskKind::kSubtask), "subtask");
+}
+
+}  // namespace

@@ -1,0 +1,69 @@
+// Unit tests for the windowed miss-rate time series.
+#include "src/metrics/timeseries.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+using sda::metrics::MissTimeSeries;
+
+TEST(TimeSeries, Validation) {
+  EXPECT_THROW(MissTimeSeries(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(MissTimeSeries(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(MissTimeSeries(10.0, 20.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, WindowCountAndEdges) {
+  MissTimeSeries s(100.0, 10.0);
+  EXPECT_EQ(s.windows(), 10u);
+  EXPECT_DOUBLE_EQ(s.window_start(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.window_start(9), 90.0);
+  MissTimeSeries uneven(95.0, 10.0);  // ceil -> 10 windows
+  EXPECT_EQ(uneven.windows(), 10u);
+}
+
+TEST(TimeSeries, RecordsIntoRightWindow) {
+  MissTimeSeries s(30.0, 10.0);
+  s.record(0.0, false);
+  s.record(9.99, true);
+  s.record(10.0, true);
+  s.record(29.0, false);
+  EXPECT_EQ(s.finished(0), 2u);
+  EXPECT_EQ(s.missed(0), 1u);
+  EXPECT_EQ(s.finished(1), 1u);
+  EXPECT_EQ(s.missed(1), 1u);
+  EXPECT_EQ(s.finished(2), 1u);
+  EXPECT_DOUBLE_EQ(s.miss_rate(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.miss_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.miss_rate(2), 0.0);
+}
+
+TEST(TimeSeries, OutOfRangeIgnored) {
+  MissTimeSeries s(10.0, 5.0);
+  s.record(-1.0, true);
+  s.record(10.0, true);
+  s.record(1e9, true);
+  EXPECT_EQ(s.finished(0) + s.finished(1), 0u);
+}
+
+TEST(TimeSeries, PeakRespectsMinSamples) {
+  MissTimeSeries s(30.0, 10.0);
+  // Window 0: one missed task (rate 1.0, but only 1 sample).
+  s.record(1.0, true);
+  // Window 1: 10 tasks, 4 missed.
+  for (int i = 0; i < 10; ++i) s.record(11.0, i < 4);
+  EXPECT_DOUBLE_EQ(s.peak_miss_rate(10), 0.4);
+  EXPECT_DOUBLE_EQ(s.peak_miss_rate(1), 1.0);
+  EXPECT_DOUBLE_EQ(s.peak_miss_rate(100), 0.0);
+}
+
+TEST(TimeSeries, RatesVector) {
+  MissTimeSeries s(20.0, 10.0);
+  s.record(5.0, true);
+  const auto rates = s.rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_DOUBLE_EQ(rates[0], 1.0);
+  EXPECT_DOUBLE_EQ(rates[1], 0.0);
+}
+
+}  // namespace

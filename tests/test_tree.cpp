@@ -1,0 +1,158 @@
+// Unit tests for the serial-parallel task tree (GT1-GT3).
+#include "src/task/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace {
+
+using namespace sda::task;
+
+// Builds the paper's Figure 1 example [T1 [T2 || [T3 T4 T5]] [T6 || T7] T8]
+// with unit demands on nodes 0..5 (wrapping).
+TreePtr figure1_tree() {
+  std::vector<TreePtr> s345;
+  s345.push_back(make_leaf(2, 1.0, -1, "T3"));
+  s345.push_back(make_leaf(3, 1.0, -1, "T4"));
+  s345.push_back(make_leaf(4, 1.0, -1, "T5"));
+
+  std::vector<TreePtr> p2;
+  p2.push_back(make_leaf(1, 1.0, -1, "T2"));
+  p2.push_back(make_serial(std::move(s345)));
+
+  std::vector<TreePtr> p67;
+  p67.push_back(make_leaf(5, 1.0, -1, "T6"));
+  p67.push_back(make_leaf(0, 1.0, -1, "T7"));
+
+  std::vector<TreePtr> top;
+  top.push_back(make_leaf(0, 1.0, -1, "T1"));
+  top.push_back(make_parallel(std::move(p2)));
+  top.push_back(make_parallel(std::move(p67)));
+  top.push_back(make_leaf(1, 1.0, -1, "T8"));
+  return make_serial(std::move(top));
+}
+
+TEST(Tree, LeafBasics) {
+  const TreePtr t = make_leaf(2, 1.5, 1.2, "X");
+  EXPECT_TRUE(t->is_leaf());
+  EXPECT_EQ(t->exec_node, 2);
+  EXPECT_DOUBLE_EQ(t->exec_time, 1.5);
+  EXPECT_DOUBLE_EQ(t->pred_exec, 1.2);
+  EXPECT_EQ(leaf_count(*t), 1);
+  EXPECT_EQ(depth(*t), 1);
+}
+
+TEST(Tree, PexDefaultsToEx) {
+  const TreePtr t = make_leaf(0, 2.5);
+  EXPECT_DOUBLE_EQ(t->pred_exec, 2.5);
+}
+
+TEST(Tree, CompositeRequiresChildren) {
+  EXPECT_THROW(make_serial({}), std::invalid_argument);
+  EXPECT_THROW(make_parallel({}), std::invalid_argument);
+}
+
+TEST(Tree, Figure1Shape) {
+  const TreePtr t = figure1_tree();
+  EXPECT_TRUE(t->is_serial());
+  EXPECT_EQ(t->children.size(), 4u);
+  EXPECT_EQ(leaf_count(*t), 8);
+  EXPECT_EQ(depth(*t), 4);  // serial -> parallel -> serial -> leaf
+  EXPECT_TRUE(validate(*t).empty());
+}
+
+TEST(Tree, CriticalPathSerial) {
+  std::vector<TreePtr> c;
+  c.push_back(make_leaf(0, 1.0));
+  c.push_back(make_leaf(1, 2.0));
+  c.push_back(make_leaf(2, 3.0));
+  const TreePtr t = make_serial(std::move(c));
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 6.0);
+  EXPECT_DOUBLE_EQ(total_ex(*t), 6.0);
+}
+
+TEST(Tree, CriticalPathParallel) {
+  std::vector<TreePtr> c;
+  c.push_back(make_leaf(0, 1.0));
+  c.push_back(make_leaf(1, 5.0));
+  c.push_back(make_leaf(2, 3.0));
+  const TreePtr t = make_parallel(std::move(c));
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 5.0);  // Equation 2's max term
+  EXPECT_DOUBLE_EQ(total_ex(*t), 9.0);
+}
+
+TEST(Tree, CriticalPathNested) {
+  // [A(1) [B(2) || [C(1) D(4)]] E(1)]: critical path 1 + max(2, 5) + 1 = 7.
+  std::vector<TreePtr> inner_serial;
+  inner_serial.push_back(make_leaf(0, 1.0));
+  inner_serial.push_back(make_leaf(1, 4.0));
+  std::vector<TreePtr> par;
+  par.push_back(make_leaf(2, 2.0));
+  par.push_back(make_serial(std::move(inner_serial)));
+  std::vector<TreePtr> top;
+  top.push_back(make_leaf(3, 1.0));
+  top.push_back(make_parallel(std::move(par)));
+  top.push_back(make_leaf(4, 1.0));
+  const TreePtr t = make_serial(std::move(top));
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 7.0);
+  EXPECT_DOUBLE_EQ(total_ex(*t), 9.0);
+}
+
+TEST(Tree, CriticalPathPexIndependentOfEx) {
+  std::vector<TreePtr> c;
+  c.push_back(make_leaf(0, 1.0, 10.0));
+  c.push_back(make_leaf(1, 5.0, 2.0));
+  const TreePtr t = make_parallel(std::move(c));
+  EXPECT_DOUBLE_EQ(critical_path_ex(*t), 5.0);
+  EXPECT_DOUBLE_EQ(critical_path_pex(*t), 10.0);
+  EXPECT_DOUBLE_EQ(total_pex(*t), 12.0);
+}
+
+TEST(Tree, LeavesAreDfsOrdered) {
+  const TreePtr t = figure1_tree();
+  const auto ls = leaves(*t);
+  ASSERT_EQ(ls.size(), 8u);
+  EXPECT_EQ(ls[0]->name, "T1");
+  EXPECT_EQ(ls[1]->name, "T2");
+  EXPECT_EQ(ls[2]->name, "T3");
+  EXPECT_EQ(ls[7]->name, "T8");
+}
+
+TEST(Tree, CloneIsDeepAndEqual) {
+  const TreePtr t = figure1_tree();
+  const TreePtr c = clone(*t);
+  EXPECT_NE(t.get(), c.get());
+  EXPECT_EQ(leaf_count(*c), leaf_count(*t));
+  EXPECT_DOUBLE_EQ(critical_path_ex(*c), critical_path_ex(*t));
+  // Mutating the clone leaves the original untouched.
+  c->children[0]->exec_time = 99.0;
+  EXPECT_DOUBLE_EQ(t->children[0]->exec_time, 1.0);
+}
+
+TEST(Tree, ValidateCatchesBadLeaves) {
+  TreePtr unbound = make_leaf(-1, 1.0);
+  EXPECT_FALSE(validate(*unbound).empty());
+
+  TreePtr neg = make_leaf(0, 1.0);
+  neg->exec_time = -2.0;
+  EXPECT_FALSE(validate(*neg).empty());
+
+  TreePtr bad_name = make_leaf(0, 1.0, -1, "ok");
+  bad_name->name = "a[b";
+  EXPECT_FALSE(validate(*bad_name).empty());
+}
+
+TEST(Tree, ValidateCatchesLeafWithChildren) {
+  TreePtr t = make_leaf(0, 1.0);
+  t->children.push_back(make_leaf(1, 1.0));
+  EXPECT_FALSE(validate(*t).empty());
+}
+
+TEST(Tree, ValidateCatchesEmptyComposite) {
+  TreeNode t;
+  t.kind = TreeNode::Kind::Serial;
+  EXPECT_FALSE(validate(t).empty());
+}
+
+}  // namespace
