@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds the asan-ubsan preset and runs the whole test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer.  CI-friendly: exits
+# non-zero on any configure/build/test failure, and sanitizer findings are
+# fatal (-fno-sanitize-recover=all).
+#
+# Usage: scripts/check_sanitizers.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cmake --preset asan-ubsan
+cmake --build --preset asan-ubsan -j "$(nproc)"
+
+# halt_on_error keeps the first finding from being drowned out; the
+# detect_leaks toggle stays on where LeakSanitizer is available.
+export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
+export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
+
+ctest --preset asan-ubsan "$@"
+echo "sanitizer suite passed"

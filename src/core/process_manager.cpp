@@ -1,6 +1,8 @@
 #include "src/core/process_manager.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace sda::core {
@@ -134,6 +136,13 @@ void ProcessManager::handle_local_abort(const TaskPtr& t) {
   if (run == nullptr) return;
   if (run->leaf_of.count(t->id) == 0) return;
 
+  // Resubmission budget exhausted: abort the whole run instead of feeding
+  // it more service it cannot convert into a timely completion.
+  if (run->resubmissions >= config_.max_resubmissions_per_run) {
+    terminate_run(*run, /*shed=*/false);
+    return;
+  }
+
   // §7.3: the victim's slack was mostly consumed by the failed attempt; it
   // is resubmitted with its remaining real deadline as the virtual deadline
   // (no further priority promotion) and marked non-abortable: the global
@@ -172,7 +181,7 @@ void ProcessManager::child_done(Run& run, const TreeNode& child) {
   if (--st.pending == 0) child_done(run, p);
 }
 
-void ProcessManager::finish_run(Run& run, bool aborted) {
+void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
   GlobalTaskRecord rec;
   rec.run_id = run.id;
   rec.metrics_class = run.metrics_class;
@@ -184,9 +193,17 @@ void ProcessManager::finish_run(Run& run, bool aborted) {
   rec.total_work = run.total_work;
   rec.subtask_count = run.subtask_count;
   rec.resubmissions = run.resubmissions;
+  rec.retries = run.retries;
+  rec.shed = shed;
 
+  // Timer hygiene: every terminal path ends here, so the run's abort timer
+  // can never outlive the run and fire against recycled state.
   if (engine_.pending(run.abort_timer)) engine_.cancel(run.abort_timer);
-  if (aborted) {
+  assert(!engine_.pending(run.abort_timer));
+  if (shed) {
+    ++shed_runs_;
+    ++aborted_runs_;
+  } else if (aborted) {
     ++aborted_runs_;
   } else {
     ++completed_runs_;
@@ -199,15 +216,166 @@ void ProcessManager::finish_run(Run& run, bool aborted) {
 void ProcessManager::abort_run(std::uint64_t run_id) {
   Run* run = find_run(run_id);
   if (run == nullptr) return;
+  terminate_run(*run, /*shed=*/false);
+}
+
+void ProcessManager::terminate_run(Run& run, bool shed) {
   // Abort every live subtask at its node; each counts as a missed subtask.
-  // Stages not yet dispatched are simply never dispatched.
-  for (auto& [leaf, t] : run->live) {
+  // Stages not yet dispatched are simply never dispatched.  Iterate in
+  // task-id order: `live` is keyed by heap pointers, whose order is not
+  // reproducible across processes.
+  std::vector<TaskPtr> victims;
+  victims.reserve(run.live.size());
+  for (auto& [leaf, t] : run.live) victims.push_back(t);
+  std::sort(victims.begin(), victims.end(),
+            [](const TaskPtr& a, const TaskPtr& b) { return a->id < b->id; });
+  for (const TaskPtr& t : victims) {
+    // A task waiting out a retry backoff or already killed by a fault is
+    // not at any node; abort() is a no-op for it.
     nodes_[static_cast<std::size_t>(t->exec_node)]->abort(*t);
+    if (!task::is_terminal(t->state)) {
+      t->state = TaskState::kAborted;
+      t->finished_at = engine_.now();
+    }
     if (on_subtask_) on_subtask_(*t);
   }
-  run->live.clear();
-  run->leaf_of.clear();
-  finish_run(*run, /*aborted=*/true);
+  run.live.clear();
+  run.leaf_of.clear();
+  finish_run(run, /*aborted=*/true, shed);
+}
+
+void ProcessManager::handle_failure(const TaskPtr& t) {
+  if (t->kind != task::TaskKind::kSubtask) return;
+  Run* run = find_run(t->owner_run);
+  if (run == nullptr) return;
+  auto leaf_it = run->leaf_of.find(t->id);
+  if (leaf_it == run->leaf_of.end()) return;
+  const TreeNode& leaf = *leaf_it->second;
+  const RecoveryPolicy& rp = config_.recovery;
+
+  // Bounded retries: the (max+1)-th fault within one run sheds it.
+  if (run->retries >= rp.max_retries_per_run) {
+    terminate_run(*run, /*shed=*/true);
+    return;
+  }
+  // Deadline-aware shedding: if even the predicted remainder cannot fit in
+  // the slack left, drop the run now instead of burning more service on it.
+  if (rp.shed_negative_slack &&
+      engine_.now() + remaining_path_pex(*run, leaf) > run->real_deadline) {
+    terminate_run(*run, /*shed=*/true);
+    return;
+  }
+
+  ++run->retries;
+  ++fault_retries_;
+  const int attempt = ++run->leaf_retries[&leaf];
+  const double delay =
+      rp.backoff_base > 0.0
+          ? rp.backoff_base * std::pow(rp.backoff_factor, attempt - 1)
+          : 0.0;
+  if (delay > 0.0) {
+    const std::uint64_t run_id = run->id;
+    engine_.in(delay, [this, run_id, t] {
+      Run* r = find_run(run_id);
+      if (r == nullptr) return;  // the run ended while backing off
+      auto it = r->leaf_of.find(t->id);
+      if (it == r->leaf_of.end()) return;
+      resubmit_retry(*r, *it->second, t);
+    });
+  } else {
+    resubmit_retry(*run, leaf, t);
+  }
+}
+
+void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
+                                    const TaskPtr& t) {
+  const RecoveryPolicy& rp = config_.recovery;
+  int target = t->exec_node;
+  if (rp.failover &&
+      !nodes_[static_cast<std::size_t>(target)]->is_up()) {
+    target = failover_target(target);
+    if (target != t->exec_node) ++failovers_;
+  }
+  t->state = TaskState::kCreated;
+  t->attrs.arrival = engine_.now();
+  if (rp.deadline_mode == RetryDeadline::kSdaRecompute) {
+    t->attrs.virtual_deadline = recompute_deadline(run, leaf);
+  }
+  t->exec_node = target;
+  // Node::submit resets `remaining` to the full demand: the failed
+  // attempt's work is lost.
+  nodes_[static_cast<std::size_t>(target)]->submit(t);
+}
+
+sim::Time ProcessManager::recompute_deadline(const Run& run,
+                                             const TreeNode& leaf) const {
+  // Ancestor chain leaf -> root.
+  std::vector<const TreeNode*> chain;
+  for (const TreeNode* n = &leaf;;) {
+    chain.push_back(n);
+    auto it = run.parent.find(n);
+    if (it == run.parent.end()) break;
+    n = it->second;
+  }
+  // Walk root -> leaf re-running the strategy at each composite with the
+  // slack measured from now.  Serial stages use stage_pex from the chain
+  // child's index, i.e. only the not-yet-finished remainder of the stage
+  // list contributes demand.
+  const sim::Time now = engine_.now();
+  sim::Time deadline = run.real_deadline;
+  for (std::size_t i = chain.size(); i-- > 1;) {
+    const TreeNode& composite = *chain[i];
+    const TreeNode* child = chain[i - 1];
+    int index = 0;
+    for (std::size_t c = 0; c < composite.children.size(); ++c) {
+      if (composite.children[c].get() == child) {
+        index = static_cast<int>(c);
+        break;
+      }
+    }
+    deadline = composite.is_serial()
+                   ? assign_stage_deadline(*config_.ssp, composite, index,
+                                           now, deadline)
+                   : assign_branch_deadline(*config_.psp, composite, index,
+                                            now, deadline);
+  }
+  return deadline;
+}
+
+sim::Time ProcessManager::remaining_path_pex(const Run& run,
+                                             const TreeNode& leaf) const {
+  sim::Time remaining = leaf.pred_exec;
+  const TreeNode* child = &leaf;
+  for (auto it = run.parent.find(child); it != run.parent.end();
+       it = run.parent.find(child)) {
+    const TreeNode& p = *it->second;
+    if (p.is_serial()) {
+      // Later serial stages run after this subtree finishes; parallel
+      // siblings proceed concurrently and do not extend this leaf's path.
+      bool after = false;
+      for (const auto& c : p.children) {
+        if (after) remaining += task::critical_path_pex(*c);
+        if (c.get() == child) after = true;
+      }
+    }
+    child = &p;
+  }
+  return remaining;
+}
+
+int ProcessManager::failover_target(int origin) const {
+  const int total = static_cast<int>(nodes_.size());
+  const int compute =
+      config_.compute_node_count < 0 ? total : config_.compute_node_count;
+  const int base = origin < compute ? 0 : compute;
+  const int pool = origin < compute ? compute : total - compute;
+  for (int j = 1; j < pool; ++j) {
+    const int candidate = base + (origin - base + j) % pool;
+    if (nodes_[static_cast<std::size_t>(candidate)]->is_up()) {
+      return candidate;
+    }
+  }
+  return origin;  // whole pool down: queue into the outage
 }
 
 }  // namespace sda::core

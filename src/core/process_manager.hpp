@@ -8,7 +8,12 @@
 //   3. enforces precedence among subtasks; and
 //   4. optionally aborts whole global tasks whose *real* deadline passed
 //      (the §7.3 "abortion by process manager" regime, a timer per task),
-//      and resubmits subtasks killed by local-scheduler aborts.
+//      and resubmits subtasks killed by local-scheduler aborts; and
+//   5. recovers subtasks killed by injected faults (node crashes, transient
+//      failures, message loss — see src/fault/) under a RecoveryPolicy:
+//      bounded retries with optional backoff and failover, deadline-aware
+//      SDA re-assignment on retry, and shedding of runs whose remaining
+//      slack has gone negative.
 //
 // The process manager's own resource use is not modeled (charged to the
 // tasks it manages, as in the paper).
@@ -34,6 +39,39 @@ enum class PmAbortMode {
   kRealDeadline,  ///< abort all live subtasks when the real deadline passes
 };
 
+/// How a retried subtask's virtual deadline is chosen after a fault.
+enum class RetryDeadline {
+  /// Reuse the deadline assigned before the failure.  Cheap, but the
+  /// deadline reflects slack that no longer exists — an expired virtual
+  /// deadline jumps every queue it meets.
+  kStale,
+  /// Re-run the SDA strategy pair over the leaf's chain of ancestors with
+  /// the slack left at *now* (serial stages contribute only their
+  /// not-yet-finished remainder), so the retry competes with an honest
+  /// deadline.
+  kSdaRecompute,
+};
+
+/// Fault-recovery behavior of the process manager (src/fault/ injects the
+/// faults; this decides what happens to the victims).
+struct RecoveryPolicy {
+  /// Fault retries allowed per global run; the (max+1)-th failure sheds
+  /// the run.  0 = any fault kills the run.
+  int max_retries_per_run = 4;
+  /// Delay before the r-th retry of one leaf: backoff_base *
+  /// backoff_factor^(r-1).  0 = resubmit immediately.
+  double backoff_base = 0.0;
+  double backoff_factor = 2.0;
+  /// When the victim's node is down, resubmit to another up node of the
+  /// same pool (compute or link) instead of queueing into the outage.
+  bool failover = true;
+  RetryDeadline deadline_mode = RetryDeadline::kSdaRecompute;
+  /// Before retrying, compare the predicted remaining critical path with
+  /// the slack left; shed the run when it cannot finish in time instead
+  /// of burning service on doomed work.
+  bool shed_negative_slack = true;
+};
+
 /// Terminal record of one global task run, delivered to the completion
 /// handler (and from there to the metrics collector).
 struct GlobalTaskRecord {
@@ -42,11 +80,13 @@ struct GlobalTaskRecord {
   sim::Time arrival = 0.0;
   sim::Time real_deadline = 0.0;
   sim::Time finished_at = 0.0;
-  bool aborted = false;  ///< killed by the PM's real-deadline timer
+  bool aborted = false;  ///< killed before completion (timer, cap, or shed)
   bool missed = false;   ///< aborted, or finished after the real deadline
   sim::Time total_work = 0.0;  ///< sum of ex over all simple subtasks
   int subtask_count = 0;
   int resubmissions = 0;  ///< local-abort resubmissions within this run
+  int retries = 0;        ///< fault retries within this run
+  bool shed = false;      ///< dropped by the recovery policy (subset of aborted)
 };
 
 class ProcessManager {
@@ -59,10 +99,17 @@ class ProcessManager {
     /// non-abortable locally".  When set, subtasks are exempt from
     /// local-scheduler abort policies.
     bool mark_subtasks_non_abortable = false;
-    /// Retained knob (diagnostic only): resubmitted subtasks are marked
-    /// non-abortable, so each subtask aborts locally at most once and every
-    /// run terminates; see ProcessManager::handle_local_abort.
+    /// Hard cap on local-abort resubmissions per run: when a local abort
+    /// arrives with the budget exhausted, the whole run is aborted instead
+    /// of resubmitting (graceful degradation).  Resubmitted subtasks are
+    /// also marked non-abortable, so each subtask aborts locally at most
+    /// once and every surviving run terminates; see handle_local_abort.
     int max_resubmissions_per_run = 64;
+    /// Fault recovery (only consulted when src/fault/ injects failures).
+    RecoveryPolicy recovery;
+    /// Nodes [0, compute_node_count) are compute nodes, the rest are link
+    /// nodes; failover stays within the victim's pool.  -1 = all compute.
+    int compute_node_count = -1;
   };
 
   using GlobalHandler = std::function<void(const GlobalTaskRecord&)>;
@@ -94,6 +141,10 @@ class ProcessManager {
   /// Node local-abort callback for subtask-kind tasks.
   void handle_local_abort(const task::TaskPtr& t);
 
+  /// Node fault callback for subtask-kind tasks (crash or transient
+  /// failure): applies the RecoveryPolicy — retry, fail over, or shed.
+  void handle_failure(const task::TaskPtr& t);
+
   const Config& config() const noexcept { return config_; }
 
   // --- statistics ---------------------------------------------------------
@@ -102,6 +153,9 @@ class ProcessManager {
   std::uint64_t completed_runs() const noexcept { return completed_runs_; }
   std::uint64_t aborted_runs() const noexcept { return aborted_runs_; }
   std::uint64_t resubmissions() const noexcept { return resubmissions_; }
+  std::uint64_t fault_retries() const noexcept { return fault_retries_; }
+  std::uint64_t failovers() const noexcept { return failovers_; }
+  std::uint64_t shed_runs() const noexcept { return shed_runs_; }
 
  private:
   struct CompositeState {
@@ -120,6 +174,7 @@ class ProcessManager {
     sim::Time total_work = 0.0;
     int subtask_count = 0;
     int resubmissions = 0;
+    int retries = 0;
 
     std::unordered_map<const task::TreeNode*, CompositeState> state;
     std::unordered_map<const task::TreeNode*, const task::TreeNode*> parent;
@@ -127,6 +182,8 @@ class ProcessManager {
     std::unordered_map<const task::TreeNode*, task::TaskPtr> live;
     /// Subtask id -> leaf, to correlate node callbacks.
     std::unordered_map<std::uint64_t, const task::TreeNode*> leaf_of;
+    /// Fault retries per leaf (drives the per-leaf backoff schedule).
+    std::unordered_map<const task::TreeNode*, int> leaf_retries;
 
     sim::EventId abort_timer;
   };
@@ -137,8 +194,24 @@ class ProcessManager {
   void dispatch_serial_stage(Run& run, const task::TreeNode& serial);
   void dispatch_leaf(Run& run, const task::TreeNode& leaf, sim::Time deadline);
   void child_done(Run& run, const task::TreeNode& child);
-  void finish_run(Run& run, bool aborted);
+  void finish_run(Run& run, bool aborted, bool shed = false);
   void abort_run(std::uint64_t run_id);
+  /// Aborts every live subtask and finishes the run (timer abort, local-
+  /// abort cap, or recovery shed).
+  void terminate_run(Run& run, bool shed);
+  void resubmit_retry(Run& run, const task::TreeNode& leaf,
+                      const task::TaskPtr& t);
+  /// SDA re-run for one leaf: fresh virtual deadline computed from the
+  /// root's real deadline down the leaf's ancestor chain at time `now`.
+  sim::Time recompute_deadline(const Run& run, const task::TreeNode& leaf)
+      const;
+  /// Predicted critical-path demand still ahead of @p leaf (its own pex
+  /// plus every not-yet-dispatched later serial stage up the chain).
+  sim::Time remaining_path_pex(const Run& run, const task::TreeNode& leaf)
+      const;
+  /// Up node in the same pool (compute/link) as @p origin, or origin when
+  /// none is up.
+  int failover_target(int origin) const;
 
   sim::Engine& engine_;
   std::vector<sched::Node*> nodes_;
@@ -155,6 +228,9 @@ class ProcessManager {
   std::uint64_t completed_runs_ = 0;
   std::uint64_t aborted_runs_ = 0;
   std::uint64_t resubmissions_ = 0;
+  std::uint64_t fault_retries_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t shed_runs_ = 0;
 };
 
 }  // namespace sda::core

@@ -50,6 +50,22 @@ std::string ExperimentConfig::describe() const {
     case core::PmAbortMode::kRealDeadline: os << ", pm-abort"; break;
   }
   if (local_abort != sched::LocalAbortPolicy::kNone) os << ", local-abort";
+  if (faults_enabled()) {
+    os << ", faults[";
+    bool first = true;
+    auto sep = [&] { os << (first ? "" : " "); first = false; };
+    if (fault_rate > 0.0) { sep(); os << "rate=" << fault_rate; }
+    if (crash_mean_uptime > 0.0) {
+      sep();
+      os << "crash=" << crash_mean_uptime << "/" << crash_mean_downtime;
+    }
+    if (msg_loss_rate > 0.0) { sep(); os << "loss=" << msg_loss_rate; }
+    if (msg_extra_delay_mean > 0.0) {
+      sep();
+      os << "jitter=" << msg_extra_delay_mean;
+    }
+    os << "] retry=" << retry_deadline;
+  }
   return os.str();
 }
 

@@ -94,6 +94,48 @@ struct ExperimentConfig {
   /// collector); small extra cost, off by default.
   bool tardiness_histograms = false;
 
+  // --- fault injection (robustness extension; all off by default) ----------
+  /// Per-service-attempt probability that a subtask attempt fails partway
+  /// through (work done on the attempt is lost).  Compute nodes only.
+  double fault_rate = 0.0;
+  /// Node crash/repair process: each compute node alternates exponential
+  /// up intervals (mean crash_mean_uptime) and down intervals (mean
+  /// crash_mean_downtime).  0 uptime disables crashes.
+  double crash_mean_uptime = 0.0;
+  double crash_mean_downtime = 0.0;
+  /// Whether a crash drops the node's whole ready queue (true) or merely
+  /// freezes it until recovery (false).
+  bool crash_discards_queue = true;
+  /// Link-node faults (kGraph + link_count > 0 workloads): per-transmission
+  /// loss probability and mean of an exponential extra delay.
+  double msg_loss_rate = 0.0;
+  double msg_extra_delay_mean = 0.0;
+
+  // --- recovery policy -----------------------------------------------------
+  /// Retries a global run may consume before it is shed; <0 = library
+  /// default (core::RecoveryPolicy).
+  int max_retries_per_run = -1;
+  /// Exponential backoff before a retry: delay = base * factor^(attempt-1).
+  /// base 0 retries immediately.
+  double retry_backoff_base = 0.0;
+  double retry_backoff_factor = 2.0;
+  /// Resubmit to an alternate same-pool node when the original is down.
+  bool retry_failover = true;
+  /// Virtual deadline carried by a retried subtask: "sda" re-runs the
+  /// SSP/PSP assignment over the unfinished remainder with the slack left
+  /// at retry time; "stale" reuses the original assignment.
+  std::string retry_deadline = "sda";
+  /// Shed a run outright when its remaining critical path cannot meet the
+  /// real deadline even with zero queueing.
+  bool shed_negative_slack = true;
+
+  /// True when any fault knob is active (decides whether the runner builds
+  /// a fault plan — and splits the fault RNG stream — at all).
+  bool faults_enabled() const noexcept {
+    return fault_rate > 0.0 || crash_mean_uptime > 0.0 ||
+           msg_loss_rate > 0.0 || msg_extra_delay_mean > 0.0;
+  }
+
   // --- run control ----------------------------------------------------------
   double sim_time = 200000.0;   ///< simulated time units per replication
   double warmup_fraction = 0.05;

@@ -9,6 +9,7 @@ std::vector<double> default_loads() {
 }
 
 void apply_bench_env(ExperimentConfig& c, const util::BenchEnv& env) {
+  util::warn_unknown_sda_env();  // no-op after bench_env() already warned
   c.sim_time = env.sim_time;
   c.replications = env.replications;
   c.warmup_fraction = env.warmup_fraction;

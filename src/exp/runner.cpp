@@ -8,6 +8,8 @@
 #include "src/exp/validate.hpp"
 
 #include "src/core/strategy.hpp"
+#include "src/fault/fault_plan.hpp"
+#include "src/fault/injector.hpp"
 #include "src/sched/node.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/sim/engine.hpp"
@@ -35,6 +37,7 @@ metrics::TraceEvent to_trace_event(sched::Node::Event e) {
     case sched::Node::Event::kPreempted: return metrics::TraceEvent::kPreempted;
     case sched::Node::Event::kCompleted: return metrics::TraceEvent::kCompleted;
     case sched::Node::Event::kAborted: return metrics::TraceEvent::kAborted;
+    case sched::Node::Event::kFailed: return metrics::TraceEvent::kFailed;
   }
   return metrics::TraceEvent::kSubmitted;
 }
@@ -76,6 +79,17 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   pmc.ssp = core::make_ssp_strategy(config.ssp);
   pmc.abort_mode = config.pm_abort;
   pmc.mark_subtasks_non_abortable = config.subtasks_non_abortable;
+  pmc.compute_node_count = config.k;
+  if (config.max_retries_per_run >= 0) {
+    pmc.recovery.max_retries_per_run = config.max_retries_per_run;
+  }
+  pmc.recovery.backoff_base = config.retry_backoff_base;
+  pmc.recovery.backoff_factor = config.retry_backoff_factor;
+  pmc.recovery.failover = config.retry_failover;
+  pmc.recovery.deadline_mode = config.retry_deadline == "stale"
+                                   ? core::RetryDeadline::kStale
+                                   : core::RetryDeadline::kSdaRecompute;
+  pmc.recovery.shed_negative_slack = config.shed_negative_slack;
   core::ProcessManager pm(engine, node_ptrs, std::move(pmc));
 
   // --- metrics ----------------------------------------------------------------
@@ -85,11 +99,12 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   pm.set_global_handler([&, tracer](const core::GlobalTaskRecord& rec) {
     collector.record_global(rec);
     if (tracer != nullptr) {
-      tracer->add(metrics::TraceRecord{
-          rec.finished_at,
-          rec.aborted ? metrics::TraceEvent::kGlobalAborted
-                      : metrics::TraceEvent::kGlobalCompleted,
-          0, rec.run_id, -1, rec.real_deadline});
+      const metrics::TraceEvent ev =
+          rec.shed ? metrics::TraceEvent::kGlobalShed
+                   : (rec.aborted ? metrics::TraceEvent::kGlobalAborted
+                                  : metrics::TraceEvent::kGlobalCompleted);
+      tracer->add(metrics::TraceRecord{rec.finished_at, ev, 0, rec.run_id, -1,
+                                       rec.real_deadline});
     }
   });
   pm.set_subtask_handler(
@@ -119,6 +134,13 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
         collector.record_simple(*t);  // a locally aborted local is a miss
       } else {
         pm.handle_local_abort(t);
+      }
+    });
+    node->set_failure_handler([&](const task::TaskPtr& t) {
+      if (t->kind == task::TaskKind::kLocal) {
+        collector.record_simple(*t);  // a fault-killed local is a miss
+      } else {
+        pm.handle_failure(t);  // recovery policy decides: retry or shed
       }
     });
   }
@@ -194,6 +216,28 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
     graph_source->start();
   }
 
+  // --- fault injection --------------------------------------------------------
+  // The fault stream is split from the master only when faults are on, and
+  // only after every workload source took its split: a fail-free config
+  // draws exactly the same substreams as a build without this block, so
+  // fault_rate = 0 reproduces the seed numbers bit-for-bit.
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (config.faults_enabled()) {
+    util::Rng fault_master = master.split();
+    fault::FaultConfig fc;
+    fc.subtask_failure_rate = config.fault_rate;
+    fc.crash_mean_uptime = config.crash_mean_uptime;
+    fc.crash_mean_downtime = config.crash_mean_downtime;
+    fc.crash_discards_queue = config.crash_discards_queue;
+    fc.msg_loss_rate = config.msg_loss_rate;
+    fc.msg_extra_delay_mean = config.msg_extra_delay_mean;
+    fault::FaultPlan plan = fault::FaultPlan::generate(
+        fc, config.k, config.sim_time, fault_master.split());
+    injector = std::make_unique<fault::FaultInjector>(
+        engine, node_ptrs, config.k, std::move(plan), fault_master.split());
+    injector->arm();
+  }
+
   // --- run -------------------------------------------------------------------
   engine.run_until(config.sim_time);
 
@@ -224,6 +268,14 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   result.local_scheduler_aborts = local_aborts;
   result.resubmissions = pm.resubmissions();
   result.preemptions = preemptions;
+  if (injector) {
+    result.node_crashes = injector->crashes();
+    result.transient_failures = injector->transient_failures();
+    result.messages_lost = injector->messages_lost();
+  }
+  result.fault_retries = pm.fault_retries();
+  result.failovers = pm.failovers();
+  result.globals_shed = pm.shed_runs();
   return result;
 }
 

@@ -33,6 +33,14 @@ struct RunResult {
   std::uint64_t local_scheduler_aborts = 0;
   std::uint64_t resubmissions = 0;
   std::uint64_t preemptions = 0;
+
+  // Fault/recovery diagnostics (all zero when faults are disabled).
+  std::uint64_t node_crashes = 0;
+  std::uint64_t transient_failures = 0;
+  std::uint64_t messages_lost = 0;
+  std::uint64_t fault_retries = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t globals_shed = 0;  ///< subset of globals_aborted
 };
 
 /// Runs one replication with the given seed.  When @p tracer is non-null,

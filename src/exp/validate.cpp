@@ -91,6 +91,32 @@ std::vector<std::string> validate(const ExperimentConfig& c) {
   const auto [gs_min, gs_max] = c.resolved_global_slack();
   if (gs_min > gs_max) bad("global slack range is inverted");
 
+  // --- faults / recovery -----------------------------------------------------
+  if (c.fault_rate < 0.0 || c.fault_rate >= 1.0) {
+    bad("fault_rate must be in [0, 1)");
+  }
+  if (c.crash_mean_uptime < 0.0) bad("crash_mean_uptime must be >= 0");
+  if (c.crash_mean_uptime > 0.0 && c.crash_mean_downtime <= 0.0) {
+    bad("crash_mean_downtime must be positive when crashes are enabled");
+  }
+  if (c.msg_loss_rate < 0.0 || c.msg_loss_rate >= 1.0) {
+    bad("msg_loss_rate must be in [0, 1)");
+  }
+  if (c.msg_extra_delay_mean < 0.0) {
+    bad("msg_extra_delay_mean must be >= 0");
+  }
+  if ((c.msg_loss_rate > 0.0 || c.msg_extra_delay_mean > 0.0) &&
+      c.link_count == 0) {
+    bad("message faults need link_count > 0 (kGraph workload)");
+  }
+  if (c.retry_backoff_base < 0.0) bad("retry_backoff_base must be >= 0");
+  if (c.retry_backoff_base > 0.0 && c.retry_backoff_factor < 1.0) {
+    bad("retry_backoff_factor must be >= 1");
+  }
+  if (c.retry_deadline != "sda" && c.retry_deadline != "stale") {
+    bad("retry_deadline must be \"sda\" or \"stale\"");
+  }
+
   // --- run control -------------------------------------------------------------
   if (c.sim_time <= 0.0) bad("sim_time must be positive");
   if (c.replications < 1) bad("replications must be >= 1");

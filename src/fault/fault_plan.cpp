@@ -1,0 +1,36 @@
+#include "src/fault/fault_plan.hpp"
+
+#include <stdexcept>
+
+namespace sda::fault {
+
+FaultPlan FaultPlan::generate(const FaultConfig& config, int compute_nodes,
+                              sim::Time horizon, util::Rng rng) {
+  if (compute_nodes < 0) {
+    throw std::invalid_argument("FaultPlan: compute_nodes must be >= 0");
+  }
+  if (config.crash_mean_uptime > 0.0 && config.crash_mean_downtime <= 0.0) {
+    throw std::invalid_argument(
+        "FaultPlan: crashes need a positive mean downtime");
+  }
+  FaultPlan plan;
+  plan.config_ = config;
+  if (config.crash_mean_uptime <= 0.0) return plan;
+  for (int node = 0; node < compute_nodes; ++node) {
+    util::Rng stream = rng.split();  // per-node substream (see header)
+    sim::Time t = 0.0;
+    for (;;) {
+      t += stream.exponential(config.crash_mean_uptime);
+      if (t >= horizon) break;
+      CrashInterval interval;
+      interval.node = node;
+      interval.down_at = t;
+      t += stream.exponential(config.crash_mean_downtime);
+      interval.up_at = t;
+      plan.crashes_.push_back(interval);
+    }
+  }
+  return plan;
+}
+
+}  // namespace sda::fault

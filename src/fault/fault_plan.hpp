@@ -1,0 +1,103 @@
+// Deterministic fault model for one simulation replication.
+//
+// The paper's system (§3.2) is fail-free: nodes never crash, links never
+// drop messages, and the only "failure" is a missed deadline.  This module
+// adds the three fault classes a real distributed soft real-time system
+// sees, all driven by a dedicated RNG stream so the workload draws are
+// untouched and a run is bit-reproducible from its seed:
+//
+//   * node crash/recovery intervals — alternating exponential up/down
+//     periods per compute node, materialized up front as a FaultPlan so
+//     two runs with the same seed crash at identical instants;
+//   * transient subtask failures — a service attempt dies at a uniform
+//     point of its leg, wasting the work done (sampled online, one
+//     bernoulli per attempt); and
+//   * message loss / extra delay on link nodes — a transmission is lost
+//     partway (and must be resent) or stretched by exponential jitter.
+//
+// FaultInjector (injector.hpp) wires a plan into the live nodes; the
+// process manager's RecoveryPolicy decides what happens to the victims.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/event_queue.hpp"
+#include "src/util/rng.hpp"
+
+namespace sda::fault {
+
+/// Fault-model knobs.  All defaults are "off": with a default config the
+/// plan is empty, no hooks fire, and the simulation is the paper's
+/// fail-free system, bit for bit.
+struct FaultConfig {
+  /// Probability that one service attempt of a subtask on a compute node
+  /// fails partway (the work done so far is lost).
+  double subtask_failure_rate = 0.0;
+
+  /// Mean up-time between crashes of one compute node (exponential);
+  /// 0 = nodes never crash.
+  double crash_mean_uptime = 0.0;
+  /// Mean outage length (exponential). Required > 0 when crashes are on.
+  double crash_mean_downtime = 0.0;
+  /// On crash, queued tasks are failed too (true) or frozen in place until
+  /// recovery (false).  The in-service task always fails.
+  bool crash_discards_queue = true;
+
+  /// Probability that one transmission over a link node is lost partway
+  /// and must be retried.
+  double msg_loss_rate = 0.0;
+  /// Mean exponential extra latency added to each transmission over a
+  /// link node; 0 = no jitter.
+  double msg_extra_delay_mean = 0.0;
+
+  /// True when any fault class is active.
+  bool enabled() const noexcept {
+    return subtask_failure_rate > 0.0 || crash_mean_uptime > 0.0 ||
+           msg_loss_rate > 0.0 || msg_extra_delay_mean > 0.0;
+  }
+};
+
+/// One planned outage of one node: down at `down_at`, back at `up_at`.
+struct CrashInterval {
+  int node = 0;
+  sim::Time down_at = 0.0;
+  sim::Time up_at = 0.0;
+};
+
+/// The materialized crash schedule plus the runtime fault rates.
+///
+/// Each node's outages come from its own split() substream, so the plan
+/// for node i is independent of how many nodes exist — adding a node does
+/// not perturb the others' crash times (the same stream-per-source
+/// discipline the workload generators use).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  /// Draws crash intervals for nodes [0, compute_nodes) over [0, horizon).
+  /// Link nodes do not crash (they fail per-message instead).  @p rng is
+  /// consumed; pass a dedicated substream.
+  static FaultPlan generate(const FaultConfig& config, int compute_nodes,
+                            sim::Time horizon, util::Rng rng);
+
+  const FaultConfig& config() const noexcept { return config_; }
+
+  /// Planned outages, grouped by node, each node's in time order.
+  const std::vector<CrashInterval>& crashes() const noexcept {
+    return crashes_;
+  }
+
+  /// True when the plan schedules no crashes and no runtime fault rates
+  /// are active.
+  bool empty() const noexcept {
+    return crashes_.empty() && config_.subtask_failure_rate <= 0.0 &&
+           config_.msg_loss_rate <= 0.0 && config_.msg_extra_delay_mean <= 0.0;
+  }
+
+ private:
+  FaultConfig config_;
+  std::vector<CrashInterval> crashes_;
+};
+
+}  // namespace sda::fault

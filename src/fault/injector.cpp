@@ -1,0 +1,81 @@
+#include "src/fault/injector.hpp"
+
+#include <stdexcept>
+
+namespace sda::fault {
+
+FaultInjector::FaultInjector(sim::Engine& engine,
+                             std::vector<sched::Node*> nodes,
+                             int compute_node_count, FaultPlan plan,
+                             util::Rng attempt_rng)
+    : engine_(engine),
+      nodes_(std::move(nodes)),
+      compute_node_count_(compute_node_count),
+      plan_(std::move(plan)),
+      rng_(attempt_rng) {
+  if (compute_node_count_ < 0 ||
+      compute_node_count_ > static_cast<int>(nodes_.size())) {
+    throw std::invalid_argument(
+        "FaultInjector: compute_node_count out of range");
+  }
+  for (const auto* n : nodes_) {
+    if (n == nullptr) throw std::invalid_argument("FaultInjector: null node");
+  }
+}
+
+void FaultInjector::arm() {
+  if (armed_) throw std::logic_error("FaultInjector::arm: already armed");
+  armed_ = true;
+  const FaultConfig& cfg = plan_.config();
+
+  for (const CrashInterval& c : plan_.crashes()) {
+    if (c.node >= static_cast<int>(nodes_.size())) {
+      throw std::out_of_range("FaultInjector: crash plan names unknown node");
+    }
+    sched::Node* node = nodes_[static_cast<std::size_t>(c.node)];
+    const bool discard = cfg.crash_discards_queue;
+    engine_.at(c.down_at, [this, node, discard] {
+      ++crashes_;
+      node->crash(discard);
+    });
+    engine_.at(c.up_at, [node] { node->recover(); });
+  }
+
+  // Compute nodes: transient subtask failures.  One bernoulli per service
+  // attempt; a failing attempt dies at a uniform point of its leg.
+  if (cfg.subtask_failure_rate > 0.0) {
+    for (int i = 0; i < compute_node_count_; ++i) {
+      nodes_[static_cast<std::size_t>(i)]->set_fault_hook(
+          [this, rate = cfg.subtask_failure_rate](
+              const task::SimpleTask& t, double duration) {
+            sched::Node::ServiceFault f;
+            if (t.kind == task::TaskKind::kSubtask && rng_.bernoulli(rate)) {
+              f.fail_after = rng_.uniform01() * duration;
+              ++transient_failures_;
+            }
+            return f;
+          });
+    }
+  }
+
+  // Link nodes: per-transmission loss and/or exponential jitter.
+  if (cfg.msg_loss_rate > 0.0 || cfg.msg_extra_delay_mean > 0.0) {
+    for (int i = compute_node_count_;
+         i < static_cast<int>(nodes_.size()); ++i) {
+      nodes_[static_cast<std::size_t>(i)]->set_fault_hook(
+          [this, loss = cfg.msg_loss_rate,
+           jitter = cfg.msg_extra_delay_mean](const task::SimpleTask&,
+                                              double duration) {
+            sched::Node::ServiceFault f;
+            if (jitter > 0.0) f.extra_delay = rng_.exponential(jitter);
+            if (loss > 0.0 && rng_.bernoulli(loss)) {
+              f.fail_after = rng_.uniform01() * (duration + f.extra_delay);
+              ++messages_lost_;
+            }
+            return f;
+          });
+    }
+  }
+}
+
+}  // namespace sda::fault

@@ -1,0 +1,66 @@
+// Wires a FaultPlan into a live simulated system.
+//
+// arm() schedules every planned crash/recovery as engine events and
+// installs per-node fault hooks: compute nodes sample transient subtask
+// failures, link nodes sample message loss and extra delay.  All online
+// sampling draws from one dedicated RNG stream, consumed in engine event
+// order (the engine is single-threaded), so a run with faults is exactly
+// as reproducible as one without.
+//
+// The injector only *kills* tasks; recovery (retry / failover / shed) is
+// the process manager's RecoveryPolicy.  Local tasks on a crashed node
+// fail terminally — they have no manager to resubmit them.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/fault/fault_plan.hpp"
+#include "src/sched/node.hpp"
+#include "src/sim/engine.hpp"
+#include "src/util/rng.hpp"
+
+namespace sda::fault {
+
+class FaultInjector {
+ public:
+  /// @p nodes is indexed by node id; indices [0, compute_node_count) are
+  /// compute nodes, the rest link nodes.  @p attempt_rng is the dedicated
+  /// stream for online (per-service-attempt) sampling.
+  FaultInjector(sim::Engine& engine, std::vector<sched::Node*> nodes,
+                int compute_node_count, FaultPlan plan,
+                util::Rng attempt_rng);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules the crash plan and installs the fault hooks. Call once,
+  /// before the engine runs.
+  void arm();
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  // --- statistics ---------------------------------------------------------
+  /// Crash events that actually took a node down.
+  std::uint64_t crashes() const noexcept { return crashes_; }
+  /// Transient subtask failures injected on compute nodes.
+  std::uint64_t transient_failures() const noexcept {
+    return transient_failures_;
+  }
+  /// Message transmissions lost on link nodes.
+  std::uint64_t messages_lost() const noexcept { return messages_lost_; }
+
+ private:
+  sim::Engine& engine_;
+  std::vector<sched::Node*> nodes_;
+  int compute_node_count_;
+  FaultPlan plan_;
+  util::Rng rng_;
+  bool armed_ = false;
+
+  std::uint64_t crashes_ = 0;
+  std::uint64_t transient_failures_ = 0;
+  std::uint64_t messages_lost_ = 0;
+};
+
+}  // namespace sda::fault

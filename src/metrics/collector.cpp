@@ -19,7 +19,10 @@ std::string default_class_name(int cls) {
 }
 
 void Collector::record_simple(const task::SimpleTask& t) {
-  const bool aborted = t.state == task::TaskState::kAborted;
+  // A fault-killed task counts exactly like an aborted one: it missed its
+  // deadline and never completed.
+  const bool aborted = t.state == task::TaskState::kAborted ||
+                       t.state == task::TaskState::kFailed;
   if (!aborted && t.state != task::TaskState::kCompleted) {
     throw std::logic_error("Collector::record_simple: task not terminal");
   }
@@ -35,6 +38,10 @@ void Collector::record_global(const core::GlobalTaskRecord& rec) {
   const double response = rec.aborted ? -1.0 : rec.finished_at - rec.arrival;
   const double tardiness =
       std::max(0.0, rec.finished_at - rec.real_deadline);
+  if (rec.arrival >= warmup_) {
+    global_retries_ += static_cast<std::uint64_t>(rec.retries);
+    if (rec.shed) ++shed_runs_;
+  }
   record(rec.metrics_class, rec.arrival, rec.missed, rec.aborted,
          rec.total_work, response, tardiness);
 }

@@ -108,8 +108,16 @@ class Collector {
   std::uint64_t total_missed() const noexcept;
   std::uint64_t total_finished() const noexcept;
 
+  // --- fault / recovery accounting (post-warmup global runs) --------------
+  /// Fault retries summed over recorded global runs.
+  std::uint64_t global_retries() const noexcept { return global_retries_; }
+  /// Global runs dropped by the recovery policy.
+  std::uint64_t shed_runs() const noexcept { return shed_runs_; }
+
  private:
   double warmup_ = 0.0;
+  std::uint64_t global_retries_ = 0;
+  std::uint64_t shed_runs_ = 0;
   std::map<int, ClassCounts> by_class_;
   std::map<int, ClassTimings> timings_;
   bool histograms_enabled_ = false;

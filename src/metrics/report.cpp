@@ -12,6 +12,8 @@ void Report::add_replication(const Collector& c) {
     pc.finished_total += counts.finished;
   }
   overall_missed_work_.push_back(c.overall_missed_work_rate());
+  global_retries_total_ += c.global_retries();
+  shed_runs_total_ += c.shed_runs();
 }
 
 std::vector<int> Report::classes() const {

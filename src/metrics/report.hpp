@@ -38,6 +38,12 @@ class Report {
   /// CI for the system-wide missed-work fraction.
   util::ConfidenceInterval overall_missed_work(double confidence = 0.95) const;
 
+  /// Fault retries / shed runs pooled over all replications.
+  std::uint64_t global_retries_total() const noexcept {
+    return global_retries_total_;
+  }
+  std::uint64_t shed_runs_total() const noexcept { return shed_runs_total_; }
+
  private:
   struct PerClass {
     std::vector<double> miss_rates;
@@ -47,6 +53,8 @@ class Report {
   std::map<int, PerClass> by_class_;
   std::vector<double> overall_missed_work_;
   std::size_t replications_ = 0;
+  std::uint64_t global_retries_total_ = 0;
+  std::uint64_t shed_runs_total_ = 0;
 };
 
 }  // namespace sda::metrics

@@ -12,9 +12,11 @@ const char* to_string(TraceEvent e) noexcept {
     case TraceEvent::kPreempted: return "preempt";
     case TraceEvent::kCompleted: return "done";
     case TraceEvent::kAborted: return "abort";
+    case TraceEvent::kFailed: return "fail";
     case TraceEvent::kGlobalSubmitted: return "global-submit";
     case TraceEvent::kGlobalCompleted: return "global-done";
     case TraceEvent::kGlobalAborted: return "global-abort";
+    case TraceEvent::kGlobalShed: return "global-shed";
   }
   return "?";
 }

@@ -21,9 +21,11 @@ enum class TraceEvent : std::uint8_t {
   kPreempted,       ///< task preempted (preemptive-resume mode)
   kCompleted,       ///< task finished service
   kAborted,         ///< task aborted (local policy or external)
+  kFailed,          ///< task killed by a fault (crash / transient failure)
   kGlobalSubmitted, ///< global run accepted by the process manager
   kGlobalCompleted, ///< global run finished
   kGlobalAborted,   ///< global run killed by the PM timer
+  kGlobalShed,      ///< global run dropped by the recovery policy
 };
 
 /// Short lowercase tag, e.g. "start", "global-done".

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <stdexcept>
+#include <vector>
 
 namespace sda::sched {
 
@@ -54,21 +55,32 @@ void Node::submit(TaskPtr t) {
 }
 
 void Node::try_start() {
-  if (current_) return;
+  if (current_ || !up_) return;
   TaskPtr next = scheduler_->pop();
   if (!next) return;
   start_service(std::move(next));
 }
 
 void Node::start_service(TaskPtr t) {
-  assert(!current_);
+  assert(!current_ && up_);
   current_ = std::move(t);
   current_->state = TaskState::kRunning;
   if (current_->started_at < 0.0) current_->started_at = engine_.now();
   ++current_->service_attempts;
   service_started_ = engine_.now();
-  completion_event_ = engine_.in(current_->remaining / config_.speed,
-                                 [this] { finish_service(); });
+  double duration = current_->remaining / config_.speed;
+  bool will_fail = false;
+  if (fault_hook_) {
+    const ServiceFault f = fault_hook_(*current_, duration);
+    if (f.extra_delay > 0.0) duration += f.extra_delay;
+    if (f.fail_after >= 0.0 && f.fail_after < duration) {
+      duration = f.fail_after;
+      will_fail = true;
+    }
+  }
+  completion_event_ = engine_.in(duration, [this, will_fail] {
+    will_fail ? fail_service() : finish_service();
+  });
   notify(Event::kStarted, *current_);
 }
 
@@ -85,6 +97,55 @@ void Node::finish_service() {
   ++completed_;
   notify(Event::kCompleted, *done);
   if (on_complete_) on_complete_(done);
+  try_start();
+}
+
+void Node::fail_service() {
+  assert(current_);
+  TaskPtr victim = std::move(current_);
+  current_ = nullptr;
+  const sim::Time elapsed = engine_.now() - service_started_;
+  busy_accum_ += elapsed;  // the work invested in the failed attempt is lost
+  fail_task(std::move(victim));
+  try_start();
+}
+
+void Node::fail_task(TaskPtr t) {
+  disarm_abort_timer(*t);
+  t->state = TaskState::kFailed;
+  t->finished_at = engine_.now();
+  note_population_change(-1);
+  ++failed_;
+  notify(Event::kFailed, *t);
+  if (on_failure_) on_failure_(t);
+}
+
+void Node::crash(bool discard_queue) {
+  if (!up_) return;
+  up_ = false;
+  ++crashes_;
+  if (current_) {
+    engine_.cancel(completion_event_);
+    TaskPtr victim = std::move(current_);
+    current_ = nullptr;
+    busy_accum_ += engine_.now() - service_started_;
+    fail_task(std::move(victim));
+  }
+  if (discard_queue) {
+    // Snapshot first: a failure handler may resubmit a victim right back to
+    // this (down) node, and that retry belongs to the post-crash queue, not
+    // to the set being discarded.
+    std::vector<TaskPtr> victims;
+    while (TaskPtr queued = scheduler_->pop()) {
+      victims.push_back(std::move(queued));
+    }
+    for (TaskPtr& queued : victims) fail_task(std::move(queued));
+  }
+}
+
+void Node::recover() {
+  if (up_) return;
+  up_ = true;
   try_start();
 }
 

@@ -8,6 +8,13 @@
 // Service is non-preemptive by default (the queue is consulted only when
 // the server frees up); Config::preemptive enables preemptive-resume EDF
 // for the substrate ablation.
+//
+// Fault injection (src/fault/): a node can crash() and later recover(),
+// and an optional FaultHook lets the injector fail individual service
+// attempts partway (transient failures, message loss) or stretch them
+// (link jitter).  With no hook installed and no crashes scheduled, the
+// node's behavior — including its event and RNG footprint — is exactly
+// the fail-free model.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +45,23 @@ class Node {
   /// Called when the *local* abort policy kills a task (state kAborted).
   /// Externally requested aborts (Node::abort) do not trigger this.
   using AbortHandler = std::function<void(const TaskPtr&)>;
+  /// Called when a fault kills a task (state kFailed): a transient
+  /// service failure from the fault hook, or a node crash.
+  using FailureHandler = std::function<void(const TaskPtr&)>;
+
+  /// Fault-injection verdict for one service attempt (see set_fault_hook).
+  struct ServiceFault {
+    /// Extra wall time added to this service leg (e.g. link jitter); the
+    /// server stays occupied for it but no demand is consumed.
+    double extra_delay = 0.0;
+    /// Wall-time offset into the (delay-extended) leg at which the attempt
+    /// fails, wasting the work done; negative = the attempt completes.
+    double fail_after = -1.0;
+  };
+  /// Consulted once per service start with the task and the nominal leg
+  /// duration (remaining/speed).  Unset = fault-free (zero overhead).
+  using FaultHook =
+      std::function<ServiceFault(const task::SimpleTask&, double)>;
 
   /// Fine-grained lifecycle notifications for tracing/instrumentation.
   enum class Event : std::uint8_t {
@@ -46,6 +70,7 @@ class Node {
     kPreempted,
     kCompleted,
     kAborted,  ///< local-policy or external abort
+    kFailed,   ///< killed by a fault (transient failure or node crash)
   };
   using Observer = std::function<void(Event, const task::SimpleTask&)>;
 
@@ -61,9 +86,14 @@ class Node {
 
   void set_completion_handler(CompletionHandler h) { on_complete_ = std::move(h); }
   void set_abort_handler(AbortHandler h) { on_local_abort_ = std::move(h); }
+  void set_failure_handler(FailureHandler h) { on_failure_ = std::move(h); }
 
   /// Installs a lifecycle observer (nullptr-able). Zero overhead when unset.
   void set_observer(Observer o) { observer_ = std::move(o); }
+
+  /// Installs the fault-injection hook (nullptr-able).  With no hook the
+  /// node is fail-free and behaves exactly as before.
+  void set_fault_hook(FaultHook h) { fault_hook_ = std::move(h); }
 
   /// Accepts a task for execution.  Requires t->exec_node == index().
   /// The node takes shared ownership until completion or abort.
@@ -82,6 +112,19 @@ class Node {
 
   std::size_t queue_length() const noexcept { return scheduler_->size(); }
 
+  // --- crash / recovery -------------------------------------------------
+  /// True while the node is operational (the initial state).
+  bool is_up() const noexcept { return up_; }
+
+  /// Takes the node down.  The in-service task (if any) fails — its work
+  /// is lost — and, when @p discard_queue is set, every queued task fails
+  /// too; otherwise the queue is frozen until recover().  Tasks submitted
+  /// while down are queued but not served.  No-op when already down.
+  void crash(bool discard_queue);
+
+  /// Brings the node back up and resumes service. No-op when already up.
+  void recover();
+
   // --- statistics -------------------------------------------------------
   std::uint64_t completed() const noexcept { return completed_; }
   std::uint64_t aborted_locally() const noexcept { return aborted_locally_; }
@@ -89,6 +132,8 @@ class Node {
     return aborted_externally_;
   }
   std::uint64_t preemptions() const noexcept { return preemptions_; }
+  std::uint64_t failed() const noexcept { return failed_; }
+  std::uint64_t crashes() const noexcept { return crashes_; }
 
   /// Total time the server has been busy (including work later aborted).
   sim::Time busy_time() const noexcept;
@@ -104,6 +149,8 @@ class Node {
   void try_start();
   void start_service(TaskPtr t);
   void finish_service();
+  void fail_service();
+  void fail_task(TaskPtr t);
   void preempt_current();
   void local_abort(const TaskPtr& t);
   void arm_abort_timer(const TaskPtr& t);
@@ -117,13 +164,16 @@ class Node {
   TaskPtr current_;                 ///< task in service, if any
   sim::Time service_started_ = 0.0; ///< when the current service leg began
   sim::EventId completion_event_;
+  bool up_ = true;                  ///< false between crash() and recover()
 
   /// Local-abort timers, keyed by task id.
   std::unordered_map<std::uint64_t, sim::EventId> abort_timers_;
 
   CompletionHandler on_complete_;
   AbortHandler on_local_abort_;
+  FailureHandler on_failure_;
   Observer observer_;
+  FaultHook fault_hook_;
 
   void notify(Event e, const task::SimpleTask& t) {
     if (observer_) observer_(e, t);
@@ -133,6 +183,8 @@ class Node {
   std::uint64_t aborted_locally_ = 0;
   std::uint64_t aborted_externally_ = 0;
   std::uint64_t preemptions_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t crashes_ = 0;
   sim::Time busy_accum_ = 0.0;
 
   // Time-weighted population accounting for Little's law.

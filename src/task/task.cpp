@@ -9,6 +9,7 @@ const char* to_string(TaskState s) noexcept {
     case TaskState::kRunning: return "running";
     case TaskState::kCompleted: return "completed";
     case TaskState::kAborted: return "aborted";
+    case TaskState::kFailed: return "failed";
   }
   return "?";
 }

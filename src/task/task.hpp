@@ -26,7 +26,15 @@ enum class TaskState : std::uint8_t {
   kRunning,    ///< in service at a node
   kCompleted,  ///< finished service
   kAborted,    ///< removed before finishing (PM or local-scheduler abort)
+  kFailed,     ///< killed by a fault (node crash or transient failure);
+               ///< terminal unless the process manager retries it
 };
+
+/// True for states no further service will change (unless resubmitted).
+inline bool is_terminal(TaskState s) noexcept {
+  return s == TaskState::kCompleted || s == TaskState::kAborted ||
+         s == TaskState::kFailed;
+}
 
 /// Converts a state to a short lowercase string (for logs and tests).
 const char* to_string(TaskState s) noexcept;

@@ -1,10 +1,21 @@
 #include "src/util/env.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
 
+extern "C" char** environ;
+
 namespace sda::util {
+
+namespace {
+/// Every SDA_* variable a binary in this repo reads.  Keep in sync with the
+/// header comment above and docs/EXPERIMENTS.md.
+constexpr const char* kKnownSdaVars[] = {
+    "SDA_SIM_TIME", "SDA_REPS", "SDA_WARMUP", "SDA_SEED", "SDA_FULL",
+};
+}  // namespace
 
 double env_double(const char* name, double fallback) noexcept {
   const char* v = std::getenv(name);
@@ -36,7 +47,47 @@ std::string BenchEnv::describe() const {
   return os.str();
 }
 
+std::vector<std::string> unknown_sda_env() {
+  std::vector<std::string> out;
+  if (environ == nullptr) return out;
+  for (char** p = environ; *p != nullptr; ++p) {
+    const char* entry = *p;
+    if (std::strncmp(entry, "SDA_", 4) != 0) continue;
+    const char* eq = std::strchr(entry, '=');
+    const std::string name =
+        eq != nullptr ? std::string(entry, eq) : std::string(entry);
+    if (name.rfind("SDA_TEST_", 0) == 0) continue;
+    bool known = false;
+    for (const char* k : kKnownSdaVars) {
+      if (name == k) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) out.push_back(name);
+  }
+  return out;
+}
+
+void warn_unknown_sda_env() noexcept {
+  static bool warned = false;
+  if (warned) return;
+  warned = true;
+  try {
+    for (const std::string& name : unknown_sda_env()) {
+      std::fprintf(stderr,
+                   "WARNING: unknown environment variable %s (known knobs: "
+                   "SDA_SIM_TIME SDA_REPS SDA_WARMUP SDA_SEED SDA_FULL) — "
+                   "ignored\n",
+                   name.c_str());
+    }
+  } catch (...) {
+    // Allocation failure while warning must not break the bench itself.
+  }
+}
+
 BenchEnv bench_env() noexcept {
+  warn_unknown_sda_env();
   BenchEnv e;
   if (env_flag("SDA_FULL")) {
     e.sim_time = 1e6;  // the paper's run length

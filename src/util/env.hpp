@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace sda::util {
 
@@ -37,7 +38,18 @@ struct BenchEnv {
 };
 
 /// Resolves BenchEnv from SDA_* variables (SDA_FULL overrides to
-/// paper-length runs).
+/// paper-length runs).  Unknown SDA_*-prefixed variables — usually typos
+/// like SDA_SIMTIME — are reported loudly on stderr so a silently ignored
+/// knob does not masquerade as a short run.
 BenchEnv bench_env() noexcept;
+
+/// Names of set environment variables that start with "SDA_" but are not
+/// recognized knobs.  Variables prefixed "SDA_TEST_" are exempt (reserved
+/// for the test suite's own scratch variables).
+std::vector<std::string> unknown_sda_env();
+
+/// Prints one stderr warning per unknown SDA_* variable.  At most once per
+/// process, so callers may invoke it from every entry point.
+void warn_unknown_sda_env() noexcept;
 
 }  // namespace sda::util

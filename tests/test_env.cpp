@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace {
@@ -11,16 +12,22 @@ using sda::util::bench_env;
 using sda::util::env_double;
 using sda::util::env_flag;
 using sda::util::env_int;
+using sda::util::unknown_sda_env;
 
 class EnvTest : public ::testing::Test {
  protected:
   void TearDown() override {
     for (const char* name : {"SDA_TEST_X", "SDA_SIM_TIME", "SDA_REPS",
-                             "SDA_WARMUP", "SDA_SEED", "SDA_FULL"}) {
+                             "SDA_WARMUP", "SDA_SEED", "SDA_FULL",
+                             "SDA_SIMTIME", "SDA_BOGUS_KNOB"}) {
       unsetenv(name);
     }
   }
 };
+
+bool contains(const std::vector<std::string>& v, const std::string& s) {
+  return std::find(v.begin(), v.end(), s) != v.end();
+}
 
 TEST_F(EnvTest, DoubleFallback) {
   EXPECT_DOUBLE_EQ(env_double("SDA_TEST_X", 1.5), 1.5);
@@ -85,6 +92,37 @@ TEST_F(EnvTest, DescribeMentionsSettings) {
   const std::string d = e.describe();
   EXPECT_NE(d.find("sim_time"), std::string::npos);
   EXPECT_NE(d.find("seed"), std::string::npos);
+}
+
+// A likely typo (SDA_SIMTIME for SDA_SIM_TIME) must be flagged, while every
+// recognized knob and the SDA_TEST_ scratch prefix must not be.  Other tests
+// or the surrounding shell may have their own SDA_* variables set, so the
+// assertions are containment checks, not exact-set checks.
+TEST_F(EnvTest, UnknownSdaEnvFlagsTyposOnly) {
+  setenv("SDA_SIMTIME", "5000", 1);
+  setenv("SDA_BOGUS_KNOB", "x", 1);
+  setenv("SDA_SIM_TIME", "5000", 1);
+  setenv("SDA_TEST_X", "scratch", 1);
+  const auto unknown = unknown_sda_env();
+  EXPECT_TRUE(contains(unknown, "SDA_SIMTIME"));
+  EXPECT_TRUE(contains(unknown, "SDA_BOGUS_KNOB"));
+  EXPECT_FALSE(contains(unknown, "SDA_SIM_TIME"));
+  EXPECT_FALSE(contains(unknown, "SDA_TEST_X"));
+}
+
+TEST_F(EnvTest, UnknownSdaEnvIgnoresRecognizedKnobs) {
+  for (const char* name : {"SDA_SIM_TIME", "SDA_REPS", "SDA_WARMUP",
+                           "SDA_SEED", "SDA_FULL"}) {
+    setenv(name, "1", 1);
+  }
+  for (const std::string& name : unknown_sda_env()) {
+    EXPECT_NE(name.rfind("SDA_", 0), std::string::npos);
+    EXPECT_NE(name, "SDA_SIM_TIME");
+    EXPECT_NE(name, "SDA_REPS");
+    EXPECT_NE(name, "SDA_WARMUP");
+    EXPECT_NE(name, "SDA_SEED");
+    EXPECT_NE(name, "SDA_FULL");
+  }
 }
 
 }  // namespace

@@ -1,0 +1,133 @@
+// Unit tests for the materialized fault model: crash-plan generation,
+// determinism, and the stream-per-node independence discipline.
+#include "src/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace {
+
+using sda::fault::CrashInterval;
+using sda::fault::FaultConfig;
+using sda::fault::FaultPlan;
+using sda::util::Rng;
+
+TEST(FaultConfigTest, DefaultIsDisabled) {
+  FaultConfig c;
+  EXPECT_FALSE(c.enabled());
+  c.subtask_failure_rate = 0.01;
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.crash_mean_uptime = 100.0;
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.msg_loss_rate = 0.05;
+  EXPECT_TRUE(c.enabled());
+  c = FaultConfig{};
+  c.msg_extra_delay_mean = 0.5;
+  EXPECT_TRUE(c.enabled());
+}
+
+TEST(FaultPlanTest, DefaultConfigYieldsEmptyPlan) {
+  const FaultPlan plan = FaultPlan::generate(FaultConfig{}, 6, 1000.0, Rng(1));
+  EXPECT_TRUE(plan.empty());
+  EXPECT_TRUE(plan.crashes().empty());
+}
+
+TEST(FaultPlanTest, NoCrashesWhenUptimeZero) {
+  FaultConfig c;
+  c.subtask_failure_rate = 0.1;  // other fault classes on, crashes off
+  const FaultPlan plan = FaultPlan::generate(c, 6, 1000.0, Rng(1));
+  EXPECT_TRUE(plan.crashes().empty());
+  EXPECT_FALSE(plan.empty());  // runtime rates still active
+}
+
+TEST(FaultPlanTest, RejectsInvalidArguments) {
+  FaultConfig c;
+  c.crash_mean_uptime = 100.0;  // downtime left at 0
+  EXPECT_THROW(FaultPlan::generate(c, 6, 1000.0, Rng(1)),
+               std::invalid_argument);
+  EXPECT_THROW(FaultPlan::generate(FaultConfig{}, -1, 1000.0, Rng(1)),
+               std::invalid_argument);
+}
+
+TEST(FaultPlanTest, IntervalsAreOrderedAndWithinHorizon) {
+  FaultConfig c;
+  c.crash_mean_uptime = 50.0;
+  c.crash_mean_downtime = 5.0;
+  const double horizon = 2000.0;
+  const FaultPlan plan = FaultPlan::generate(c, 4, horizon, Rng(42));
+  ASSERT_FALSE(plan.crashes().empty());
+  double last_up = -1.0;
+  int last_node = -1;
+  for (const CrashInterval& iv : plan.crashes()) {
+    EXPECT_GE(iv.node, 0);
+    EXPECT_LT(iv.node, 4);
+    EXPECT_GT(iv.down_at, 0.0);
+    EXPECT_LT(iv.down_at, horizon);  // outages begin within the run
+    EXPECT_GT(iv.up_at, iv.down_at);
+    if (iv.node == last_node) {
+      // Per node, intervals are disjoint and in time order.
+      EXPECT_GT(iv.down_at, last_up);
+    }
+    last_node = iv.node;
+    last_up = iv.up_at;
+  }
+}
+
+TEST(FaultPlanTest, SameSeedSamePlan) {
+  FaultConfig c;
+  c.crash_mean_uptime = 80.0;
+  c.crash_mean_downtime = 8.0;
+  const FaultPlan a = FaultPlan::generate(c, 6, 5000.0, Rng(7));
+  const FaultPlan b = FaultPlan::generate(c, 6, 5000.0, Rng(7));
+  ASSERT_EQ(a.crashes().size(), b.crashes().size());
+  for (std::size_t i = 0; i < a.crashes().size(); ++i) {
+    EXPECT_EQ(a.crashes()[i].node, b.crashes()[i].node);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].down_at, b.crashes()[i].down_at);
+    EXPECT_DOUBLE_EQ(a.crashes()[i].up_at, b.crashes()[i].up_at);
+  }
+}
+
+TEST(FaultPlanTest, DifferentSeedsDifferentPlans) {
+  FaultConfig c;
+  c.crash_mean_uptime = 80.0;
+  c.crash_mean_downtime = 8.0;
+  const FaultPlan a = FaultPlan::generate(c, 6, 5000.0, Rng(7));
+  const FaultPlan b = FaultPlan::generate(c, 6, 5000.0, Rng(8));
+  bool differ = a.crashes().size() != b.crashes().size();
+  for (std::size_t i = 0; !differ && i < a.crashes().size(); ++i) {
+    differ = a.crashes()[i].down_at != b.crashes()[i].down_at;
+  }
+  EXPECT_TRUE(differ);
+}
+
+// The stream-per-node discipline (same one the workload sources use): node
+// i's outage schedule must not change when more nodes are added, because
+// each node draws from its own split() substream.
+TEST(FaultPlanTest, PerNodeScheduleIndependentOfNodeCount) {
+  FaultConfig c;
+  c.crash_mean_uptime = 60.0;
+  c.crash_mean_downtime = 6.0;
+  const FaultPlan small = FaultPlan::generate(c, 2, 3000.0, Rng(99));
+  const FaultPlan large = FaultPlan::generate(c, 8, 3000.0, Rng(99));
+  auto outages_of = [](const FaultPlan& p, int node) {
+    std::vector<CrashInterval> out;
+    for (const CrashInterval& iv : p.crashes()) {
+      if (iv.node == node) out.push_back(iv);
+    }
+    return out;
+  };
+  for (int node = 0; node < 2; ++node) {
+    const auto a = outages_of(small, node);
+    const auto b = outages_of(large, node);
+    ASSERT_EQ(a.size(), b.size()) << "node " << node;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a[i].down_at, b[i].down_at);
+      EXPECT_DOUBLE_EQ(a[i].up_at, b[i].up_at);
+    }
+  }
+}
+
+}  // namespace

@@ -26,7 +26,7 @@ class PmTest : public ::testing::Test {
              PmAbortMode abort_mode = PmAbortMode::kNone,
              sched::LocalAbortPolicy local_policy =
                  sched::LocalAbortPolicy::kNone,
-             int k = 6) {
+             int k = 6, int max_resubmissions = 64) {
     engine = std::make_unique<sim::Engine>();
     nodes.clear();
     node_ptrs.clear();
@@ -42,6 +42,7 @@ class PmTest : public ::testing::Test {
     pc.psp = core::make_psp_strategy(psp);
     pc.ssp = core::make_ssp_strategy(ssp);
     pc.abort_mode = abort_mode;
+    pc.max_resubmissions_per_run = max_resubmissions;
     pm = std::make_unique<ProcessManager>(*engine, node_ptrs, std::move(pc));
     pm->set_global_handler(
         [this](const GlobalTaskRecord& r) { finished.push_back(r); });
@@ -303,6 +304,66 @@ TEST_F(PmTest, ManyConcurrentRunsAllTerminate) {
   EXPECT_EQ(finished.size(), 50u);
   EXPECT_EQ(pm->live_runs(), 0u);
   EXPECT_EQ(terminal_subtasks.size(), 200u);
+}
+
+TEST_F(PmTest, ZeroResubmissionBudgetAbortsRunOnFirstLocalAbort) {
+  build("div-1", "ud", PmAbortMode::kNone,
+        sched::LocalAbortPolicy::kAbortOnVirtualDeadline, 6,
+        /*max_resubmissions=*/0);
+  // Virtual deadline 4 (= 8/2) < demand 6: the local scheduler aborts A at
+  // t=4, and with a zero budget the PM must abort the run instead of
+  // resubmitting.
+  pm->submit(task::parse_notation("[A@0:6 || B@1:1]"), 8.0, 100, 1);
+  engine->run();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].aborted);
+  EXPECT_EQ(finished[0].resubmissions, 0);
+  EXPECT_DOUBLE_EQ(finished[0].finished_at, 4.0);
+  EXPECT_EQ(pm->resubmissions(), 0u);
+  EXPECT_EQ(pm->aborted_runs(), 1u);
+  EXPECT_EQ(pm->live_runs(), 0u);
+}
+
+TEST_F(PmTest, ResubmissionBudgetOfOneAllowsExactlyOne) {
+  build("div-1", "ud", PmAbortMode::kNone,
+        sched::LocalAbortPolicy::kAbortOnVirtualDeadline, 6,
+        /*max_resubmissions=*/1);
+  // Both branches get virtual deadline 4 and demand 6, so both abort at
+  // t=4.  The first abort consumes the whole budget (the resubmitted copy
+  // is non-abortable); the second must terminate the run.
+  pm->submit(task::parse_notation("[A@0:6 || B@1:6]"), 8.0, 100, 1);
+  engine->run();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].aborted);
+  EXPECT_EQ(finished[0].resubmissions, 1);
+  EXPECT_EQ(pm->resubmissions(), 1u);
+  EXPECT_EQ(pm->live_runs(), 0u);
+  // Terminating the run also killed the one resubmitted attempt, so every
+  // node is idle and no stale events remain.
+  engine->run();
+  EXPECT_EQ(engine->events_pending(), 0u);
+  EXPECT_EQ(node_ptrs[0]->in_service(), nullptr);
+  EXPECT_EQ(node_ptrs[1]->in_service(), nullptr);
+}
+
+TEST_F(PmTest, CapTerminationCancelsAbortTimer) {
+  // Regression: the run killed by the resubmission cap carries a pending
+  // real-deadline abort timer; finish_run must cancel it so no event for
+  // the dead run ever fires.
+  build("div-1", "ud", PmAbortMode::kRealDeadline,
+        sched::LocalAbortPolicy::kAbortOnVirtualDeadline, 6,
+        /*max_resubmissions=*/0);
+  pm->submit(task::parse_notation("[A@0:6 || B@1:1]"), 8.0, 100, 1);
+  engine->run_until(5.0);  // past the local abort at t=4
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].aborted);
+  EXPECT_DOUBLE_EQ(finished[0].finished_at, 4.0);
+  // The timer at t=8 was cancelled with the run: nothing left to fire, and
+  // running to the end produces no second terminal record.
+  EXPECT_EQ(engine->events_pending(), 0u);
+  engine->run();
+  EXPECT_EQ(finished.size(), 1u);
+  EXPECT_EQ(pm->aborted_runs(), 1u);
 }
 
 TEST_F(PmTest, SubtasksQueueBehindEachOtherOnSharedNode) {
