@@ -32,6 +32,27 @@ void BM_EventQueuePushPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  // Abort-timer pattern: every event gets a guard pushed alongside it, and
+  // half the guards are cancelled before draining.  Exercises the O(log n)
+  // indexed cancel path and eager callable release.
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(3);
+  std::vector<sim::EventId> ids(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < batch; ++i) {
+      ids[static_cast<std::size_t>(i)] = q.push(rng.uniform01(), [] {});
+    }
+    for (int i = 0; i < batch; i += 2) {
+      benchmark::DoNotOptimize(q.cancel(ids[static_cast<std::size_t>(i)]));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1024)->Arg(16384);
+
 void BM_EngineSelfScheduling(benchmark::State& state) {
   for (auto _ : state) {
     sim::Engine engine;
@@ -64,6 +85,30 @@ void BM_EdfPushPop(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * batch);
 }
 BENCHMARK(BM_EdfPushPop)->Arg(64)->Arg(4096);
+
+void BM_EdfRemoveMiddle(benchmark::State& state) {
+  // Deadline-abort pattern: fill the ready queue, then remove tasks from the
+  // middle by identity.  The indexed heap makes each remove O(log n) instead
+  // of an O(n) scan.
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(4);
+  std::vector<task::TaskPtr> tasks;
+  tasks.reserve(static_cast<std::size_t>(batch));
+  for (int i = 0; i < batch; ++i) {
+    tasks.push_back(task::make_local_task(static_cast<std::uint64_t>(i + 1), 0,
+                                          0.0, 1.0, rng.uniform(0.0, 100.0)));
+  }
+  for (auto _ : state) {
+    sched::EdfScheduler edf;
+    for (const auto& t : tasks) edf.push(t);
+    for (int i = 0; i < batch; i += 2) {
+      benchmark::DoNotOptimize(edf.remove(*tasks[static_cast<std::size_t>(i)]));
+    }
+    while (edf.size() > 0) benchmark::DoNotOptimize(edf.pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EdfRemoveMiddle)->Arg(64)->Arg(4096);
 
 void BM_StrategyAssign(benchmark::State& state) {
   const auto div1 = core::make_psp_strategy("div-1");

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Builds the asan-ubsan preset and runs the whole test suite under
-# AddressSanitizer + UndefinedBehaviorSanitizer.  CI-friendly: exits
-# non-zero on any configure/build/test failure, and sanitizer findings are
-# fatal (-fno-sanitize-recover=all).
+# AddressSanitizer + UndefinedBehaviorSanitizer, then builds the tsan
+# preset and runs the concurrency-sensitive tests (thread pool, parallel
+# run_experiment/sweep determinism) under ThreadSanitizer.  CI-friendly:
+# exits non-zero on any configure/build/test failure, and sanitizer
+# findings are fatal (-fno-sanitize-recover=all / TSan default).
 #
 # Usage: scripts/check_sanitizers.sh [extra ctest args...]
 set -euo pipefail
@@ -18,4 +20,16 @@ export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --preset asan-ubsan "$@"
+
+# --- ThreadSanitizer pass: pool + determinism tests -----------------------
+# ASan and TSan cannot share a build, so the tsan preset gets its own
+# binary dir.  The test preset filters to the tests that exercise
+# cross-thread execution; running the whole suite under TSan would only
+# re-run single-threaded code at 10x slowdown.
+cmake --preset tsan
+cmake --build --preset tsan -j "$(nproc)"
+
+export TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1"
+ctest --preset tsan "$@"
+
 echo "sanitizer suite passed"

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Performance snapshot: runs the micro_core google-benchmark suite plus a
+# timed `reproduce_all --quick` scorecard and merges both into
+# BENCH_core.json at the repo root.  Commit the refreshed JSON alongside
+# any change that claims a speedup (and keep the pre-change file as
+# BENCH_core.before.json) so reviewers can diff items/sec directly.
+#
+# Usage: scripts/run_bench.sh [output.json]     (default: BENCH_core.json)
+#
+# Env: SDA_THREADS caps pool parallelism for the quick scorecard;
+#      SDA_SIM_TIME/SDA_REPS override the quick run length as usual.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_core.json}"
+BUILD=build
+
+if ! cmake --preset default > /tmp/sda_bench_configure.log 2>&1; then
+  cat /tmp/sda_bench_configure.log >&2
+  echo "" >&2
+  echo "ERROR: cmake configure failed." >&2
+  if grep -qi "benchmark" /tmp/sda_bench_configure.log; then
+    echo "ERROR: google-benchmark was not found. micro_core requires it" >&2
+    echo "       (find_package(benchmark REQUIRED) in CMakeLists.txt)." >&2
+    echo "       Install libbenchmark-dev or point CMAKE_PREFIX_PATH at a" >&2
+    echo "       benchmark install; this script will not silently skip the" >&2
+    echo "       microbenchmarks." >&2
+  fi
+  exit 1
+fi
+
+cmake --build "$BUILD" -j "$(nproc)" --target micro_core reproduce_all
+
+if [[ ! -x "$BUILD/bench/micro_core" ]]; then
+  echo "ERROR: $BUILD/bench/micro_core was not built — google-benchmark" >&2
+  echo "       is missing or the bench/ subdirectory failed to configure." >&2
+  exit 1
+fi
+
+MICRO_JSON=$(mktemp /tmp/sda_micro.XXXXXX.json)
+trap 'rm -f "$MICRO_JSON"' EXIT
+
+echo "== micro_core =="
+"$BUILD/bench/micro_core" \
+  --benchmark_format=console \
+  --benchmark_out_format=json \
+  --benchmark_out="$MICRO_JSON"
+
+echo "== reproduce_all --quick (timed) =="
+START_NS=$(date +%s%N)
+set +e
+"$BUILD/bench/reproduce_all" --quick > /tmp/sda_quick.log 2>&1
+QUICK_FAILURES=$?
+set -e
+END_NS=$(date +%s%N)
+QUICK_MS=$(( (END_NS - START_NS) / 1000000 ))
+tail -5 /tmp/sda_quick.log
+echo "quick scorecard: ${QUICK_MS} ms wall, ${QUICK_FAILURES} failed checks"
+
+MICRO_JSON="$MICRO_JSON" QUICK_MS="$QUICK_MS" \
+QUICK_FAILURES="$QUICK_FAILURES" OUT="$OUT" python3 - <<'PY'
+import json, os, datetime
+
+with open(os.environ["MICRO_JSON"]) as f:
+    micro = json.load(f)
+
+benchmarks = {}
+for b in micro.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    entry = {"real_time_ns": b.get("real_time"),
+             "cpu_time_ns": b.get("cpu_time")}
+    if "items_per_second" in b:
+        entry["items_per_second"] = b["items_per_second"]
+    benchmarks[b["name"]] = entry
+
+ctx = micro.get("context", {})
+out = {
+    "generated": datetime.datetime.now(datetime.timezone.utc)
+        .strftime("%Y-%m-%dT%H:%M:%SZ"),
+    "host": {
+        "num_cpus": ctx.get("num_cpus"),
+        "mhz_per_cpu": ctx.get("mhz_per_cpu"),
+        "sda_threads_env": os.environ.get("SDA_THREADS"),
+    },
+    "micro_core": benchmarks,
+    "reproduce_all_quick": {
+        "wall_ms": int(os.environ["QUICK_MS"]),
+        "failed_checks": int(os.environ["QUICK_FAILURES"]),
+    },
+}
+with open(os.environ["OUT"], "w") as f:
+    json.dump(out, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {os.environ['OUT']}")
+PY

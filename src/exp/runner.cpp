@@ -2,7 +2,7 @@
 
 #include <memory>
 #include <stdexcept>
-#include <thread>
+#include <utility>
 #include <vector>
 
 #include "src/exp/validate.hpp"
@@ -280,30 +280,32 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
 }
 
 metrics::Report run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, util::ThreadPool::shared(), nullptr);
+}
+
+metrics::Report run_experiment(const ExperimentConfig& config,
+                               util::ThreadPool& pool,
+                               std::vector<std::uint64_t>* fingerprints) {
   validate_or_throw(config);
-  // Replications are fully independent simulations, so run them on worker
-  // threads; results are folded in replication order, keeping the report
-  // bit-identical to the sequential fold.
-  std::vector<metrics::Collector> collectors(
-      static_cast<std::size_t>(config.replications));
-  auto run_rep = [&](int rep) {
-    // Widely separated, deterministic per-replication seeds.
+  // Replications are fully independent simulations, so fan them out over
+  // the pool; results are folded in replication order below, keeping the
+  // report bit-identical to the sequential fold regardless of pool size.
+  const std::size_t reps = static_cast<std::size_t>(config.replications);
+  std::vector<metrics::Collector> collectors(reps);
+  std::vector<std::uint64_t> fps(fingerprints != nullptr ? reps : 0);
+  pool.parallel_for(reps, [&](std::size_t rep) {
     const std::uint64_t seed =
-        config.seed +
-        0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
-    collectors[static_cast<std::size_t>(rep)] =
-        std::move(run_once(config, seed).collector);
-  };
-  if (config.replications > 1) {
-    std::vector<std::thread> workers;
-    workers.reserve(static_cast<std::size_t>(config.replications));
-    for (int rep = 0; rep < config.replications; ++rep) {
-      workers.emplace_back(run_rep, rep);
+        replication_seed(config.seed, static_cast<int>(rep));
+    if (fingerprints != nullptr) {
+      // Capacity 1: only the rolling fingerprint matters, not the records.
+      metrics::Tracer tracer(1);
+      collectors[rep] = std::move(run_once(config, seed, &tracer).collector);
+      fps[rep] = tracer.fingerprint();
+    } else {
+      collectors[rep] = std::move(run_once(config, seed).collector);
     }
-    for (std::thread& w : workers) w.join();
-  } else {
-    run_rep(0);
-  }
+  });
+  if (fingerprints != nullptr) *fingerprints = std::move(fps);
   metrics::Report report;
   for (const metrics::Collector& c : collectors) report.add_replication(c);
   return report;

@@ -14,6 +14,7 @@
 #include "src/metrics/collector.hpp"
 #include "src/metrics/report.hpp"
 #include "src/metrics/trace.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace sda::exp {
 
@@ -49,10 +50,27 @@ struct RunResult {
 RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
                    metrics::Tracer* tracer = nullptr);
 
+/// The seed used for replication @p rep of an experiment: widely separated,
+/// deterministic offsets from the experiment's base seed.  Exposed so the
+/// sweep executor can schedule (point x replication) cells itself while
+/// reproducing run_experiment's seed schedule exactly.
+constexpr std::uint64_t replication_seed(std::uint64_t base_seed,
+                                         int rep) noexcept {
+  return base_seed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep + 1);
+}
+
 /// Runs config.replications independent replications (seeds derived from
-/// config.seed) and aggregates per-class miss rates into a Report.
-/// Replications run on parallel threads (one each — keep the count modest);
-/// the result is bit-identical to a sequential run.
+/// config.seed via replication_seed) and aggregates per-class miss rates
+/// into a Report.  Replications run on the shared work-stealing pool
+/// (sized by SDA_THREADS / hardware_concurrency); results are folded in
+/// replication order, so the Report is bit-identical to a sequential run.
 metrics::Report run_experiment(const ExperimentConfig& config);
+
+/// Same, on an explicit pool; when @p fingerprints is non-null it receives
+/// one tracer fingerprint per replication, in replication order — the
+/// determinism tests assert these are identical across pool sizes.
+metrics::Report run_experiment(const ExperimentConfig& config,
+                               util::ThreadPool& pool,
+                               std::vector<std::uint64_t>* fingerprints = nullptr);
 
 }  // namespace sda::exp

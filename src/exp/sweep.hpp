@@ -7,6 +7,7 @@
 #include "src/exp/config.hpp"
 #include "src/exp/runner.hpp"
 #include "src/metrics/report.hpp"
+#include "src/util/thread_pool.hpp"
 
 namespace sda::exp {
 
@@ -24,9 +25,20 @@ using ApplyFn = std::function<void(ExperimentConfig&, double)>;
 /// series differing only in strategy share arrival randomness (common
 /// random numbers, reducing comparison variance like the paper's paired
 /// runs).
+///
+/// Execution is flattened to (point x replication) cells on the shared
+/// work-stealing pool, so a whole figure saturates every core instead of
+/// parallelizing only within one point's replications.  Cells are folded
+/// back in (point, replication) order, which keeps every Report
+/// bit-identical to the sequential path regardless of pool size.
 std::vector<SweepPoint> sweep(const ExperimentConfig& base,
                               const std::vector<double>& xs,
                               const ApplyFn& apply);
+
+/// Same, on an explicit pool (determinism tests compare pool sizes).
+std::vector<SweepPoint> sweep(const ExperimentConfig& base,
+                              const std::vector<double>& xs,
+                              const ApplyFn& apply, util::ThreadPool& pool);
 
 /// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n==1.
 std::vector<double> linspace(double lo, double hi, int n);

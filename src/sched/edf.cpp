@@ -4,31 +4,15 @@ namespace sda::sched {
 
 void EdfScheduler::push(TaskPtr t) {
   t->enqueue_seq = next_seq();
-  queue_.insert(std::move(t));
+  queue_.push(std::move(t));
 }
 
-TaskPtr EdfScheduler::pop() {
-  if (queue_.empty()) return nullptr;
-  auto it = queue_.begin();
-  TaskPtr t = *it;
-  queue_.erase(it);
-  return t;
-}
+TaskPtr EdfScheduler::pop() { return queue_.pop(); }
 
-const task::SimpleTask* EdfScheduler::peek() const {
-  return queue_.empty() ? nullptr : queue_.begin()->get();
-}
+const task::SimpleTask* EdfScheduler::peek() const { return queue_.peek(); }
 
 TaskPtr EdfScheduler::remove(const task::SimpleTask& t) {
-  // The comparator only reads (virtual_deadline, enqueue_seq), so a
-  // non-owning aliasing shared_ptr to t is a valid lookup key.
-  const TaskPtr key(std::shared_ptr<task::SimpleTask>{},
-                    const_cast<task::SimpleTask*>(&t));
-  auto it = queue_.find(key);
-  if (it == queue_.end() || it->get() != &t) return nullptr;
-  TaskPtr owned = *it;
-  queue_.erase(it);
-  return owned;
+  return queue_.remove(t);
 }
 
 }  // namespace sda::sched

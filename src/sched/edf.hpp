@@ -3,11 +3,11 @@
 // Tasks are ordered by *virtual* deadline; equal deadlines are served in
 // arrival order.  The strategy layer manipulates virtual deadlines precisely
 // to steer this ordering (UD / DIV-x / GF / EQF all reduce to "what deadline
-// does EDF see").
+// does EDF see").  Backed by an indexed 4-ary heap so abort-timer removals
+// and preemption checks are O(log n) without scanning.
 #pragma once
 
-#include <set>
-
+#include "src/sched/indexed_heap.hpp"
 #include "src/sched/scheduler.hpp"
 
 namespace sda::sched {
@@ -30,7 +30,7 @@ class EdfScheduler final : public Scheduler {
       return a->enqueue_seq < b->enqueue_seq;
     }
   };
-  std::set<TaskPtr, ByDeadline> queue_;
+  detail::IndexedTaskHeap<ByDeadline> queue_;
 };
 
 }  // namespace sda::sched

@@ -1,32 +1,18 @@
 #include "src/sched/fifo.hpp"
 
-#include <algorithm>
-
 namespace sda::sched {
 
 void FifoScheduler::push(TaskPtr t) {
   t->enqueue_seq = next_seq();
-  queue_.push_back(std::move(t));
+  queue_.push(std::move(t));
 }
 
-TaskPtr FifoScheduler::pop() {
-  if (queue_.empty()) return nullptr;
-  TaskPtr t = std::move(queue_.front());
-  queue_.pop_front();
-  return t;
-}
+TaskPtr FifoScheduler::pop() { return queue_.pop(); }
 
-const task::SimpleTask* FifoScheduler::peek() const {
-  return queue_.empty() ? nullptr : queue_.front().get();
-}
+const task::SimpleTask* FifoScheduler::peek() const { return queue_.peek(); }
 
 TaskPtr FifoScheduler::remove(const task::SimpleTask& t) {
-  auto it = std::find_if(queue_.begin(), queue_.end(),
-                         [&](const TaskPtr& p) { return p.get() == &t; });
-  if (it == queue_.end()) return nullptr;
-  TaskPtr owned = std::move(*it);
-  queue_.erase(it);
-  return owned;
+  return queue_.remove(t);
 }
 
 }  // namespace sda::sched

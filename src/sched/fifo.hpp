@@ -3,11 +3,11 @@
 // Deadline-oblivious baseline used by the substrate ablation
 // (bench/ablation_scheduler_policy): under FIFO the SDA strategies cannot
 // help, which isolates how much of the paper's improvement comes from nodes
-// actually honoring deadlines.
+// actually honoring deadlines.  Uses the shared indexed heap keyed by
+// enqueue sequence alone, so abort-driven removals stop scanning the queue.
 #pragma once
 
-#include <deque>
-
+#include "src/sched/indexed_heap.hpp"
 #include "src/sched/scheduler.hpp"
 
 namespace sda::sched {
@@ -22,7 +22,12 @@ class FifoScheduler final : public Scheduler {
   std::string name() const override { return "FIFO"; }
 
  private:
-  std::deque<TaskPtr> queue_;
+  struct ByArrival {
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const noexcept {
+      return a->enqueue_seq < b->enqueue_seq;
+    }
+  };
+  detail::IndexedTaskHeap<ByArrival> queue_;
 };
 
 }  // namespace sda::sched

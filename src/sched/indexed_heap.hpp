@@ -1,0 +1,115 @@
+// Indexed 4-ary min-heap over ready tasks.
+//
+// All four ready-queue policies (EDF, FIFO, SPT, LLF) need the same three
+// operations fast: push, pop-min, and *remove an arbitrary queued task* —
+// the last one driven by abort timers and the process manager's deadline
+// enforcement, which used to pay an O(n) scan (FIFO) or a comparator
+// round-trip through std::set's allocator-heavy node tree.  This heap
+// stores TaskPtrs contiguously and maintains an intrusive back-link
+// (SimpleTask::queue_pos) so removal locates its entry in O(1) and fixes
+// the heap in O(log n); pushes are allocation-free once the vector has
+// warmed up.  Singh's EDF-complexity argument (PAPERS.md) applies
+// directly: the scheduler's data structure, not its policy, is the cost.
+//
+// @p Less must be a strict weak ordering whose ties are fully broken by
+// SimpleTask::enqueue_seq (every policy comparator here ends with it), so
+// the heap's pop order — and therefore the simulation — is deterministic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/task/task.hpp"
+
+namespace sda::sched::detail {
+
+template <typename Less>
+class IndexedTaskHeap {
+ public:
+  void push(task::TaskPtr t) {
+    const std::size_t pos = heap_.size();
+    t->queue_pos = static_cast<std::uint32_t>(pos);
+    heap_.push_back(std::move(t));
+    sift_up(pos);
+  }
+
+  /// Removes and returns the minimum task; nullptr when empty.
+  task::TaskPtr pop() {
+    if (heap_.empty()) return nullptr;
+    return remove_at(0);
+  }
+
+  /// The task pop() would return, without removing it; nullptr when empty.
+  const task::SimpleTask* peek() const noexcept {
+    return heap_.empty() ? nullptr : heap_.front().get();
+  }
+
+  /// Removes a specific queued task in O(log n) via its back-link.
+  /// Returns the owning pointer, or nullptr when @p t is not queued here
+  /// (the position check plus pointer comparison rejects tasks queued in
+  /// a different heap or not queued at all).
+  task::TaskPtr remove(const task::SimpleTask& t) {
+    const std::uint32_t pos = t.queue_pos;
+    if (pos == task::SimpleTask::kNotQueued || pos >= heap_.size() ||
+        heap_[pos].get() != &t) {
+      return nullptr;
+    }
+    return remove_at(pos);
+  }
+
+  std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  task::TaskPtr remove_at(std::size_t pos) {
+    task::TaskPtr out = std::move(heap_[pos]);
+    out->queue_pos = task::SimpleTask::kNotQueued;
+    const std::size_t last = heap_.size() - 1;
+    if (pos != last) {
+      heap_[pos] = std::move(heap_[last]);
+      heap_[pos]->queue_pos = static_cast<std::uint32_t>(pos);
+      heap_.pop_back();
+      sift_down(pos);
+      sift_up(pos);
+    } else {
+      heap_.pop_back();
+    }
+    return out;
+  }
+
+  void sift_up(std::size_t pos) {
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) / 4;
+      if (!less_(heap_[pos], heap_[parent])) break;
+      swap_entries(pos, parent);
+      pos = parent;
+    }
+  }
+
+  void sift_down(std::size_t pos) {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * pos + 1;
+      if (first >= n) break;
+      std::size_t best = pos;
+      const std::size_t end = first + 4 < n ? first + 4 : n;
+      for (std::size_t c = first; c < end; ++c) {
+        if (less_(heap_[c], heap_[best])) best = c;
+      }
+      if (best == pos) break;
+      swap_entries(pos, best);
+      pos = best;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    heap_[a].swap(heap_[b]);
+    heap_[a]->queue_pos = static_cast<std::uint32_t>(a);
+    heap_[b]->queue_pos = static_cast<std::uint32_t>(b);
+  }
+
+  std::vector<task::TaskPtr> heap_;
+  Less less_;
+};
+
+}  // namespace sda::sched::detail

@@ -4,29 +4,15 @@ namespace sda::sched {
 
 void LlfScheduler::push(TaskPtr t) {
   t->enqueue_seq = next_seq();
-  queue_.insert(std::move(t));
+  queue_.push(std::move(t));
 }
 
-TaskPtr LlfScheduler::pop() {
-  if (queue_.empty()) return nullptr;
-  auto it = queue_.begin();
-  TaskPtr t = *it;
-  queue_.erase(it);
-  return t;
-}
+TaskPtr LlfScheduler::pop() { return queue_.pop(); }
 
-const task::SimpleTask* LlfScheduler::peek() const {
-  return queue_.empty() ? nullptr : queue_.begin()->get();
-}
+const task::SimpleTask* LlfScheduler::peek() const { return queue_.peek(); }
 
 TaskPtr LlfScheduler::remove(const task::SimpleTask& t) {
-  const TaskPtr key(std::shared_ptr<task::SimpleTask>{},
-                    const_cast<task::SimpleTask*>(&t));
-  auto it = queue_.find(key);
-  if (it == queue_.end() || it->get() != &t) return nullptr;
-  TaskPtr owned = *it;
-  queue_.erase(it);
-  return owned;
+  return queue_.remove(t);
 }
 
 }  // namespace sda::sched

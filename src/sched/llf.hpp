@@ -5,11 +5,11 @@
 // the non-preemptive LLF order reduces to the *static* key
 // (virtual_deadline - pex): no clock access needed.  LLF folds execution
 // demand into urgency, which EDF ignores — a natural third point in the
-// substrate-ablation space alongside EDF and SPT.
+// substrate-ablation space alongside EDF and SPT.  Backed by the shared
+// indexed heap for O(log n) targeted removal.
 #pragma once
 
-#include <set>
-
+#include "src/sched/indexed_heap.hpp"
 #include "src/sched/scheduler.hpp"
 
 namespace sda::sched {
@@ -36,7 +36,7 @@ class LlfScheduler final : public Scheduler {
       return a->enqueue_seq < b->enqueue_seq;
     }
   };
-  std::set<TaskPtr, ByLaxity> queue_;
+  detail::IndexedTaskHeap<ByLaxity> queue_;
 };
 
 }  // namespace sda::sched

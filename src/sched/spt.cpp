@@ -4,29 +4,15 @@ namespace sda::sched {
 
 void SptScheduler::push(TaskPtr t) {
   t->enqueue_seq = next_seq();
-  queue_.insert(std::move(t));
+  queue_.push(std::move(t));
 }
 
-TaskPtr SptScheduler::pop() {
-  if (queue_.empty()) return nullptr;
-  auto it = queue_.begin();
-  TaskPtr t = *it;
-  queue_.erase(it);
-  return t;
-}
+TaskPtr SptScheduler::pop() { return queue_.pop(); }
 
-const task::SimpleTask* SptScheduler::peek() const {
-  return queue_.empty() ? nullptr : queue_.begin()->get();
-}
+const task::SimpleTask* SptScheduler::peek() const { return queue_.peek(); }
 
 TaskPtr SptScheduler::remove(const task::SimpleTask& t) {
-  const TaskPtr key(std::shared_ptr<task::SimpleTask>{},
-                    const_cast<task::SimpleTask*>(&t));
-  auto it = queue_.find(key);
-  if (it == queue_.end() || it->get() != &t) return nullptr;
-  TaskPtr owned = *it;
-  queue_.erase(it);
-  return owned;
+  return queue_.remove(t);
 }
 
 }  // namespace sda::sched

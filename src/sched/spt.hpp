@@ -2,11 +2,11 @@
 //
 // Orders by pex (falling back to nothing else: locals carry pex == ex).
 // SPT minimizes mean response time but ignores deadlines entirely; it is
-// the second substrate ablation policy.
+// the second substrate ablation policy.  Backed by the same indexed heap
+// as EDF so targeted removals never scan.
 #pragma once
 
-#include <set>
-
+#include "src/sched/indexed_heap.hpp"
 #include "src/sched/scheduler.hpp"
 
 namespace sda::sched {
@@ -22,7 +22,6 @@ class SptScheduler final : public Scheduler {
 
  private:
   struct ByPex {
-    using is_transparent = void;
     bool operator()(const TaskPtr& a, const TaskPtr& b) const noexcept {
       if (a->attrs.pred_exec != b->attrs.pred_exec) {
         return a->attrs.pred_exec < b->attrs.pred_exec;
@@ -30,7 +29,7 @@ class SptScheduler final : public Scheduler {
       return a->enqueue_seq < b->enqueue_seq;
     }
   };
-  std::set<TaskPtr, ByPex> queue_;
+  detail::IndexedTaskHeap<ByPex> queue_;
 };
 
 }  // namespace sda::sched

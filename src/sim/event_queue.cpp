@@ -1,46 +1,145 @@
 #include "src/sim/event_queue.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
 namespace sda::sim {
 
-EventId EventQueue::push(Time t, EventFn fn) {
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{t, id, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  return EventId{id};
+const EventQueue::Slot* EventQueue::find_live(EventId id) const noexcept {
+  if (!id) return nullptr;
+  const std::uint64_t slot_plus_1 = id.value & 0xffffffffu;
+  if (slot_plus_1 == 0 || slot_plus_1 > slot_count_) return nullptr;
+  const Slot& s = slot_at(static_cast<std::uint32_t>(slot_plus_1 - 1));
+  if (slot_is_free(s.key)) return nullptr;
+  if (static_cast<std::uint32_t>(s.key >> kSlotBits) !=
+      static_cast<std::uint32_t>(id.value >> 32)) {
+    return nullptr;
+  }
+  return &s;
 }
 
-bool EventQueue::cancel(EventId id) {
-  if (!id) return false;
-  return pending_.erase(id.value) != 0;
+std::uint32_t EventQueue::alloc_slot() {
+  if (free_head_ != kSlotMask) {
+    const std::uint32_t s = free_head_;
+    free_head_ = entry_slot(slot_at(s).key);  // free-list link in low bits
+    return s;
+  }
+  if (slot_count_ >= kSlotMask) {  // kSlotMask itself is the list terminator
+    throw std::length_error("EventQueue: too many concurrent events");
+  }
+  if (slot_count_ == slot_capacity()) {
+    chunks_.push_back(std::make_unique<Slot[]>(
+        chunks_.empty() ? kFirstChunkSize : kChunkSize));
+  }
+  return slot_count_++;
 }
 
-void EventQueue::skim() {
-  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+void EventQueue::free_slot(std::uint32_t s) noexcept {
+  slot_at(s).key = (kFreeSeq << kSlotBits) | free_head_;
+  free_head_ = s;
+}
+
+void EventQueue::sift_up(std::size_t pos) noexcept {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    pos = parent;
+  }
+  heap_[pos] = e;
+}
+
+void EventQueue::sift_down(std::size_t pos) noexcept {
+  // Bottom-up variant: walk the min-child path all the way to a leaf
+  // (3 sibling compares per level, no compare against e), then bubble e up
+  // from the leaf.  The displaced element is always the old heap tail, which
+  // almost always belongs near the bottom, so the bubble-up is O(1) expected
+  // and the per-level compare against e is saved.
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  std::size_t hole = pos;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  while (hole > pos) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[hole] = heap_[parent];
+    hole = parent;
+  }
+  heap_[hole] = e;
+}
+
+void EventQueue::pop_root() noexcept {
+  const std::size_t last = heap_.size() - 1;
+  if (last > 0) {
+    heap_[0] = heap_[last];
+    heap_.pop_back();
+    sift_down(0);
+  } else {
     heap_.pop_back();
   }
 }
 
-Time EventQueue::peek_time() {
-  skim();
-  if (heap_.empty()) {
+void EventQueue::skim() noexcept {
+  while (!heap_.empty()) {
+    const HeapEntry& top = heap_.front();
+    if (slot_at(entry_slot(top.key)).key == top.key) break;  // live root
+    pop_root();  // orphaned by cancel (or by slot reuse after it)
+  }
+}
+
+EventId EventQueue::push(Time t, EventFn fn) {
+  const std::uint32_t s = alloc_slot();
+  Slot& slot = slot_at(s);
+  const std::uint64_t key = (next_seq_++ << kSlotBits) | s;
+  slot.key = key;
+  slot.fn = std::move(fn);
+  heap_.push_back(HeapEntry{t, key});
+  sift_up(heap_.size() - 1);
+  ++live_;
+  // Handle layout: (low 32 bits of the sequence) << 32 | slot + 1.
+  const auto gen = static_cast<std::uint32_t>(key >> kSlotBits);
+  return EventId{(static_cast<std::uint64_t>(gen) << 32) |
+                 (static_cast<std::uint64_t>(s) + 1)};
+}
+
+bool EventQueue::cancel(EventId id) {
+  Slot* live = find_live(id);
+  if (live == nullptr) return false;
+  live->fn.reset();  // release captures now, not when the entry surfaces
+  free_slot(entry_slot(live->key));  // orphans the heap entry
+  --live_;
+  skim();  // the orphan may be sitting at the root
+  return true;
+}
+
+Time EventQueue::peek_time() const {
+  if (live_ == 0) {
     throw std::logic_error("EventQueue::peek_time on empty queue");
   }
+  // skim() runs after every cancel/pop, so a non-empty queue's root is live.
   return heap_.front().time;
 }
 
 std::pair<Time, EventFn> EventQueue::pop() {
+  if (live_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
+  const HeapEntry top = heap_.front();
+  const std::uint32_t s = entry_slot(top.key);
+  EventFn fn = std::move(slot_at(s).fn);
+  free_slot(s);
+  --live_;
+  pop_root();
   skim();
-  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  pending_.erase(e.id);
-  return {e.time, std::move(e.fn)};
+  return {top.time, std::move(fn)};
 }
 
 }  // namespace sda::sim

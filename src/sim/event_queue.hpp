@@ -1,17 +1,37 @@
 // Cancellable pending-event set for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, sequence) gives deterministic FIFO
-// tie-breaking for simultaneous events — essential for reproducible runs.
-// Cancellation is lazy: a cancelled id is removed from the pending set and
-// its heap entry discarded when it surfaces, which keeps both schedule and
-// cancel O(log n) amortized without heap surgery.
+// Storage is a slab of pooled slots addressed by generation-tagged
+// EventId handles, plus a 4-ary min-heap of (time, sequence) keys.  The
+// layout buys three things over the earlier binary-heap + unordered_set
+// design:
+//
+//  * pending()/cancel() resolve a handle in O(1) — decode slot index,
+//    compare the slot's key — with no hashing on the hot push/pop path;
+//  * cancel() destroys the callable *eagerly*, so a cancelled timer's
+//    captures (tasks, shared_ptrs) are released on the spot instead of
+//    lingering until the entry would have surfaced; only an inert
+//    16-byte heap entry remains, skimmed away when it reaches the root;
+//  * steady-state operation is allocation-free: freed slots are recycled
+//    through a free list and callables with small captures live inline in
+//    their slot (see inline_fn.hpp).
+//
+// Cache discipline: a heap entry is 16 bytes (time + packed sequence/slot
+// word), a slot is exactly one 64-byte cache line, and slots live in
+// fixed chunks with stable addresses — growing the slab never relocates a
+// stored callable, and heap sifts touch only the contiguous entry array
+// (no per-move back-pointer maintenance).
+//
+// Ordering is (time, insertion sequence), so simultaneous events fire in
+// FIFO order — essential for reproducible runs.  Generation tags make
+// stale handles (fired, cancelled, or recycled slots) harmlessly inert.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <memory>
 #include <utility>
 #include <vector>
+
+#include "src/sim/inline_fn.hpp"
 
 namespace sda::sim {
 
@@ -20,9 +40,11 @@ namespace sda::sim {
 using Time = double;
 
 /// Callback executed when an event fires.
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /// Opaque handle identifying a scheduled event; used for cancellation.
+/// Packs (generation << 32 | slot + 1); a handle outlives its event
+/// harmlessly because the slot's generation moves on when it is freed.
 struct EventId {
   std::uint64_t value = 0;
 
@@ -33,54 +55,128 @@ struct EventId {
   explicit operator bool() const noexcept { return value != 0; }
 };
 
-/// Priority queue of timed callbacks with O(log n) push/pop and lazy cancel.
+/// Priority queue of timed callbacks with O(log n) push/pop, O(1) cancel
+/// (amortized — each cancelled entry is skimmed from the heap exactly
+/// once), and O(1) pending().
 class EventQueue {
  public:
   /// Schedules @p fn at absolute time @p t; returns a handle for cancel().
   EventId push(Time t, EventFn fn);
 
-  /// Cancels a pending event. Returns false when the handle is unknown,
-  /// already fired, or already cancelled; true when the event was live.
+  /// Cancels a pending event, destroying its callable immediately.
+  /// Returns false when the handle is unknown, already fired, or already
+  /// cancelled; true when the event was live.
   bool cancel(EventId id);
 
   /// True when a handle names a scheduled, not-yet-fired event.
-  bool pending(EventId id) const noexcept {
-    return id && pending_.count(id.value) != 0;
-  }
+  bool pending(EventId id) const noexcept { return find_live(id) != nullptr; }
 
   /// True when no live events remain.
-  bool empty() const noexcept { return pending_.empty(); }
+  bool empty() const noexcept { return live_ == 0; }
 
   /// Number of live (scheduled, not-yet-fired, not-cancelled) events.
-  std::size_t size() const noexcept { return pending_.size(); }
+  std::size_t size() const noexcept { return live_; }
 
   /// Time of the earliest live event. Requires !empty().
-  Time peek_time();
+  Time peek_time() const;
 
   /// Removes and returns the earliest live event as (time, callback).
   /// Requires !empty().
   std::pair<Time, EventFn> pop();
 
  private:
-  struct Entry {
+  /// Slot indices use the low kSlotBits of a heap key; the rest is the
+  /// insertion sequence.  ~1M simultaneous pending events and 2^44 total
+  /// pushes are both far beyond any simulated run.
+  static constexpr unsigned kSlotBits = 20;
+  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
+
+  /// All-ones sequence field tags a free slot's key; its low bits then
+  /// hold the free-list link (kSlotMask = end of list).  next_seq_ never
+  /// reaches this value.
+  static constexpr std::uint64_t kFreeSeq =
+      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
+
+  /// Slots are allocated in chunks so their addresses — and the callables
+  /// stored inside — never move as the slab grows.  The first chunk is
+  /// small (most simulations keep well under 64 events pending); every
+  /// later chunk is a fixed 32 KiB.
+  static constexpr std::uint32_t kFirstChunkSize = 64;  // 4 KiB starter slab
+  static constexpr unsigned kChunkShift = 9;  // 512 slots = 32 KiB per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  /// 16 bytes.  key = (seq << kSlotBits) | slot; comparing keys directly
+  /// yields FIFO order on time ties because seq occupies the high bits and
+  /// is unique.
+  struct HeapEntry {
     Time time;
-    std::uint64_t seq;  // insertion order; breaks time ties FIFO
-    std::uint64_t id;
+    std::uint64_t key;
+  };
+
+  /// Exactly one cache line: 56 bytes of callable + the occupant's key.
+  /// A heap entry is live iff its key matches its slot's — cancel and pop
+  /// free the slot (new key), instantly orphaning the heap entry.
+  /// Default state is free with a null free-list link (all-ones key).
+  struct alignas(64) Slot {
     EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    std::uint64_t key = ~std::uint64_t{0};
   };
 
-  /// Drops cancelled entries from the heap top.
-  void skim();
+  static constexpr std::uint32_t entry_slot(std::uint64_t key) noexcept {
+    return static_cast<std::uint32_t>(key) & kSlotMask;
+  }
+  static constexpr bool slot_is_free(std::uint64_t key) noexcept {
+    return (key >> kSlotBits) == kFreeSeq;
+  }
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> pending_;
-  std::uint64_t next_id_ = 1;
+  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.key < b.key;
+  }
+
+  Slot& slot_at(std::uint32_t i) noexcept {
+    if (i < kFirstChunkSize) return chunks_[0][i];
+    const std::uint32_t r = i - kFirstChunkSize;
+    return chunks_[1 + (r >> kChunkShift)][r & (kChunkSize - 1)];
+  }
+  const Slot& slot_at(std::uint32_t i) const noexcept {
+    if (i < kFirstChunkSize) return chunks_[0][i];
+    const std::uint32_t r = i - kFirstChunkSize;
+    return chunks_[1 + (r >> kChunkShift)][r & (kChunkSize - 1)];
+  }
+
+  /// Slots constructible before another chunk allocation is needed.
+  std::uint32_t slot_capacity() const noexcept {
+    if (chunks_.empty()) return 0;
+    return kFirstChunkSize +
+           static_cast<std::uint32_t>(chunks_.size() - 1) * kChunkSize;
+  }
+
+  /// Resolves a handle to its live slot, or nullptr when stale/unknown.
+  const Slot* find_live(EventId id) const noexcept;
+  Slot* find_live(EventId id) noexcept {
+    return const_cast<Slot*>(std::as_const(*this).find_live(id));
+  }
+
+  void sift_up(std::size_t pos) noexcept;
+  void sift_down(std::size_t pos) noexcept;
+  /// Removes the root entry, refilling from the heap tail.
+  void pop_root() noexcept;
+  /// Discards orphaned (cancelled) entries until the root is live again —
+  /// keeps peek_time()/pop() O(1) at the front.  Each cancelled entry is
+  /// skimmed exactly once, so cancel() stays O(1) amortized.
+  void skim() noexcept;
+
+  std::uint32_t alloc_slot();
+  /// Returns a slot to the free list; the caller has dealt with fn.
+  void free_slot(std::uint32_t s) noexcept;
+
+  std::vector<HeapEntry> heap_;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;
+  std::size_t live_ = 0;          // live events (heap_ may hold orphans too)
+  std::uint32_t slot_count_ = 0;  // slots handed out at least once
+  std::uint32_t free_head_ = kSlotMask;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace sda::sim

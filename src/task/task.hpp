@@ -64,6 +64,13 @@ struct SimpleTask {
   /// FIFO tie-breaks among equal virtual deadlines.
   std::uint64_t enqueue_seq = 0;
 
+  /// Scheduler bookkeeping: current position in the owning ready queue's
+  /// indexed heap (sched::detail::IndexedTaskHeap), enabling O(log n)
+  /// removal without scanning.  kNotQueued while the task is not in any
+  /// ready queue.  Maintained by the schedulers; meaningless elsewhere.
+  static constexpr std::uint32_t kNotQueued = 0xffffffffu;
+  std::uint32_t queue_pos = kNotQueued;
+
   /// Remaining service demand; initialized to ex on submission, decremented
   /// on preemption (preemptive-resume ablation) and reset on resubmission.
   Time remaining = 0.0;

@@ -13,7 +13,8 @@ namespace {
 /// Every SDA_* variable a binary in this repo reads.  Keep in sync with the
 /// header comment above and docs/EXPERIMENTS.md.
 constexpr const char* kKnownSdaVars[] = {
-    "SDA_SIM_TIME", "SDA_REPS", "SDA_WARMUP", "SDA_SEED", "SDA_FULL",
+    "SDA_SIM_TIME", "SDA_REPS", "SDA_WARMUP",
+    "SDA_SEED",     "SDA_FULL", "SDA_THREADS",
 };
 }  // namespace
 
@@ -77,8 +78,8 @@ void warn_unknown_sda_env() noexcept {
     for (const std::string& name : unknown_sda_env()) {
       std::fprintf(stderr,
                    "WARNING: unknown environment variable %s (known knobs: "
-                   "SDA_SIM_TIME SDA_REPS SDA_WARMUP SDA_SEED SDA_FULL) — "
-                   "ignored\n",
+                   "SDA_SIM_TIME SDA_REPS SDA_WARMUP SDA_SEED SDA_FULL "
+                   "SDA_THREADS) — ignored\n",
                    name.c_str());
     }
   } catch (...) {

@@ -9,6 +9,9 @@
 //   SDA_WARMUP    warm-up fraction excluded from statistics (default 0.05)
 //   SDA_SEED      master seed (default 20250707)
 //   SDA_FULL=1    paper-length runs (1e6 time units x 2 replications)
+//   SDA_THREADS   worker parallelism for replication/sweep fan-out
+//                 (default: hardware_concurrency; 1 = strictly sequential —
+//                 read by util::ThreadPool, not by BenchEnv)
 #pragma once
 
 #include <cstdint>

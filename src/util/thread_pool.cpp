@@ -1,0 +1,193 @@
+#include "src/util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/util/env.hpp"
+
+namespace sda::util {
+
+namespace {
+/// True while the current thread is executing a parallel_for body; nested
+/// parallel_for calls then run inline instead of deadlocking on the
+/// caller-serialization mutex.
+thread_local bool t_inside_pool_body = false;
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// One in-flight parallel_for.  Heap-held via shared_ptr so a worker
+  /// finishing the last item can release its reference after the caller
+  /// has already returned and destroyed its own.
+  struct Batch {
+    std::size_t n = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t done = 0;                 // guarded by Impl::m
+    std::exception_ptr error;             // first failure, guarded by Impl::m
+  };
+
+  explicit Impl(unsigned total) : total_threads(total < 1 ? 1 : total) {
+    const unsigned workers =
+        total_threads > 0 ? total_threads - 1 : 0;
+    queues.resize(workers + 1);  // last queue belongs to the caller
+    threads.reserve(workers);
+    for (unsigned i = 0; i < workers; ++i) {
+      threads.emplace_back([this, i] { worker_loop(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(m);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : threads) t.join();
+  }
+
+  /// Pops from the participant's own queue (LIFO — freshest work, warm
+  /// caches), else steals the oldest item from another queue (FIFO).
+  /// Requires Impl::m held.  Returns false when no work exists anywhere.
+  bool take(std::size_t self, std::size_t& out) {
+    if (!queues[self].empty()) {
+      out = queues[self].back();
+      queues[self].pop_back();
+      --queued;
+      return true;
+    }
+    for (std::size_t i = 1; i < queues.size(); ++i) {
+      auto& victim = queues[(self + i) % queues.size()];
+      if (!victim.empty()) {
+        out = victim.front();
+        victim.pop_front();
+        --queued;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Executes one item and does the end-of-batch bookkeeping.
+  /// Called with @p lk held; returns with it held.
+  void run_one(std::unique_lock<std::mutex>& lk,
+               const std::shared_ptr<Batch>& batch, std::size_t index) {
+    lk.unlock();
+    std::exception_ptr err;
+    t_inside_pool_body = true;
+    try {
+      (*batch->body)(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    t_inside_pool_body = false;
+    lk.lock();
+    if (err && !batch->error) batch->error = err;
+    if (++batch->done == batch->n) {
+      current.reset();
+      done_cv.notify_all();
+    }
+  }
+
+  void worker_loop(unsigned worker_index) {
+    const std::size_t self = worker_index;  // queue slot
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+      work_cv.wait(lk, [&] { return shutdown || (current && queued > 0); });
+      if (shutdown) return;
+      const std::shared_ptr<Batch> batch = current;
+      std::size_t index;
+      while (batch->done < batch->n && take(self, index)) {
+        run_one(lk, batch, index);
+      }
+      // No work left for us; wait for the next batch (or more stolen-back
+      // splits — seeding is the only producer, so "queued > 0" suffices).
+    }
+  }
+
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body) {
+    if (n == 0) return;
+    // Sequential modes: no workers, trivial batch, or a nested call from
+    // inside a body (which must not wait on callers_m).
+    if (threads.empty() || n == 1 || t_inside_pool_body) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    std::lock_guard<std::mutex> serialize(callers_m);
+    auto batch = std::make_shared<Batch>();
+    batch->n = n;
+    batch->body = &body;
+    const std::size_t caller_slot = queues.size() - 1;
+    std::unique_lock<std::mutex> lk(m);
+    // Seed every participant with a contiguous slice, caller included.
+    // Own-queue LIFO then makes each participant chew through its slice
+    // back-to-front while thieves take from the front — minimal overlap.
+    const std::size_t k = queues.size();
+    for (std::size_t slot = 0, next = 0; slot < k; ++slot) {
+      const std::size_t share = n / k + (slot < n % k ? 1 : 0);
+      for (std::size_t j = 0; j < share; ++j) {
+        queues[slot].push_back(next++);
+      }
+    }
+    queued = n;
+    current = batch;
+    work_cv.notify_all();
+    std::size_t index;
+    for (;;) {
+      if (take(caller_slot, index)) {
+        run_one(lk, batch, index);
+        continue;
+      }
+      if (batch->done == batch->n) break;
+      done_cv.wait(lk, [&] { return batch->done == batch->n || queued > 0; });
+    }
+    // current was reset by whoever finished the last item.
+    const std::exception_ptr err = batch->error;
+    lk.unlock();
+    if (err) std::rethrow_exception(err);
+  }
+
+  const unsigned total_threads;
+  std::vector<std::thread> threads;
+
+  std::mutex callers_m;  // serializes top-level parallel_for calls
+
+  std::mutex m;  // guards everything below
+  std::condition_variable work_cv;  // workers sleep here
+  std::condition_variable done_cv;  // the caller sleeps here
+  std::vector<std::deque<std::size_t>> queues;
+  std::size_t queued = 0;  // items sitting in queues (not yet taken)
+  std::shared_ptr<Batch> current;
+  bool shutdown = false;
+};
+
+ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl(threads)) {}
+
+ThreadPool::~ThreadPool() = default;
+
+unsigned ThreadPool::threads() const noexcept { return impl_->total_threads; }
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  impl_->parallel_for(n, body);
+}
+
+unsigned ThreadPool::configured_threads() noexcept {
+  const std::int64_t requested = env_int("SDA_THREADS", 0);
+  if (requested >= 1) {
+    return static_cast<unsigned>(requested > 512 ? 512 : requested);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+}  // namespace sda::util

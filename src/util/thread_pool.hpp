@@ -1,0 +1,69 @@
+// Fixed-size work-stealing thread pool for experiment fan-out.
+//
+// Replications and sweep cells are fully independent simulations, so the
+// only parallel structure the repo needs is "run these N closures, any
+// order, tell me when all are done" — parallel_for().  Work distribution
+// is work-stealing: each participant (worker threads plus the calling
+// thread, which always helps) owns a queue seeded with a contiguous slice
+// of the iteration space, pops its own work LIFO, and steals FIFO from
+// the others when it runs dry.  Items here are entire simulation runs
+// (milliseconds to seconds each), so queue operations are deliberately
+// simple — one pool mutex — rather than lock-free; the steal structure is
+// what matters for load balance, not nanosecond pop latency.
+//
+// Determinism: parallel_for only controls *where* closures run.  Callers
+// keep results deterministic by writing into preallocated slots indexed
+// by the closure argument and folding those slots in index order — the
+// runner and sweep do exactly that, which is why pool size never changes
+// a simulated number.
+//
+// Sizing: ThreadPool::shared() is sized once per process from
+// SDA_THREADS when set (>= 1; 1 = strictly sequential, closures run
+// inline on the caller in index order) and hardware_concurrency()
+// otherwise, so replication fan-out can never oversubscribe the host the
+// way the old thread-per-replication spawn did.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace sda::util {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with @p threads total participants (including the
+  /// calling thread): threads - 1 workers are spawned.  0 and 1 both mean
+  /// "no workers": parallel_for runs inline, strictly sequentially.
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total participants (always >= 1).
+  unsigned threads() const noexcept;
+
+  /// Runs body(0) ... body(n-1), each exactly once, in unspecified order
+  /// and concurrency, returning when all have finished.  The calling
+  /// thread participates.  Concurrent calls from different threads are
+  /// serialized; a nested call from inside a body runs inline (no
+  /// deadlock, no extra parallelism).  If bodies throw, the first
+  /// exception is rethrown here after every item has still been run.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Process-wide pool sized from the environment (see configured_threads).
+  /// Created on first use; shared by run_experiment and sweep.
+  static ThreadPool& shared();
+
+  /// SDA_THREADS when set (clamped to [1, 512]), else
+  /// hardware_concurrency() (>= 1).
+  static unsigned configured_threads() noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace sda::util
