@@ -15,6 +15,7 @@
 #include "src/metrics/task_class.hpp"
 #include "src/util/ascii_chart.hpp"
 #include "src/util/env.hpp"
+#include "src/util/feq.hpp"
 #include "src/util/table.hpp"
 
 namespace bench {

@@ -33,7 +33,7 @@ int main() {
 
   // The paper's §6.1 amplification argument at load 0.5.
   for (const auto& p : series.front().points) {
-    if (p.x != 0.5) continue;
+    if (util::fne(p.x, 0.5)) continue;
     const double ms = exp::figures::md(p, metrics::kSubtaskClass);
     const double mg = exp::figures::md(p, metrics::global_class(4));
     const double predicted = 1.0 - std::pow(1.0 - ms, 4.0);

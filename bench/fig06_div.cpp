@@ -28,7 +28,7 @@ int main() {
   bench::chart_load_sweep(series, "normalized load");
 
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    if (loads[i] != 0.5) continue;
+    if (util::fne(loads[i], 0.5)) continue;
     const auto& ud = series[0].points[i];
     const auto& div1 = series[1].points[i];
     bench::check_line("MD_local(DIV-1) at load 0.5",

@@ -31,7 +31,7 @@ int main() {
   bench::chart_load_sweep(series, "normalized load");
 
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    if (loads[i] != 0.5) continue;
+    if (util::fne(loads[i], 0.5)) continue;
     bench::check_line(
         "MD_global(UD, pm-abort) at load 0.5",
         exp::figures::md(series[0].points[i], metrics::global_class(4)), 0.15);

@@ -45,7 +45,7 @@ int main() {
 
   // Additivity summary at the highest common load with UD-UD not saturated.
   for (std::size_t i = 0; i < loads.size(); ++i) {
-    if (loads[i] != 0.6) continue;
+    if (util::fne(loads[i], 0.6)) continue;
     std::printf("at load 0.6, MD_global: UD-UD %.1f%%, UD-DIV1 %.1f%%, "
                 "EQF-UD %.1f%%, EQF-DIV1 %.1f%% (MD_local(EQF-DIV1) %.1f%%)\n",
                 exp::figures::md(series[0].points[i], metrics::global_class(0)) * 100,

@@ -15,6 +15,7 @@
 
 #include "src/exp/compare.hpp"
 #include "src/util/env.hpp"
+#include "src/util/feq.hpp"
 
 int main(int argc, char** argv) {
   sda::util::BenchEnv env = sda::util::bench_env();
@@ -29,7 +30,7 @@ int main(int argc, char** argv) {
   }
   if (quick) {
     // Explicit SDA_* knobs still win; --quick only changes the defaults.
-    if (sda::util::env_double("SDA_SIM_TIME", 0.0) == 0.0) {
+    if (sda::util::feq(sda::util::env_double("SDA_SIM_TIME", 0.0), 0.0)) {
       env.sim_time = 20000.0;
     }
     std::printf("quick mode: timing/smoke run, below calibrated "

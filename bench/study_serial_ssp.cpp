@@ -40,7 +40,8 @@ int main() {
 
   for (double slack_scale : {1.0, 0.5}) {
     std::printf("--- slack %s (U[%.2f, %.1f] per 5-stage task) ---\n",
-                slack_scale == 1.0 ? "ample (scaled by stages)" : "tight (half)",
+                util::feq(slack_scale, 1.0) ? "ample (scaled by stages)"
+                                            : "tight (half)",
                 1.25 * 5 * slack_scale, 5.0 * 5 * slack_scale);
     util::Table table({"stages", "MD_glb(UD)", "MD_glb(ED)", "MD_glb(EQS)",
                        "MD_glb(EQF)", "MD_local(EQF)"});

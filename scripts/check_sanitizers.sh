@@ -11,6 +11,9 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+# Static layer first: cheapest gate, no build required.
+scripts/check_static.sh build-asan
+
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 
@@ -20,6 +23,11 @@ export ASAN_OPTIONS="halt_on_error=1:strict_string_checks=1"
 export UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1"
 
 ctest --preset asan-ubsan "$@"
+
+# Same binaries, run-time invariant oracle armed: SDA assignment
+# containment/monotonicity plus event-queue/ready-heap self-checks, all
+# under ASan/UBSan at once.
+SDA_VALIDATE=1 ctest --preset asan-ubsan "$@"
 
 # --- ThreadSanitizer pass: pool + determinism tests -----------------------
 # ASan and TSan cannot share a build, so the tsan preset gets its own

@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Static-analysis gate: sda-lint always, clang-tidy when available.
+#
+# Usage: scripts/check_static.sh [build-dir]
+#
+#   build-dir   directory holding compile_commands.json for clang-tidy
+#               (default: build).  The lint layer needs no build at all.
+#
+# Exit status is non-zero when either layer reports findings, so CI and
+# scripts/check_sanitizers.sh can gate on it.
+set -u
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+status=0
+
+echo "=== sda-lint (tools/lint/sda_lint.py) ==="
+if ! python3 tools/lint/sda_lint.py; then
+  status=1
+fi
+
+echo ""
+echo "=== sda-lint selftest ==="
+if ! python3 tools/lint/test_sda_lint.py; then
+  status=1
+fi
+
+echo ""
+echo "=== clang-tidy ==="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "clang-tidy not installed; skipping (sda-lint already ran)"
+elif [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then
+  echo "no ${BUILD_DIR}/compile_commands.json; configure with" \
+       "CMAKE_EXPORT_COMPILE_COMMANDS=ON first — skipping clang-tidy"
+else
+  # Library sources only: tests/benches inherit the same headers, and
+  # keeping the run to src/ keeps it fast enough for pre-commit use.
+  mapfile -t tidy_files < <(find src -name '*.cpp' | sort)
+  if ! clang-tidy -p "${BUILD_DIR}" --quiet "${tidy_files[@]}"; then
+    status=1
+  fi
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo ""
+  echo "check_static: clean"
+else
+  echo ""
+  echo "check_static: FINDINGS (see above)"
+fi
+exit "$status"

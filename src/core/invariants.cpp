@@ -1,0 +1,238 @@
+#include "src/core/invariants.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/core/sda.hpp"
+#include "src/core/strategy.hpp"
+#include "src/task/tree.hpp"
+#include "src/util/env.hpp"
+
+namespace sda::core::invariants {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+
+namespace {
+/// Dynamic initializer: pick up SDA_VALIDATE from the environment once
+/// the util library is usable.  Hooks firing before this runs see the
+/// zero-initialized (off) flag, which is the safe default.
+const bool g_env_init = [] {
+  if (util::env_flag("SDA_VALIDATE")) {
+    g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+}  // namespace
+}  // namespace detail
+
+void set_enabled(bool on) noexcept {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+Dump& Dump::num(const char* key, double value) {
+  std::ostringstream os;
+  os << "  " << key << " = " << value << '\n';
+  text_ += os.str();
+  return *this;
+}
+
+Dump& Dump::integer(const char* key, long long value) {
+  std::ostringstream os;
+  os << "  " << key << " = " << value << '\n';
+  text_ += os.str();
+  return *this;
+}
+
+Dump& Dump::str(const char* key, const std::string& value) {
+  text_ += "  ";
+  text_ += key;
+  text_ += " = ";
+  text_ += value;
+  text_ += '\n';
+  return *this;
+}
+
+void fail(const char* check, const Dump& dump) noexcept {
+  std::fprintf(stderr,
+               "=== SDA_VALIDATE violation ===\n"
+               "check: %s\n%s"
+               "=== aborting: simulator state is untrustworthy ===\n",
+               check, dump.text().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+namespace {
+
+bool finite(double v) noexcept { return std::isfinite(v); }
+
+/// DIV-x with n*x < 1 hands each branch MORE than the remaining window —
+/// the paper's formula dl = now + (D - now)/(n*x) exceeds D exactly when
+/// n*x < 1.  That configuration is a documented pathology (sensible x is
+/// in [1/n, 1]), not an implementation bug, so the containment check must
+/// stand down for it.  The strategy's name carries x ("DIV-0.2").
+bool div_overcommits(const std::string& psp_name, int branch_count) noexcept {
+  if (psp_name.rfind("DIV-", 0) != 0) return false;
+  const char* s = psp_name.c_str() + 4;
+  char* end = nullptr;
+  const double x = std::strtod(s, &end);
+  if (end == s) return false;
+  return x * static_cast<double>(branch_count) < 1.0;
+}
+
+}  // namespace
+
+void check_branch_assignment(const std::string& psp_name,
+                             double parent_deadline, double now, int branch,
+                             int branch_count, double child_deadline) {
+  if (!finite(child_deadline)) {
+    fail("psp-deadline-finite", Dump()
+                                    .str("psp", psp_name)
+                                    .num("child_deadline", child_deadline)
+                                    .num("parent_deadline", parent_deadline)
+                                    .num("now", now)
+                                    .integer("branch", branch)
+                                    .integer("branch_count", branch_count));
+  }
+  // Containment only while the parent window is still open: a composite
+  // whose deadline already passed has no window to contain anything in
+  // (DIV-x then legitimately lands between the deadline and now).  DIV-x
+  // with n*x < 1 over-commits by design; see div_overcommits.
+  if (parent_deadline >= now &&
+      child_deadline > parent_deadline + kDeadlineEps &&
+      !div_overcommits(psp_name, branch_count)) {
+    fail("psp-branch-exceeds-parent-window",
+         Dump()
+             .str("psp", psp_name)
+             .num("child_deadline", child_deadline)
+             .num("parent_deadline", parent_deadline)
+             .num("now", now)
+             .integer("branch", branch)
+             .integer("branch_count", branch_count));
+  }
+}
+
+void check_stage_assignment(const std::string& ssp_name,
+                            double parent_deadline, double now, int stage,
+                            int stage_count, double remaining_pex_total,
+                            double child_deadline) {
+  Dump dump;
+  dump.str("ssp", ssp_name)
+      .num("child_deadline", child_deadline)
+      .num("parent_deadline", parent_deadline)
+      .num("now", now)
+      .integer("stage", stage)
+      .integer("stage_count", stage_count)
+      .num("remaining_pex_total", remaining_pex_total);
+  if (!finite(child_deadline)) {
+    fail("ssp-deadline-finite", dump);
+  }
+  if (stage == stage_count - 1) {
+    // Partition property: every built-in SSP hands the last stage exactly
+    // the composite's remaining window — UD and ED by definition, EQS and
+    // EQF because the single remaining share is the whole slack.
+    if (std::fabs(child_deadline - parent_deadline) > kDeadlineEps) {
+      fail("ssp-final-stage-not-partition", dump);
+    }
+    return;
+  }
+  // Containment and no-past-deadline hold whenever the stage is assigned
+  // with non-negative remaining slack; an already-infeasible window
+  // (negative slack) legitimately produces deadlines outside it.
+  const double slack = parent_deadline - now - remaining_pex_total;
+  if (slack >= 0.0) {
+    if (child_deadline > parent_deadline + kDeadlineEps) {
+      fail("ssp-stage-exceeds-parent-window", dump.num("slack", slack));
+    }
+    if (child_deadline < now - kDeadlineEps) {
+      fail("ssp-stage-deadline-in-past", dump.num("slack", slack));
+    }
+  }
+}
+
+namespace {
+
+/// Offline plan walk mirroring sda.cpp's plan_assignment, with the
+/// oracle's checks at every assignment.  @p bounded is true while every
+/// enclosing window had non-negative slack, i.e. while the containment
+/// chain child <= parent <= ... <= global deadline is actually implied.
+void walk_plan(const task::TreeNode& t, double dispatch, double deadline,
+               double global_deadline, bool bounded, const PspStrategy& psp,
+               const SspStrategy& ssp) {
+  const double local_slack =
+      deadline - dispatch - task::critical_path_pex(t);
+  const bool here_feasible = local_slack >= 0.0;
+  if (t.is_leaf()) {
+    if (bounded && here_feasible &&
+        deadline > global_deadline + kDeadlineEps) {
+      fail("plan-leaf-exceeds-global-deadline",
+           Dump()
+               .num("leaf_deadline", deadline)
+               .num("global_deadline", global_deadline)
+               .num("dispatch", dispatch)
+               .str("leaf", t.name.empty() ? std::string("<unnamed>")
+                                           : t.name));
+    }
+    return;
+  }
+  const bool child_bounded = bounded && here_feasible;
+  if (t.is_serial()) {
+    double now = dispatch;
+    double prev_stage_deadline = dispatch;
+    const int m = static_cast<int>(t.children.size());
+    for (int i = 0; i < m; ++i) {
+      const double stage_dl = assign_stage_deadline(ssp, t, i, now, deadline);
+      double remaining = 0.0;
+      for (double pex : stage_pex(t, i)) remaining += pex;
+      check_stage_assignment(ssp.name(), deadline, now, i, m, remaining,
+                             stage_dl);
+      // Non-decreasing along the serial chain — guaranteed while the
+      // remaining window still has slack at this stage's dispatch time.
+      if (deadline - now - remaining >= 0.0 && i > 0 &&
+          stage_dl < prev_stage_deadline - kDeadlineEps) {
+        fail("plan-serial-chain-decreasing",
+             Dump()
+                 .str("ssp", ssp.name())
+                 .integer("stage", i)
+                 .num("stage_deadline", stage_dl)
+                 .num("previous_stage_deadline", prev_stage_deadline)
+                 .num("now", now)
+                 .num("serial_deadline", deadline));
+      }
+      // The leaf-vs-global check downstream relies on the containment
+      // chain child <= parent <= ... <= global; once a link is broken
+      // (tolerated above under negative slack), stop implying it.
+      walk_plan(*t.children[i], now, stage_dl, global_deadline,
+                child_bounded && stage_dl <= deadline + kDeadlineEps, psp,
+                ssp);
+      prev_stage_deadline = stage_dl;
+      // Optimistic static plan, as in sda.cpp: the next stage starts at
+      // this stage's virtual deadline, but time never moves backwards.
+      now = std::max(now, stage_dl);
+    }
+    return;
+  }
+  const int n = static_cast<int>(t.children.size());
+  for (int i = 0; i < n; ++i) {
+    const double branch_dl =
+        assign_branch_deadline(psp, t, i, dispatch, deadline);
+    check_branch_assignment(psp.name(), deadline, dispatch, i, n, branch_dl);
+    // Same as the serial case: a branch deadline past the parent's (the
+    // tolerated DIV n*x < 1 overcommit) severs the containment chain.
+    walk_plan(*t.children[i], dispatch, branch_dl, global_deadline,
+              child_bounded && branch_dl <= deadline + kDeadlineEps, psp,
+              ssp);
+  }
+}
+
+}  // namespace
+
+void check_plan(const task::TreeNode& tree, double arrival, double deadline,
+                const PspStrategy& psp, const SspStrategy& ssp) {
+  walk_plan(tree, arrival, deadline, deadline, /*bounded=*/true, psp, ssp);
+}
+
+}  // namespace sda::core::invariants

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "src/core/invariants.hpp"
+
 namespace sda::core {
 
 using task::TaskPtr;
@@ -69,6 +71,15 @@ std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
     run.abort_timer = engine_.at(deadline, [this, id] { abort_run(id); });
   }
 
+  // Oracle: before committing to the on-line dispatch, verify the
+  // strategies' offline plan partitions this task's window (containment,
+  // serial-chain monotonicity, global-deadline bound).  Strategies are
+  // pure, so the extra walk cannot perturb the simulation.
+  if (invariants::enabled()) {
+    invariants::check_plan(*run.tree, engine_.now(), deadline, *config_.psp,
+                           *config_.ssp);
+  }
+
   // SDA(root, dl(T)).
   dispatch(run, *run.tree, deadline);
   return id;
@@ -91,6 +102,11 @@ void ProcessManager::dispatch(Run& run, const TreeNode& t, sim::Time deadline) {
   for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
     const sim::Time branch_dl =
         assign_branch_deadline(*config_.psp, t, i, engine_.now(), deadline);
+    if (invariants::enabled()) {
+      invariants::check_branch_assignment(
+          config_.psp->name(), deadline, engine_.now(), i,
+          static_cast<int>(t.children.size()), branch_dl);
+    }
     dispatch(run, *t.children[i], branch_dl);
   }
 }
@@ -101,6 +117,13 @@ void ProcessManager::dispatch_serial_stage(Run& run, const TreeNode& serial) {
   assert(i < static_cast<int>(serial.children.size()));
   const sim::Time stage_dl = assign_stage_deadline(
       *config_.ssp, serial, i, engine_.now(), st.assigned_deadline);
+  if (invariants::enabled()) {
+    sim::Time remaining = 0.0;
+    for (const sim::Time pex : stage_pex(serial, i)) remaining += pex;
+    invariants::check_stage_assignment(
+        config_.ssp->name(), st.assigned_deadline, engine_.now(), i,
+        static_cast<int>(serial.children.size()), remaining, stage_dl);
+  }
   dispatch(run, *serial.children[i], stage_dl);
 }
 
@@ -208,9 +231,10 @@ void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
   } else {
     ++completed_runs_;
   }
-  GlobalHandler handler = on_global_;  // copy: erase() destroys `run`
+  // erase() destroys `run`; rec was copied out above, and on_global_ is a
+  // member of *this, so invoking it after the erase is safe.
   runs_.erase(run.id);
-  if (handler) handler(rec);
+  if (on_global_) on_global_(rec);
 }
 
 void ProcessManager::abort_run(std::uint64_t run_id) {
@@ -226,6 +250,7 @@ void ProcessManager::terminate_run(Run& run, bool shed) {
   // reproducible across processes.
   std::vector<TaskPtr> victims;
   victims.reserve(run.live.size());
+  // sda-lint: allow(UNORDERED_ITER) collected then sorted by id below
   for (auto& [leaf, t] : run.live) victims.push_back(t);
   std::sort(victims.begin(), victims.end(),
             [](const TaskPtr& a, const TaskPtr& b) { return a->id < b->id; });

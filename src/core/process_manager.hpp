@@ -20,7 +20,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "src/sim/engine.hpp"
 #include "src/task/task.hpp"
 #include "src/task/tree.hpp"
+#include "src/util/unique_fn.hpp"
 
 namespace sda::core {
 
@@ -112,10 +112,10 @@ class ProcessManager {
     int compute_node_count = -1;
   };
 
-  using GlobalHandler = std::function<void(const GlobalTaskRecord&)>;
+  using GlobalHandler = util::UniqueFn<void(const GlobalTaskRecord&)>;
   /// Invoked when a simple subtask reaches a terminal state: completed, or
   /// aborted with no resubmission to follow.
-  using SubtaskHandler = std::function<void(const task::SimpleTask&)>;
+  using SubtaskHandler = util::UniqueFn<void(const task::SimpleTask&)>;
 
   /// @p nodes is indexed by TreeNode::exec_node; the runner wires each
   /// node's completion/abort handlers to handle_completion /

@@ -7,6 +7,7 @@
 #include "src/exp/figures.hpp"
 #include "src/exp/runner.hpp"
 #include "src/metrics/task_class.hpp"
+#include "src/util/feq.hpp"
 #include "src/util/table.hpp"
 
 namespace sda::exp::compare {
@@ -31,7 +32,9 @@ void Scorecard::check_less(std::string id, std::string claim, double a,
                            double b, double margin) {
   std::ostringstream detail;
   detail << util::fmt(a, 4) << " < " << util::fmt(b, 4);
-  if (margin != 0.0) detail << " (margin " << util::fmt(margin, 4) << ")";
+  if (util::fne(margin, 0.0)) {
+    detail << " (margin " << util::fmt(margin, 4) << ")";
+  }
   add(std::move(id), std::move(claim), a < b + margin, detail.str());
 }
 

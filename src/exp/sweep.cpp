@@ -10,14 +10,13 @@
 namespace sda::exp {
 
 std::vector<SweepPoint> sweep(const ExperimentConfig& base,
-                              const std::vector<double>& xs,
-                              const ApplyFn& apply) {
+                              const std::vector<double>& xs, ApplyFn apply) {
   return sweep(base, xs, apply, util::ThreadPool::shared());
 }
 
 std::vector<SweepPoint> sweep(const ExperimentConfig& base,
-                              const std::vector<double>& xs,
-                              const ApplyFn& apply, util::ThreadPool& pool) {
+                              const std::vector<double>& xs, ApplyFn apply,
+                              util::ThreadPool& pool) {
   // Materialize and validate every point's config up front (run_experiment
   // would have validated lazily; eager validation just fails sooner).
   std::vector<ExperimentConfig> configs;

@@ -1,12 +1,12 @@
 // Parameter sweeps: one figure series = one sweep.
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "src/exp/config.hpp"
 #include "src/exp/runner.hpp"
 #include "src/metrics/report.hpp"
+#include "src/util/function_ref.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace sda::exp {
@@ -18,7 +18,9 @@ struct SweepPoint {
 };
 
 /// Mutator applying the sweep variable to a config (e.g. set the load).
-using ApplyFn = std::function<void(ExperimentConfig&, double)>;
+/// Non-owning: sweep() materializes every config before returning, so a
+/// lambda temporary at the call site is fine.
+using ApplyFn = util::FunctionRef<void(ExperimentConfig&, double)>;
 
 /// Runs run_experiment at every x in @p xs, on copies of @p base mutated by
 /// @p apply.  Points are independent; each uses the base seed schedule so
@@ -32,13 +34,12 @@ using ApplyFn = std::function<void(ExperimentConfig&, double)>;
 /// back in (point, replication) order, which keeps every Report
 /// bit-identical to the sequential path regardless of pool size.
 std::vector<SweepPoint> sweep(const ExperimentConfig& base,
-                              const std::vector<double>& xs,
-                              const ApplyFn& apply);
+                              const std::vector<double>& xs, ApplyFn apply);
 
 /// Same, on an explicit pool (determinism tests compare pool sizes).
 std::vector<SweepPoint> sweep(const ExperimentConfig& base,
-                              const std::vector<double>& xs,
-                              const ApplyFn& apply, util::ThreadPool& pool);
+                              const std::vector<double>& xs, ApplyFn apply,
+                              util::ThreadPool& pool);
 
 /// n evenly spaced values from lo to hi inclusive (n >= 2), or {lo} if n==1.
 std::vector<double> linspace(double lo, double hi, int n);

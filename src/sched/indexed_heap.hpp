@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/invariants.hpp"
 #include "src/task/task.hpp"
 
 namespace sda::sched::detail {
@@ -32,6 +33,7 @@ class IndexedTaskHeap {
     t->queue_pos = static_cast<std::uint32_t>(pos);
     heap_.push_back(std::move(t));
     sift_up(pos);
+    if (core::invariants::enabled()) oracle_after_mutation();
   }
 
   /// Removes and returns the minimum task; nullptr when empty.
@@ -60,7 +62,55 @@ class IndexedTaskHeap {
 
   std::size_t size() const noexcept { return heap_.size(); }
 
+  /// SDA_VALIDATE oracle: verifies heap order and the queue_pos
+  /// back-link identity (heap_[i]->queue_pos == i) over the whole
+  /// structure — the two properties the O(log n) remove/abort path must
+  /// preserve.  O(n); aborts with a structured dump on violation.
+  /// Mutations invoke it on a deterministic cadence when the oracle is
+  /// enabled; tests may call it directly.
+  void validate() const {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      if (heap_[i] == nullptr) {
+        core::invariants::fail(
+            "task-heap-null-entry",
+            core::invariants::Dump().integer("index",
+                                             static_cast<long long>(i)));
+      }
+      if (heap_[i]->queue_pos != i) {
+        core::invariants::fail(
+            "task-heap-queue-pos-identity",
+            core::invariants::Dump()
+                .integer("index", static_cast<long long>(i))
+                .integer("queue_pos",
+                         static_cast<long long>(heap_[i]->queue_pos))
+                .integer("task_id", static_cast<long long>(heap_[i]->id))
+                .integer("size", static_cast<long long>(heap_.size())));
+      }
+      if (i > 0) {
+        const std::size_t parent = (i - 1) / 4;
+        if (less_(heap_[i], heap_[parent])) {
+          core::invariants::fail(
+              "task-heap-order",
+              core::invariants::Dump()
+                  .integer("index", static_cast<long long>(i))
+                  .integer("task_id", static_cast<long long>(heap_[i]->id))
+                  .integer("parent_task_id",
+                           static_cast<long long>(heap_[parent]->id))
+                  .integer("size", static_cast<long long>(heap_.size())));
+        }
+      }
+    }
+  }
+
  private:
+  void oracle_after_mutation() {
+    // Same cadence rationale as EventQueue::oracle_after_mutation():
+    // every mutation while small, every 64th when an overloaded queue
+    // grows long, keeping validation from going quadratic.
+    ++mutations_;
+    if (heap_.size() <= 64 || (mutations_ & 63) == 0) validate();
+  }
+
   task::TaskPtr remove_at(std::size_t pos) {
     task::TaskPtr out = std::move(heap_[pos]);
     out->queue_pos = task::SimpleTask::kNotQueued;
@@ -74,6 +124,7 @@ class IndexedTaskHeap {
     } else {
       heap_.pop_back();
     }
+    if (core::invariants::enabled()) oracle_after_mutation();
     return out;
   }
 
@@ -110,6 +161,7 @@ class IndexedTaskHeap {
 
   std::vector<task::TaskPtr> heap_;
   Less less_;
+  std::uint64_t mutations_ = 0;  ///< drives the SDA_VALIDATE cadence
 };
 
 }  // namespace sda::sched::detail

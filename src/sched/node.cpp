@@ -169,11 +169,12 @@ void Node::arm_abort_timer(const TaskPtr& t) {
   std::weak_ptr<task::SimpleTask> weak = t;
   abort_timers_[t->id] =
       engine_.at(t->attrs.virtual_deadline, [this, weak] {
-        TaskPtr t = weak.lock();
-        if (!t) return;
-        abort_timers_.erase(t->id);
-        if (t->state == TaskState::kQueued || t->state == TaskState::kRunning) {
-          local_abort(t);
+        TaskPtr locked = weak.lock();
+        if (!locked) return;
+        abort_timers_.erase(locked->id);
+        if (locked->state == TaskState::kQueued ||
+            locked->state == TaskState::kRunning) {
+          local_abort(locked);
         }
       });
 }

@@ -18,13 +18,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <unordered_map>
 
 #include "src/sched/abort_policy.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/sim/engine.hpp"
+#include "src/util/unique_fn.hpp"
 
 namespace sda::sched {
 
@@ -41,13 +41,13 @@ class Node {
   };
 
   /// Called when a task finishes service (state kCompleted).
-  using CompletionHandler = std::function<void(const TaskPtr&)>;
+  using CompletionHandler = util::UniqueFn<void(const TaskPtr&)>;
   /// Called when the *local* abort policy kills a task (state kAborted).
   /// Externally requested aborts (Node::abort) do not trigger this.
-  using AbortHandler = std::function<void(const TaskPtr&)>;
+  using AbortHandler = util::UniqueFn<void(const TaskPtr&)>;
   /// Called when a fault kills a task (state kFailed): a transient
   /// service failure from the fault hook, or a node crash.
-  using FailureHandler = std::function<void(const TaskPtr&)>;
+  using FailureHandler = util::UniqueFn<void(const TaskPtr&)>;
 
   /// Fault-injection verdict for one service attempt (see set_fault_hook).
   struct ServiceFault {
@@ -61,7 +61,7 @@ class Node {
   /// Consulted once per service start with the task and the nominal leg
   /// duration (remaining/speed).  Unset = fault-free (zero overhead).
   using FaultHook =
-      std::function<ServiceFault(const task::SimpleTask&, double)>;
+      util::UniqueFn<ServiceFault(const task::SimpleTask&, double)>;
 
   /// Fine-grained lifecycle notifications for tracing/instrumentation.
   enum class Event : std::uint8_t {
@@ -72,7 +72,7 @@ class Node {
     kAborted,  ///< local-policy or external abort
     kFailed,   ///< killed by a fault (transient failure or node crash)
   };
-  using Observer = std::function<void(Event, const task::SimpleTask&)>;
+  using Observer = util::UniqueFn<void(Event, const task::SimpleTask&)>;
 
   Node(sim::Engine& engine, std::unique_ptr<Scheduler> scheduler,
        Config config);

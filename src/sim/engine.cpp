@@ -1,10 +1,20 @@
 #include "src/sim/engine.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "src/core/invariants.hpp"
 
 namespace sda::sim {
 
 EventId Engine::at(Time t, EventFn fn) {
+  // `t < now_` is false for NaN, so the logic_error below cannot catch a
+  // NaN timestamp — the oracle does, before it can scramble heap order.
+  if (core::invariants::enabled() && !std::isfinite(t)) {
+    core::invariants::fail(
+        "engine-non-finite-event-time",
+        core::invariants::Dump().num("t", t).num("now", now_));
+  }
   if (t < now_) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
@@ -12,6 +22,11 @@ EventId Engine::at(Time t, EventFn fn) {
 }
 
 EventId Engine::in(Time delay, EventFn fn) {
+  if (core::invariants::enabled() && !std::isfinite(delay)) {
+    core::invariants::fail(
+        "engine-non-finite-delay",
+        core::invariants::Dump().num("delay", delay).num("now", now_));
+  }
   if (delay < 0.0) {
     throw std::logic_error("Engine::in: negative delay");
   }

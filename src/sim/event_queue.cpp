@@ -1,8 +1,14 @@
 #include "src/sim/event_queue.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 
+#include "src/core/invariants.hpp"
+
 namespace sda::sim {
+
+namespace oracle = core::invariants;
 
 const EventQueue::Slot* EventQueue::find_live(EventId id) const noexcept {
   if (!id) return nullptr;
@@ -97,7 +103,58 @@ void EventQueue::skim() noexcept {
   }
 }
 
+void EventQueue::validate() const {
+  std::size_t live_seen = 0;
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (earlier(heap_[i], heap_[parent])) {
+        oracle::fail("event-queue-heap-order",
+                     oracle::Dump()
+                         .integer("index", static_cast<long long>(i))
+                         .num("entry_time", heap_[i].time)
+                         .num("parent_time", heap_[parent].time)
+                         .integer("size", static_cast<long long>(heap_.size())));
+      }
+    }
+    const Slot& s = slot_at(entry_slot(heap_[i].key));
+    if (s.key == heap_[i].key) ++live_seen;
+  }
+  if (live_seen != live_) {
+    oracle::fail("event-queue-live-count",
+                 oracle::Dump()
+                     .integer("live_counter", static_cast<long long>(live_))
+                     .integer("live_entries", static_cast<long long>(live_seen))
+                     .integer("heap_size", static_cast<long long>(heap_.size())));
+  }
+  if (live_ > 0) {
+    // skim() runs after every cancel/pop, so a non-empty queue's root
+    // must be live — peek_time()/pop() rely on it.
+    const Slot& root = slot_at(entry_slot(heap_.front().key));
+    if (root.key != heap_.front().key) {
+      oracle::fail("event-queue-orphaned-root",
+                   oracle::Dump().num("root_time", heap_.front().time));
+    }
+  }
+}
+
+void EventQueue::oracle_after_mutation() {
+  // Full O(n) validation on every mutation would turn the stress tests
+  // quadratic; a deterministic cadence (every 64th mutation, plus every
+  // mutation while the queue is small) still corners corruption within
+  // one sweep of the structure.
+  ++mutations_;
+  if (live_ <= 64 || (mutations_ & 63) == 0) validate();
+}
+
 EventId EventQueue::push(Time t, EventFn fn) {
+  if (oracle::enabled() && std::isnan(t)) {
+    // A NaN timestamp compares false against everything, silently
+    // wrecking heap order; catch it at the door.
+    oracle::fail("event-queue-nan-time",
+                 oracle::Dump().integer(
+                     "live", static_cast<long long>(live_)));
+  }
   const std::uint32_t s = alloc_slot();
   Slot& slot = slot_at(s);
   const std::uint64_t key = (next_seq_++ << kSlotBits) | s;
@@ -106,6 +163,11 @@ EventId EventQueue::push(Time t, EventFn fn) {
   heap_.push_back(HeapEntry{t, key});
   sift_up(heap_.size() - 1);
   ++live_;
+  // Lower the pop watermark: a push below the last popped time is legal
+  // for a standalone queue (the Engine's clock is what's monotonic), and
+  // the next pop may legitimately return as early as this.
+  if (t < last_pop_time_) last_pop_time_ = t;
+  if (oracle::enabled()) oracle_after_mutation();
   // Handle layout: (low 32 bits of the sequence) << 32 | slot + 1.
   const auto gen = static_cast<std::uint32_t>(key >> kSlotBits);
   return EventId{(static_cast<std::uint64_t>(gen) << 32) |
@@ -119,6 +181,7 @@ bool EventQueue::cancel(EventId id) {
   free_slot(entry_slot(live->key));  // orphans the heap entry
   --live_;
   skim();  // the orphan may be sitting at the root
+  if (oracle::enabled()) oracle_after_mutation();
   return true;
 }
 
@@ -133,12 +196,28 @@ Time EventQueue::peek_time() const {
 std::pair<Time, EventFn> EventQueue::pop() {
   if (live_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
   const HeapEntry top = heap_.front();
+  if (oracle::enabled() && top.time < last_pop_time_) {
+    // Below the watermark (last pop / earliest push since): heap order
+    // is broken — no legal push sequence can produce this.
+    oracle::fail("event-queue-pop-time-decreased",
+                 oracle::Dump()
+                     .num("pop_time", top.time)
+                     .num("previous_pop_time", last_pop_time_)
+                     .integer("live", static_cast<long long>(live_)));
+  }
+  last_pop_time_ = top.time;
   const std::uint32_t s = entry_slot(top.key);
   EventFn fn = std::move(slot_at(s).fn);
   free_slot(s);
   --live_;
   pop_root();
   skim();
+  if (live_ == 0) {
+    // A drained queue may be reused from an earlier timestamp (the engine's
+    // clock is monotonic, a standalone queue's is not): reset the watermark.
+    last_pop_time_ = std::numeric_limits<Time>::lowest();
+  }
+  if (oracle::enabled()) oracle_after_mutation();
   return {top.time, std::move(fn)};
 }
 

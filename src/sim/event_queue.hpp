@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -83,6 +84,14 @@ class EventQueue {
   /// Removes and returns the earliest live event as (time, callback).
   /// Requires !empty().
   std::pair<Time, EventFn> pop();
+
+  /// SDA_VALIDATE oracle: full structural self-check — heap order over
+  /// the entry array, live-count bookkeeping against slot keys, and a
+  /// live root after skim.  O(n); aborts with a structured dump on any
+  /// violation (see core/invariants.hpp).  Mutating operations invoke it
+  /// on a deterministic cadence when the oracle is enabled; tests may
+  /// call it directly.
+  void validate() const;
 
  private:
   /// Slot indices use the low kSlotBits of a heap key; the rest is the
@@ -171,12 +180,21 @@ class EventQueue {
   /// Returns a slot to the free list; the caller has dealt with fn.
   void free_slot(std::uint32_t s) noexcept;
 
+  /// SDA_VALIDATE hook shared by the mutating operations: cheap checks
+  /// every call, the O(n) validate() on a deterministic cadence.
+  void oracle_after_mutation();
+
   std::vector<HeapEntry> heap_;
   std::vector<std::unique_ptr<Slot[]>> chunks_;
   std::size_t live_ = 0;          // live events (heap_ may hold orphans too)
   std::uint32_t slot_count_ = 0;  // slots handed out at least once
   std::uint32_t free_head_ = kSlotMask;
   std::uint64_t next_seq_ = 0;
+  /// SDA_VALIDATE bookkeeping: pop watermark (each pop must be >= the
+  /// previous pop or the earliest time pushed since — anything lower means
+  /// broken heap order) and a mutation counter driving the validate cadence.
+  Time last_pop_time_ = std::numeric_limits<Time>::lowest();
+  std::uint64_t mutations_ = 0;
 };
 
 }  // namespace sda::sim

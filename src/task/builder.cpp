@@ -12,7 +12,7 @@ CompositeBuilder& CompositeBuilder::leaf(int exec_node, Time exec_time,
 }
 
 CompositeBuilder& CompositeBuilder::serial(
-    const std::function<void(CompositeBuilder&)>& fill) {
+    util::FunctionRef<void(CompositeBuilder&)> fill) {
   CompositeBuilder nested(TreeNode::Kind::Serial);
   fill(nested);
   children_.push_back(nested.build());
@@ -20,7 +20,7 @@ CompositeBuilder& CompositeBuilder::serial(
 }
 
 CompositeBuilder& CompositeBuilder::parallel(
-    const std::function<void(CompositeBuilder&)>& fill) {
+    util::FunctionRef<void(CompositeBuilder&)> fill) {
   CompositeBuilder nested(TreeNode::Kind::Parallel);
   fill(nested);
   children_.push_back(nested.build());

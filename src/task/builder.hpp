@@ -15,9 +15,8 @@
 // malformed trees (empty composites, unbound leaves with negative demand).
 #pragma once
 
-#include <functional>
-
 #include "src/task/tree.hpp"
+#include "src/util/function_ref.hpp"
 
 namespace sda::task {
 
@@ -27,13 +26,12 @@ class CompositeBuilder {
   CompositeBuilder& leaf(int exec_node, Time exec_time, Time pred_exec = -1.0,
                          std::string name = {});
 
-  /// Adds a nested serial group populated by @p fill.
-  CompositeBuilder& serial(
-      const std::function<void(CompositeBuilder&)>& fill);
+  /// Adds a nested serial group populated by @p fill (called before
+  /// returning, so a lambda temporary at the call site is fine).
+  CompositeBuilder& serial(util::FunctionRef<void(CompositeBuilder&)> fill);
 
   /// Adds a nested parallel group populated by @p fill.
-  CompositeBuilder& parallel(
-      const std::function<void(CompositeBuilder&)>& fill);
+  CompositeBuilder& parallel(util::FunctionRef<void(CompositeBuilder&)> fill);
 
   /// Adds an already-built subtree (takes ownership).
   CompositeBuilder& subtree(TreePtr t);

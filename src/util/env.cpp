@@ -13,8 +13,8 @@ namespace {
 /// Every SDA_* variable a binary in this repo reads.  Keep in sync with the
 /// header comment above and docs/EXPERIMENTS.md.
 constexpr const char* kKnownSdaVars[] = {
-    "SDA_SIM_TIME", "SDA_REPS", "SDA_WARMUP",
-    "SDA_SEED",     "SDA_FULL", "SDA_THREADS",
+    "SDA_SIM_TIME", "SDA_REPS",    "SDA_WARMUP",   "SDA_SEED",
+    "SDA_FULL",     "SDA_THREADS", "SDA_VALIDATE",
 };
 }  // namespace
 
@@ -79,7 +79,7 @@ void warn_unknown_sda_env() noexcept {
       std::fprintf(stderr,
                    "WARNING: unknown environment variable %s (known knobs: "
                    "SDA_SIM_TIME SDA_REPS SDA_WARMUP SDA_SEED SDA_FULL "
-                   "SDA_THREADS) — ignored\n",
+                   "SDA_THREADS SDA_VALIDATE) — ignored\n",
                    name.c_str());
     }
   } catch (...) {

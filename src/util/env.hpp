@@ -12,6 +12,10 @@
 //   SDA_THREADS   worker parallelism for replication/sweep fan-out
 //                 (default: hardware_concurrency; 1 = strictly sequential —
 //                 read by util::ThreadPool, not by BenchEnv)
+//   SDA_VALIDATE=1  run-time invariant oracle: containment/monotonicity
+//                 checks on every SDA assignment plus structural self-checks
+//                 of the event queue and ready heaps; violations abort with
+//                 a dump (read by core::invariants, not by BenchEnv)
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,33 @@
+// Approved floating-point comparison helpers.
+//
+// Exact `==`/`!=` on floating-point values is banned by sda-lint
+// (rule FLOAT_EQ): simulation timestamps and deadlines are sums of
+// doubles, so two quantities that are mathematically equal routinely
+// differ in the last few ulps.  This header is the one sanctioned home
+// for float equality — compare through feq()/fne() with an explicit
+// tolerance and the intent is visible at the call site.
+//
+// The default epsilon is absolute.  Deadlines, times, and rates in this
+// repo are O(1)..O(1e6) with double precision (~1e-16 relative), so an
+// absolute 1e-9 separates "same value, different rounding" from "truly
+// different" across the whole range the simulator produces.  Pass a
+// scaled epsilon for quantities far outside it.
+#pragma once
+
+#include <cmath>
+
+namespace sda::util {
+
+inline constexpr double kFeqEps = 1e-9;
+
+/// True when a and b differ by at most eps (absolute).
+inline bool feq(double a, double b, double eps = kFeqEps) noexcept {
+  return std::fabs(a - b) <= eps;
+}
+
+/// True when a and b differ by more than eps (absolute).
+inline bool fne(double a, double b, double eps = kFeqEps) noexcept {
+  return !feq(a, b, eps);
+}
+
+}  // namespace sda::util

@@ -1,0 +1,52 @@
+// Non-owning callable view (a lightweight `function_ref`).
+//
+// A FunctionRef is two words — an opaque pointer to the callee and a
+// trampoline — so passing one costs the same as passing a raw function
+// pointer, with none of std::function's ownership, copyability, or
+// allocation baggage.  It is the right parameter type for "call this
+// synchronously before I return" arguments: ThreadPool::parallel_for,
+// CompositeBuilder's fill callbacks, and exp::sweep's config mutator all
+// finish every invocation before returning, so the referenced callable
+// (typically a lambda temporary at the call site) is always still alive.
+//
+// Because it does not own the callee, a FunctionRef must never be stored
+// beyond the call it was passed to; use util::UniqueFn for stored
+// callbacks.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace sda::util {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  /// Binds to any callable lvalue or temporary invocable as R(Args...).
+  /// The callable must outlive every call through *this.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(runtime/explicit)
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace sda::util

@@ -24,8 +24,13 @@ struct ThreadPool::Impl {
   /// finishing the last item can release its reference after the caller
   /// has already returned and destroyed its own.
   struct Batch {
-    std::size_t n = 0;
-    const std::function<void(std::size_t)>* body = nullptr;
+    Batch(std::size_t count, FunctionRef<void(std::size_t)> b)
+        : n(count), body(b) {}
+
+    std::size_t n;
+    /// Non-owning view of the caller's body; the caller blocks inside
+    /// parallel_for until done == n, so the referent outlives the batch.
+    FunctionRef<void(std::size_t)> body;
     std::size_t done = 0;                 // guarded by Impl::m
     std::exception_ptr error;             // first failure, guarded by Impl::m
   };
@@ -79,7 +84,7 @@ struct ThreadPool::Impl {
     std::exception_ptr err;
     t_inside_pool_body = true;
     try {
-      (*batch->body)(index);
+      batch->body(index);
     } catch (...) {
       err = std::current_exception();
     }
@@ -108,8 +113,7 @@ struct ThreadPool::Impl {
     }
   }
 
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body) {
+  void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body) {
     if (n == 0) return;
     // Sequential modes: no workers, trivial batch, or a nested call from
     // inside a body (which must not wait on callers_m).
@@ -118,9 +122,7 @@ struct ThreadPool::Impl {
       return;
     }
     std::lock_guard<std::mutex> serialize(callers_m);
-    auto batch = std::make_shared<Batch>();
-    batch->n = n;
-    batch->body = &body;
+    auto batch = std::make_shared<Batch>(n, body);
     const std::size_t caller_slot = queues.size() - 1;
     std::unique_lock<std::mutex> lk(m);
     // Seed every participant with a contiguous slice, caller included.
@@ -165,14 +167,15 @@ struct ThreadPool::Impl {
   bool shutdown = false;
 };
 
-ThreadPool::ThreadPool(unsigned threads) : impl_(new Impl(threads)) {}
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(std::make_unique<Impl>(threads)) {}
 
 ThreadPool::~ThreadPool() = default;
 
 unsigned ThreadPool::threads() const noexcept { return impl_->total_threads; }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& body) {
+                              FunctionRef<void(std::size_t)> body) {
   impl_->parallel_for(n, body);
 }
 

@@ -25,8 +25,9 @@
 #pragma once
 
 #include <cstddef>
-#include <functional>
 #include <memory>
+
+#include "src/util/function_ref.hpp"
 
 namespace sda::util {
 
@@ -50,8 +51,7 @@ class ThreadPool {
   /// serialized; a nested call from inside a body runs inline (no
   /// deadlock, no extra parallelism).  If bodies throw, the first
   /// exception is rethrown here after every item has still been run.
-  void parallel_for(std::size_t n,
-                    const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body);
 
   /// Process-wide pool sized from the environment (see configured_threads).
   /// Created on first use; shared by run_experiment and sweep.

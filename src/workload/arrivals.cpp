@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "src/util/feq.hpp"
+
 namespace sda::workload {
 
 InterarrivalSampler::InterarrivalSampler(double rate, double burst_factor,
@@ -23,7 +25,7 @@ double InterarrivalSampler::next(util::Rng& rng) {
     throw std::logic_error("arrivals: next() on a zero-rate sampler");
   }
   // Poisson fast path: identical draw sequence to the plain implementation.
-  if (factor_ == 1.0) return rng.exponential(1.0 / rate_);
+  if (util::feq(factor_, 1.0)) return rng.exponential(1.0 / rate_);
 
   const double burst_rate = rate_ * factor_;
   double elapsed = 0.0;

@@ -47,8 +47,8 @@ TEST_P(ScenarioIntegration, RunsCleanlyUnderBothSdaExtremes) {
 INSTANTIATE_TEST_SUITE_P(
     AllScenarios, ScenarioIntegration,
     ::testing::ValuesIn(workload::scenarios()),
-    [](const ::testing::TestParamInfo<workload::Scenario>& info) {
-      std::string name = info.param.name;
+    [](const ::testing::TestParamInfo<workload::Scenario>& param_info) {
+      std::string name = param_info.param.name;
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }

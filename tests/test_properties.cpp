@@ -73,13 +73,13 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values("ud", "div-1", "div-4", "gf"),
                        ::testing::Values(0, 1, 2),
                        ::testing::Values("edf", "fifo", "llf", "spt")),
-    [](const ::testing::TestParamInfo<GridParam>& info) {
-      const int abort_mode = std::get<1>(info.param);
-      std::string name = std::get<0>(info.param) + "_" +
+    [](const ::testing::TestParamInfo<GridParam>& param_info) {
+      const int abort_mode = std::get<1>(param_info.param);
+      std::string name = std::get<0>(param_info.param) + "_" +
                          (abort_mode == 0   ? "noabort"
                           : abort_mode == 1 ? "pmabort"
                                             : "localabort") +
-                         "_" + std::get<2>(info.param);
+                         "_" + std::get<2>(param_info.param);
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }
@@ -129,11 +129,12 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values("ud", "ed", "eqs", "eqf"),
                        ::testing::Values(0, 2),
                        ::testing::Values(1.0, 4.0)),
-    [](const ::testing::TestParamInfo<GraphParam>& info) {
-      std::string name = std::get<0>(info.param) + "_" +
-                         std::get<1>(info.param) + "_links" +
-                         std::to_string(std::get<2>(info.param)) + "_burst" +
-                         std::to_string(static_cast<int>(std::get<3>(info.param)));
+    [](const ::testing::TestParamInfo<GraphParam>& param_info) {
+      std::string name = std::get<0>(param_info.param) + "_" +
+                         std::get<1>(param_info.param) + "_links" +
+                         std::to_string(std::get<2>(param_info.param)) + "_burst" +
+                         std::to_string(
+                             static_cast<int>(std::get<3>(param_info.param)));
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }
@@ -192,8 +193,9 @@ INSTANTIATE_TEST_SUITE_P(
     StrategyPairs, PlanProperties,
     ::testing::Combine(::testing::Values("ud", "div-1", "gf"),
                        ::testing::Values("ud", "ed", "eqs", "eqf")),
-    [](const auto& info) {
-      std::string name = std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    [](const auto& param_info) {
+      std::string name =
+          std::get<0>(param_info.param) + "_" + std::get<1>(param_info.param);
       for (char& ch : name) {
         if (ch == '-') ch = '_';
       }

@@ -1,0 +1,9 @@
+// Fixture: ASSERT_SIDE_EFFECT should fire 3 times.
+#include <cassert>
+#include <vector>
+
+void mutate(std::vector<int>& xs, int& count) {
+  assert(++count > 0);                  // finding 1
+  assert(count-- >= 0);                 // finding 2
+  assert((xs.erase(xs.begin()), true)); // finding 3
+}

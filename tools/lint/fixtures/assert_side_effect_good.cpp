@@ -1,0 +1,11 @@
+// Fixture: ASSERT_SIDE_EFFECT should not fire.
+#include <cassert>
+#include <vector>
+
+void inspect(const std::vector<int>& xs, int count) {
+  assert(count >= 0);
+  assert(count <= static_cast<int>(xs.size()));
+  assert(xs.empty() || xs.front() != -1);  // comparisons are not assignments
+  // sda-lint: allow(ASSERT_SIDE_EFFECT) debug-only counter by design
+  assert(count + 1 > count);
+}

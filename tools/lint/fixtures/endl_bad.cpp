@@ -1,0 +1,17 @@
+// Fixture: ENDL should fire 3 times.
+#include <iostream>
+#include <vector>
+
+void dump(const std::vector<int>& xs) {
+  for (int x : xs) {
+    std::cout << x << std::endl;                 // finding 1
+  }
+  int i = 0;
+  while (i < 3) {
+    if (i % 2 == 0) {
+      std::cerr << "even" << std::endl;          // finding 2 (nested scope)
+    }
+    ++i;
+  }
+  for (int x : xs) std::cout << x << std::endl;  // finding 3 (one-liner)
+}

@@ -1,0 +1,14 @@
+// Fixture: ENDL should not fire.
+#include <iostream>
+#include <vector>
+
+void dump(const std::vector<int>& xs) {
+  for (int x : xs) {
+    std::cout << x << '\n';
+  }
+  std::cout << std::endl;  // outside any loop: one flush is fine
+  for (int x : xs) {
+    // sda-lint: allow(ENDL) interactive prompt must flush per line
+    std::cout << x << std::endl;
+  }
+}

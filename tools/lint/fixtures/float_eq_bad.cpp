@@ -1,0 +1,8 @@
+// Fixture: FLOAT_EQ should fire 4 times.
+bool checks(double x, float y) {
+  bool a = x == 0.5;        // finding 1
+  bool b = x != 1.0;        // finding 2
+  bool c = 2.5e-3 == x;     // finding 3
+  bool d = y == 0.25f;      // finding 4
+  return a || b || c || d;
+}

@@ -1,0 +1,15 @@
+// Fixture: FLOAT_EQ should not fire.
+namespace sda::util {
+bool feq(double a, double b, double eps = 1e-9);
+bool fne(double a, double b, double eps = 1e-9);
+}
+
+bool checks(double x, int n) {
+  bool a = sda::util::feq(x, 0.5);
+  bool b = sda::util::fne(x, 1.0);
+  bool c = n == 3;            // integral comparison is fine
+  bool d = x <= 2.0;          // ordering against a literal is fine
+  // sda-lint: allow(FLOAT_EQ) sentinel value set by us, bit-exact
+  bool e = x == -1.0;
+  return a || b || c || d || e;
+}

@@ -1,0 +1,9 @@
+// Fixture: NAKED_NEW should fire 3 times.
+struct Thing { int x; };
+
+Thing* make() {
+  Thing* t = new Thing{1};     // finding 1
+  int* arr = new int[8];       // finding 2
+  delete[] arr;                // finding 3
+  return t;
+}

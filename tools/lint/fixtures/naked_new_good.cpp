@@ -1,0 +1,16 @@
+// Fixture: NAKED_NEW should not fire.
+#include <memory>
+
+struct Thing {
+  int x;
+  Thing(const Thing&) = delete;             // deleted member, not delete-expr
+  Thing& operator=(const Thing&) = delete;
+};
+
+std::unique_ptr<int> make() {
+  auto p = std::make_unique<int>(7);
+  // sda-lint: allow(NAKED_NEW) pool internals need placement construction
+  int* q = new int(3);
+  delete q;  // sda-lint: allow(NAKED_NEW)
+  return p;
+}

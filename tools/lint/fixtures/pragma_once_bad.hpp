@@ -1,0 +1,4 @@
+// Fixture: PRAGMA_ONCE should fire 1 time (no include guard of any kind).
+struct Unguarded {
+  int x = 0;
+};

@@ -1,0 +1,6 @@
+// Fixture: PRAGMA_ONCE should not fire.
+#pragma once
+
+struct Guarded {
+  int x = 0;
+};

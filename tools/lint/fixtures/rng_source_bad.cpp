@@ -1,0 +1,16 @@
+// Fixture: RNG_SOURCE should fire 6 times.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int bad_entropy() {
+  std::random_device rd;                                  // finding 1
+  std::srand(42);                                         // finding 2
+  int x = std::rand();                                    // finding 3
+  x += rand();                                            // finding 4
+  auto t = std::chrono::system_clock::now();              // finding 5
+  (void)rd;
+  (void)t;
+  return x + static_cast<int>(time(nullptr));             // finding 6
+}

@@ -1,0 +1,13 @@
+// Fixture: RNG_SOURCE should not fire.
+// Seeded draws, a suppressed call, and identifiers that merely contain the
+// banned substrings.
+namespace sda::util { class Rng { public: double uniform01(); }; }
+
+double good_entropy(sda::util::Rng& rng) {
+  double x = rng.uniform01();
+  int operand_count = 3;        // "rand" inside an identifier
+  double runtime_cost = 1.0;    // "time" inside an identifier
+  // sda-lint: allow(RNG_SOURCE) fixture demonstrates suppression
+  int legacy = rand();
+  return x + operand_count + runtime_cost + legacy;
+}

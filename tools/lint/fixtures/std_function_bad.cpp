@@ -1,0 +1,7 @@
+// Fixture: STD_FUNCTION should fire 2 times.
+#include <functional>
+
+struct Widget {
+  std::function<void()> on_click;                  // finding 1
+  void each(const std::function<void(int)>& f);    // finding 2
+};

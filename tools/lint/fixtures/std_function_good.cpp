@@ -1,0 +1,14 @@
+// Fixture: STD_FUNCTION should not fire.
+// The sanctioned callables, a comment mention, and a suppression.
+namespace sda::util {
+template <typename Sig> class UniqueFn;
+template <typename Sig> class FunctionRef;
+}
+
+struct Widget {
+  // std::function is banned here; this comment must not trip the rule.
+  sda::util::UniqueFn<void()>* on_click;
+  void each(sda::util::FunctionRef<void(int)> f);
+  // sda-lint: allow(STD_FUNCTION) interop with external API
+  void* legacy_std_function_slot;  // std::function<int()> in disguise
+};

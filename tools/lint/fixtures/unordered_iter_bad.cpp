@@ -1,0 +1,22 @@
+// Fixture: UNORDERED_ITER should fire 2 times.
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Report {
+  std::unordered_map<std::string, double> totals_;
+  std::unordered_set<int> seen_ids;
+
+  void render() const {
+    for (const auto& [name, total] : totals_) {     // finding 1
+      std::printf("%s %f\n", name.c_str(), total);
+    }
+  }
+};
+
+void fold(const Report& r) {
+  for (int id : r.seen_ids) {                        // finding 2
+    std::printf("%d\n", id);
+  }
+}

@@ -1,0 +1,28 @@
+// Fixture: UNORDERED_ITER should not fire.
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+struct Report {
+  std::unordered_map<std::string, double> totals_;
+  std::map<std::string, double> ordered_totals_;
+
+  void render() const {
+    // Ordered container: deterministic iteration, no finding.
+    for (const auto& [name, total] : ordered_totals_) {
+      std::printf("%s %f\n", name.c_str(), total);
+    }
+    // Sorted copy: the sanctioned pattern for unordered members.
+    std::vector<std::string> names;
+    for (const auto& [name, total] : totals_) {  // sda-lint: allow(UNORDERED_ITER)
+      names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+    for (const std::string& name : names) {
+      std::printf("%s %f\n", name.c_str(), totals_.at(name));
+    }
+  }
+};
