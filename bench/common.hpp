@@ -6,7 +6,9 @@
 // the same series so the figure's *shape* can be compared with the paper.
 #pragma once
 
+#include <cstddef>
 #include <cstdio>
+#include <exception>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,40 @@ namespace bench {
 using sda::exp::ExperimentConfig;
 using sda::exp::SweepPoint;
 using sda::exp::figures::LoadSweepSeries;
+
+/// Applies key=value command-line overrides to @p config through the
+/// ExperimentConfig kv API (`fig06_div load=0.9 psp=gf`), so every figure
+/// bench accepts the same knobs as sda_run.  Unknown keys and bad values
+/// print set()'s error — including its did-you-mean suggestion — and
+/// return false; malformed (no '=') args print usage and return false.
+inline bool apply_kv_args(int argc, char** argv, ExperimentConfig& config) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      std::fprintf(stderr, "usage: %s [key=value ...]\n", argv[0]);
+      return false;
+    }
+    try {
+      config.set(arg.substr(0, eq), arg.substr(eq + 1));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// BenchEnv run-control fields copied out of a config, so benches that
+/// took kv overrides report and use the overridden run length.
+inline sda::util::BenchEnv env_from_config(const ExperimentConfig& config) {
+  sda::util::BenchEnv env;
+  env.sim_time = config.sim_time;
+  env.replications = config.replications;
+  env.warmup_fraction = config.warmup_fraction;
+  env.seed = config.seed;
+  return env;
+}
 
 inline void print_header(const std::string& figure,
                          const std::string& paper_claim,

@@ -13,11 +13,13 @@
 
 #include "bench/common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sda;
-  const util::BenchEnv env = util::bench_env();
   exp::ExperimentConfig base = exp::baseline_config();
-  exp::figures::apply_bench_env(base, env);
+  exp::figures::apply_bench_env(base, util::bench_env());
+  // key=value overrides (same vocabulary as sda_run) win over SDA_* env.
+  if (!bench::apply_kv_args(argc, argv, base)) return 64;
+  const util::BenchEnv env = bench::env_from_config(base);
 
   bench::print_header(
       "Figure 5 — UD in the baseline experiment (MD vs load)",

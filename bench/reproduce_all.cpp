@@ -5,6 +5,10 @@
 // Exit code is the number of failed checks, so this binary doubles as a CI
 // gate for the whole reproduction.
 //
+// Run control goes through the ExperimentConfig kv API: key=value args
+// (`reproduce_all sim_time=50000 replications=4`) override the SDA_* env
+// defaults, exactly like sda_run.
+//
 // --quick: shortened runs (20k time units x 2 replications unless SDA_*
 // overrides are set) for smoke tests and the scripts/run_bench.sh timing
 // harness.  Quick runs are below the battery's calibrated tolerances
@@ -13,29 +17,41 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/common.hpp"
 #include "src/exp/compare.hpp"
-#include "src/util/env.hpp"
 #include "src/util/feq.hpp"
 
 int main(int argc, char** argv) {
-  sda::util::BenchEnv env = sda::util::bench_env();
+  using namespace sda;
+  exp::ExperimentConfig base = exp::baseline_config();
+  exp::figures::apply_bench_env(base, util::bench_env());
+
   bool quick = false;
+  int kv_argc = 1;
+  char* kv_argv[64];
+  kv_argv[0] = argv[0];
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
+    } else if (std::strchr(argv[i], '=') != nullptr && kv_argc < 64) {
+      kv_argv[kv_argc++] = argv[i];
     } else {
-      std::fprintf(stderr, "usage: %s [--quick]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--quick] [key=value ...]\n", argv[0]);
       return 64;
     }
   }
   if (quick) {
-    // Explicit SDA_* knobs still win; --quick only changes the defaults.
-    if (sda::util::feq(sda::util::env_double("SDA_SIM_TIME", 0.0), 0.0)) {
-      env.sim_time = 20000.0;
+    // Explicit SDA_SIM_TIME / sim_time= knobs still win; --quick only
+    // changes the default.
+    if (util::feq(util::env_double("SDA_SIM_TIME", 0.0), 0.0)) {
+      base.sim_time = 20000.0;
     }
     std::printf("quick mode: timing/smoke run, below calibrated "
                 "tolerances — expect marginal FAILs\n");
   }
+  if (!bench::apply_kv_args(kv_argc, kv_argv, base)) return 64;
+
+  const util::BenchEnv env = bench::env_from_config(base);
   std::printf("reproduction scorecard (%s)\n\n", env.describe().c_str());
   const auto card = sda::exp::compare::run_reproduction_battery(env);
   std::printf("%s", card.render().c_str());

@@ -10,6 +10,11 @@
 //
 // i.e. a PSP analogue of EQF's "budget execution + share the slack" idea —
 // something the paper's Section 9 hints at but never evaluates.
+//
+// The strategy plugs into the library through core::register_psp: once
+// registered, "slackshare" is a first-class name — make_psp_strategy
+// builds it, ExperimentConfig::set("psp", "slackshare") accepts it, and
+// `sda_run psp=slackshare` works — without touching library code.
 #include <algorithm>
 #include <cstdio>
 #include <memory>
@@ -107,17 +112,25 @@ double run(std::shared_ptr<const core::PspStrategy> psp, std::uint64_t seed,
 }  // namespace
 
 int main() {
+  // Register once, up front (registration is not thread-safe against
+  // concurrent lookups).  From here on "slackshare" behaves exactly like a
+  // built-in name.
+  core::register_psp("slackshare",
+                     [](const std::string&) -> std::unique_ptr<core::PspStrategy> {
+                       return std::make_unique<SlackShare>();
+                     });
+
   std::printf("custom PSP strategy demo (6 EDF nodes, load 0.6, n=4)\n\n");
-  std::printf("%-12s  %-10s  %-10s\n", "strategy", "MD_global", "MD_local");
-  for (const char* builtin : {"ud", "div-1", "gf"}) {
-    double local_md = 0.0;
-    const double md = run(core::make_psp_strategy(builtin), 1, &local_md);
-    std::printf("%-12s  %9.1f%%  %9.1f%%\n", builtin, md * 100, local_md * 100);
+  std::printf("registered PSP strategies:");
+  for (const std::string& name : core::list_psp_strategies()) {
+    std::printf(" %s", name.c_str());
   }
-  double local_md = 0.0;
-  const double md = run(std::make_shared<SlackShare>(), 1, &local_md);
-  std::printf("%-12s  %9.1f%%  %9.1f%%\n", "SlackShare", md * 100,
-              local_md * 100);
+  std::printf("\n\n%-12s  %-10s  %-10s\n", "strategy", "MD_global", "MD_local");
+  for (const char* name : {"ud", "div-1", "gf", "slackshare"}) {
+    double local_md = 0.0;
+    const double md = run(core::make_psp_strategy(name), 1, &local_md);
+    std::printf("%-12s  %9.1f%%  %9.1f%%\n", name, md * 100, local_md * 100);
+  }
   std::printf("\nSlackShare uses per-branch pex to budget execution time —"
               "\nsomething UD/DIV-x/GF never look at.\n");
   return 0;

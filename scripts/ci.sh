@@ -1,0 +1,85 @@
+#!/usr/bin/env bash
+# The one-command CI gate: configure + build, unit tests, static analysis,
+# and an sda_run end-to-end smoke whose JSON-lines output is schema-checked.
+#
+# Usage: scripts/ci.sh [build-dir]          (default: build)
+#
+# Stages (all must pass; the script stops at the first failure):
+#   1. cmake configure + build (warnings on, full target set)
+#   2. ctest — unit tests, sda-lint, and the SDA_VALIDATE oracle re-runs
+#   3. scripts/check_static.sh — sda-lint selftest + clang-tidy (if found)
+#   4. sda_run smoke — Table-1 baseline at a short horizon with --json and
+#      --trace, then: every JSON line parses, schemas are sda.run.v1 /
+#      sda.report.v1, the trace declares one track per node, and the
+#      fingerprints in the report match a second exporter-free run.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+
+echo "=== [1/4] configure + build ==="
+cmake -B "$BUILD" -S . > /dev/null
+cmake --build "$BUILD" -j "$(nproc)"
+
+echo ""
+echo "=== [2/4] ctest ==="
+ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
+
+echo ""
+echo "=== [3/4] static analysis ==="
+scripts/check_static.sh "$BUILD"
+
+echo ""
+echo "=== [4/4] sda_run smoke + schema check ==="
+SMOKE_DIR=$(mktemp -d /tmp/sda_ci.XXXXXX)
+trap 'rm -f "$SMOKE_DIR"/*; rmdir "$SMOKE_DIR"' EXIT
+
+"$BUILD/tools/sda_run" sim_time=5000 reps=2 \
+  --json "$SMOKE_DIR/out.jsonl" --trace "$SMOKE_DIR/run.trace.json" \
+  > "$SMOKE_DIR/with_exporters.txt"
+"$BUILD/tools/sda_run" sim_time=5000 reps=2 \
+  > "$SMOKE_DIR/without_exporters.txt"
+
+SMOKE_DIR="$SMOKE_DIR" python3 - <<'PY'
+import json, os, re, sys
+
+d = os.environ["SMOKE_DIR"]
+
+# --- JSON lines: parse + schema --------------------------------------------
+lines = [json.loads(l) for l in open(os.path.join(d, "out.jsonl"))]
+schemas = [l["schema"] for l in lines]
+assert schemas == ["sda.run.v1", "sda.run.v1", "sda.report.v1"], schemas
+for run in lines[:2]:
+    for key in ("rep", "seed", "fingerprint", "diag", "classes", "nodes"):
+        assert key in run, f"sda.run.v1 missing '{key}'"
+    assert run["fingerprint"].startswith("0x")
+    assert len(run["nodes"]) == 6, "one perf-counter block per node"
+report = lines[2]
+for key in ("config", "classes", "overall_missed_work", "fingerprints"):
+    assert key in report, f"sda.report.v1 missing '{key}'"
+assert report["config"]["psp"] == "ud"
+assert len(report["fingerprints"]) == 2
+
+# --- Chrome trace: one track per node --------------------------------------
+trace = json.load(open(os.path.join(d, "run.trace.json")))
+tracks = [e["args"]["name"] for e in trace["traceEvents"]
+          if e.get("ph") == "M" and e.get("name") == "thread_name"]
+assert tracks == [f"node {i}" for i in range(6)] + ["global runs"], tracks
+
+# --- determinism: exporters must not move the fingerprints -----------------
+def fingerprints(path):
+    text = open(os.path.join(d, path)).read()
+    return re.search(r"fingerprints:(.*)", text).group(1).split()
+
+with_exp, without_exp = (fingerprints("with_exporters.txt"),
+                         fingerprints("without_exporters.txt"))
+assert with_exp == without_exp, (with_exp, without_exp)
+assert [hex(int(f, 16)) for f in with_exp] == \
+       [r["fingerprint"] for r in lines[:2]], "JSON fingerprints diverge"
+
+print("smoke ok: schemas valid, 6+1 trace tracks, fingerprints identical "
+      "with and without exporters")
+PY
+
+echo ""
+echo "CI gate passed."

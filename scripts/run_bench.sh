@@ -5,13 +5,26 @@
 # any change that claims a speedup (and keep the pre-change file as
 # BENCH_core.before.json) so reviewers can diff items/sec directly.
 #
-# Usage: scripts/run_bench.sh [output.json]     (default: BENCH_core.json)
+# Usage: scripts/run_bench.sh [--check] [output.json]   (default: BENCH_core.json)
+#
+#   --check   overhead guard: before overwriting the output file, compare
+#             the fresh BM_EventQueuePushPop / BM_WholeReplication numbers
+#             against the committed baseline and fail when items/sec
+#             regressed by more than SDA_BENCH_TOLERANCE (default 2%).
+#             Used by CI to catch telemetry that leaks into the hot paths
+#             (counters must stay passive O(1) increments).
 #
 # Env: SDA_THREADS caps pool parallelism for the quick scorecard;
-#      SDA_SIM_TIME/SDA_REPS override the quick run length as usual.
+#      SDA_SIM_TIME/SDA_REPS override the quick run length as usual;
+#      SDA_BENCH_TOLERANCE sets the --check regression threshold (percent).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
 OUT="${1:-BENCH_core.json}"
 BUILD=build
 
@@ -56,6 +69,52 @@ END_NS=$(date +%s%N)
 QUICK_MS=$(( (END_NS - START_NS) / 1000000 ))
 tail -5 /tmp/sda_quick.log
 echo "quick scorecard: ${QUICK_MS} ms wall, ${QUICK_FAILURES} failed checks"
+
+if [[ "$CHECK" == 1 && -f "$OUT" ]]; then
+  echo "== overhead guard (fresh vs $OUT) =="
+  MICRO_JSON="$MICRO_JSON" BASELINE="$OUT" \
+  TOLERANCE="${SDA_BENCH_TOLERANCE:-2}" python3 - <<'PY'
+import json, os, sys
+
+with open(os.environ["MICRO_JSON"]) as f:
+    fresh = {b["name"]: b for b in json.load(f).get("benchmarks", [])
+             if b.get("run_type") != "aggregate"}
+with open(os.environ["BASELINE"]) as f:
+    base = json.load(f).get("micro_core", {})
+tolerance = float(os.environ["TOLERANCE"]) / 100.0
+
+# The two hot paths telemetry must not slow down: the event queue's
+# push/pop cycle and a whole end-to-end replication.
+guarded = [n for n in base
+           if n.startswith("BM_EventQueuePushPop") or n == "BM_WholeReplication"]
+failed = False
+for name in sorted(guarded):
+    old = base[name].get("items_per_second")
+    new = fresh.get(name, {}).get("items_per_second")
+    if not old:  # WholeReplication reports time, not items/sec
+        old = base[name].get("real_time_ns")
+        new = fresh.get(name, {}).get("real_time")
+        if not (old and new):
+            continue
+        ratio = new / old  # time: bigger is worse
+        slower = ratio - 1.0
+    else:
+        if not new:
+            print(f"  {name}: missing from fresh run", file=sys.stderr)
+            failed = True
+            continue
+        slower = old / new - 1.0  # items/sec: smaller is worse
+    verdict = "FAIL" if slower > tolerance else "ok"
+    print(f"  {name}: {slower * 100:+.2f}% vs baseline [{verdict}]")
+    if slower > tolerance:
+        failed = True
+if failed:
+    print(f"overhead guard: regression beyond {tolerance * 100:.1f}% "
+          "— rerun on a quiet machine or investigate", file=sys.stderr)
+    sys.exit(1)
+print("overhead guard: within tolerance")
+PY
+fi
 
 MICRO_JSON="$MICRO_JSON" QUICK_MS="$QUICK_MS" \
 QUICK_FAILURES="$QUICK_FAILURES" OUT="$OUT" python3 - <<'PY'

@@ -64,6 +64,7 @@ std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
   run.subtask_count = task::leaf_count(*run.tree);
   index_parents(run, *run.tree);
   ++submitted_;
+  if (on_submitted_) on_submitted_(id, deadline);
 
   if (config_.abort_mode == PmAbortMode::kRealDeadline) {
     // Footnote 8: when the timer at the *real* deadline expires, the whole

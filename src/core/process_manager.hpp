@@ -116,6 +116,10 @@ class ProcessManager {
   /// Invoked when a simple subtask reaches a terminal state: completed, or
   /// aborted with no resubmission to follow.
   using SubtaskHandler = util::UniqueFn<void(const task::SimpleTask&)>;
+  /// Invoked when submit() accepts a run, before its first subtask is
+  /// dispatched (tracing only — observers must not touch the simulation).
+  using SubmitObserver =
+      util::UniqueFn<void(std::uint64_t run_id, sim::Time deadline)>;
 
   /// @p nodes is indexed by TreeNode::exec_node; the runner wires each
   /// node's completion/abort handlers to handle_completion /
@@ -128,6 +132,7 @@ class ProcessManager {
 
   void set_global_handler(GlobalHandler h) { on_global_ = std::move(h); }
   void set_subtask_handler(SubtaskHandler h) { on_subtask_ = std::move(h); }
+  void set_submit_observer(SubmitObserver o) { on_submitted_ = std::move(o); }
 
   /// Accepts a global task whose structure (and per-leaf ex/pex) is already
   /// drawn.  @p deadline is the end-to-end real deadline dl(T); arrival is
@@ -223,6 +228,7 @@ class ProcessManager {
 
   GlobalHandler on_global_;
   SubtaskHandler on_subtask_;
+  SubmitObserver on_submitted_;
 
   std::uint64_t submitted_ = 0;
   std::uint64_t completed_runs_ = 0;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/task/tree.hpp"
+#include "src/util/unique_fn.hpp"
 
 namespace sda::core {
 
@@ -76,12 +77,60 @@ class SspStrategy {
   virtual std::string name() const = 0;
 };
 
-/// Factory: "ud", "div-1", "div-2.5", "gf", "gf-<delta>"
-/// (case-insensitive).  Throws std::invalid_argument on unknown names.
+// --- strategy registry ----------------------------------------------------
+//
+// Strategies are constructed by name through a registry instead of a
+// hardcoded if-chain, so user code (examples/custom_strategy.cpp) extends
+// the factory itself: a strategy registered here is reachable from every
+// config-driven surface — ExperimentConfig, sweeps, and the sda_run CLI —
+// without touching library code.
+//
+// Built-ins self-register the first time any registry function runs (a
+// function-local static, so there is no static-initialization-order or
+// dead-object-file hazard).  register_* is not thread-safe against
+// concurrent make_*_strategy calls: register custom strategies up front,
+// before experiments fan out over the thread pool.
+
+/// Factory callback: receives the full lowercased name that matched (for
+/// parameterized families like "div-2.5" the suffix carries the
+/// parameter).  Returns nullptr to signal "name matched my prefix but the
+/// parameter does not parse" — lookup then reports an unknown name.
+using PspFactory =
+    util::UniqueFn<std::unique_ptr<PspStrategy>(const std::string&)>;
+using SspFactory =
+    util::UniqueFn<std::unique_ptr<SspStrategy>(const std::string&)>;
+
+/// How a registered name matches lookups.
+enum class NameMatch {
+  kExact,   ///< case-insensitive whole-name equality
+  kPrefix,  ///< name is a prefix; the rest is the strategy's parameter
+};
+
+/// Registers a PSP strategy under @p name.  @p display is what
+/// list_psp_strategies() shows (e.g. "div-<x>"; defaults to @p name).
+/// Throws std::invalid_argument when the name (or prefix) is already
+/// registered.
+void register_psp(const std::string& name, PspFactory factory,
+                  NameMatch match = NameMatch::kExact,
+                  const std::string& display = {});
+
+/// Same for SSP strategies.
+void register_ssp(const std::string& name, SspFactory factory,
+                  NameMatch match = NameMatch::kExact,
+                  const std::string& display = {});
+
+/// Display names of every registered strategy, in registration order
+/// (built-ins first) — the CLI's --list-strategies output.
+std::vector<std::string> list_psp_strategies();
+std::vector<std::string> list_ssp_strategies();
+
+/// Factory: "ud", "div-1", "div-2.5", "gf", "gf-<delta>", plus anything
+/// registered (case-insensitive).  Throws std::invalid_argument on unknown
+/// names, listing the registered strategies and suggesting near-misses.
 std::unique_ptr<PspStrategy> make_psp_strategy(const std::string& name);
 
-/// Factory: "ud", "ed", "eqs", "eqf" (case-insensitive).
-/// Throws std::invalid_argument on unknown names.
+/// Factory: "ud", "ed", "eqs", "eqf", plus anything registered
+/// (case-insensitive).  Throws std::invalid_argument on unknown names.
 std::unique_ptr<SspStrategy> make_ssp_strategy(const std::string& name);
 
 }  // namespace sda::core

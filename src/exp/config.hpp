@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/core/process_manager.hpp"
@@ -94,6 +95,13 @@ struct ExperimentConfig {
   /// collector); small extra cost, off by default.
   bool tardiness_histograms = false;
 
+  /// Collect log-bucketed response-time/tardiness distributions per task
+  /// class *and per node* (P50/P90/P99/P99.9, mergeable across
+  /// replications — see metrics::DistributionSet).  Off by default; the
+  /// collection never touches the event stream or RNG, so determinism
+  /// fingerprints are identical either way.
+  bool distributions = false;
+
   // --- fault injection (robustness extension; all off by default) ----------
   /// Per-service-attempt probability that a subtask attempt fails partway
   /// through (work done on the attempt is lost).  Compute nodes only.
@@ -152,6 +160,35 @@ struct ExperimentConfig {
 
   /// One-line description for bench output.
   std::string describe() const;
+
+  // --- key=value API (the sda_run front door; see config_kv.cpp) ----------
+  /// Sets one field by key, parsing @p value from text ("psp", "gf"),
+  /// ("node_speeds", "1,2,0.5"), ("global_kind", "graph"), ...  Throws
+  /// std::invalid_argument on an unknown key — with a "did you mean"
+  /// suggestion when the key looks like a typo — or an unparsable value.
+  void set(const std::string& key, const std::string& value);
+
+  /// Current value of one field, in the same textual form set() accepts.
+  /// Throws std::invalid_argument on unknown keys.
+  std::string get(const std::string& key) const;
+
+  /// Every field as (key, value) pairs in declaration order; feeding the
+  /// pairs back through set() reproduces the config exactly (the kv
+  /// round-trip test relies on this).
+  std::vector<std::pair<std::string, std::string>> to_kv() const;
+
+  /// All keys set()/get() understand, in declaration order.
+  static std::vector<std::string> known_keys();
+
+  /// All problems with this config (empty = valid): inconsistent shapes
+  /// (node_speeds vs k, n_min > n_max, slack_min > slack_max), negative
+  /// rates, unknown scheduler_policy/placement/service_dist/strategy
+  /// names, ...  Same checks as exp::validate().
+  std::vector<std::string> validate() const;
+
+  /// Throws std::invalid_argument listing every problem when invalid.
+  /// Called by run_once before any part of the system is assembled.
+  void validate_or_throw() const;
 };
 
 /// Table 1: k=6, n=4, EDF, no abortion, load 0.5, frac_local 0.75,

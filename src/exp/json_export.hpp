@@ -1,0 +1,44 @@
+// Versioned JSON-lines export of run results.
+//
+// Two record schemas, one JSON object per line (documented in
+// EXPERIMENTS.md, validated by tests/test_exporters.cpp and the CI smoke
+// run):
+//
+//   * "sda.run.v1"    — one line per replication: seed, determinism
+//     fingerprint (hex string, so no reader loses uint64 precision),
+//     diagnostics, per-class counts/timings, per-node perf counters, and —
+//     when config.distributions is on — per-class/per-node quantiles.
+//   * "sda.report.v1" — one line per experiment: the full config as
+//     key=value pairs (round-trips through ExperimentConfig::set), CI-based
+//     per-class summaries, per-replication fingerprints, and optionally the
+//     distributions merged across replications.
+//
+// Exporters read finished results only; they cannot perturb a run.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/report.hpp"
+
+namespace sda::exp {
+
+/// Writes one "sda.run.v1" line (newline-terminated) for replication
+/// @p rep of @p config, run with @p seed and observed @p fingerprint.
+void write_run_json_line(const ExperimentConfig& config, int rep,
+                         std::uint64_t seed, std::uint64_t fingerprint,
+                         const RunResult& result, std::ostream& os);
+
+/// Writes one "sda.report.v1" line (newline-terminated).  @p fingerprints
+/// holds one per-replication fingerprint in replication order (may be
+/// empty).  @p merged_distributions, when non-null, must be a Collector
+/// with distributions enabled holding the replication-merged histograms.
+void write_report_json_line(
+    const ExperimentConfig& config, const metrics::Report& report,
+    const std::vector<std::uint64_t>& fingerprints,
+    const metrics::Collector* merged_distributions, std::ostream& os);
+
+}  // namespace sda::exp

@@ -45,6 +45,11 @@ metrics::TraceEvent to_trace_event(sched::Node::Event e) {
 
 RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
                    metrics::Tracer* tracer) {
+  // Reject inconsistent configs with actionable errors before any part of
+  // the system is assembled (callers going through run_experiment have
+  // already paid this, but run_once is a public entry point of its own).
+  config.validate_or_throw();
+
   sim::Engine engine;
   util::Rng master(seed);
 
@@ -52,11 +57,6 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   std::vector<std::unique_ptr<sched::Node>> nodes;
   std::vector<sched::Node*> node_ptrs;
   nodes.reserve(static_cast<std::size_t>(config.k));
-  if (!config.node_speeds.empty() &&
-      config.node_speeds.size() != static_cast<std::size_t>(config.k)) {
-    throw std::invalid_argument(
-        "run_once: node_speeds must be empty or have k entries");
-  }
   const int link_count =
       config.global_kind == GlobalKind::kGraph ? config.link_count : 0;
   const int total_nodes = config.k + link_count;
@@ -96,6 +96,7 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   metrics::Collector collector;
   collector.set_warmup(config.warmup_fraction * config.sim_time);
   if (config.tardiness_histograms) collector.enable_tardiness_histograms();
+  if (config.distributions) collector.enable_distributions();
   pm.set_global_handler([&, tracer](const core::GlobalTaskRecord& rec) {
     collector.record_global(rec);
     if (tracer != nullptr) {
@@ -109,6 +110,14 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   });
   pm.set_subtask_handler(
       [&](const task::SimpleTask& t) { collector.record_simple(t); });
+  if (tracer != nullptr) {
+    pm.set_submit_observer(
+        [&engine, tracer](std::uint64_t run_id, sim::Time deadline) {
+          tracer->add(metrics::TraceRecord{engine.now(),
+                                           metrics::TraceEvent::kGlobalSubmitted,
+                                           0, run_id, -1, deadline});
+        });
+  }
   if (tracer != nullptr) {
     for (auto& node : nodes) {
       const int node_index = node->index();
@@ -249,6 +258,7 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   for (const auto& node : nodes) {
     (node->index() < config.k ? util : link_util) += node->utilization();
     result.node_utilizations.push_back(node->utilization());
+    result.node_counters.push_back(node->perf_counters());
     local_aborts += node->aborted_locally();
     preemptions += node->preemptions();
   }

@@ -14,6 +14,7 @@
 #include "src/metrics/collector.hpp"
 #include "src/metrics/report.hpp"
 #include "src/metrics/trace.hpp"
+#include "src/sched/node.hpp"
 #include "src/util/thread_pool.hpp"
 
 namespace sda::exp {
@@ -42,6 +43,11 @@ struct RunResult {
   std::uint64_t fault_retries = 0;
   std::uint64_t failovers = 0;
   std::uint64_t globals_shed = 0;  ///< subset of globals_aborted
+
+  /// Per-node perf counters (compute nodes then links), snapshotted at the
+  /// horizon.  Always populated — the counters are passive O(1) increments
+  /// with no event-stream or RNG footprint.
+  std::vector<sched::Node::PerfCounters> node_counters;
 };
 
 /// Runs one replication with the given seed.  When @p tracer is non-null,

@@ -31,7 +31,7 @@ void Collector::record_simple(const task::SimpleTask& t) {
   const double tardiness =
       std::max(0.0, t.finished_at - t.attrs.real_deadline);
   record(t.metrics_class, t.attrs.arrival, missed, aborted, t.attrs.exec_time,
-         response, tardiness);
+         response, tardiness, t.exec_node);
 }
 
 void Collector::record_global(const core::GlobalTaskRecord& rec) {
@@ -47,7 +47,8 @@ void Collector::record_global(const core::GlobalTaskRecord& rec) {
 }
 
 void Collector::record(int cls, double arrival, bool missed, bool aborted,
-                       double work, double response, double tardiness) {
+                       double work, double response, double tardiness,
+                       int node) {
   if (arrival < warmup_) return;
   ClassCounts& c = by_class_[cls];
   ++c.finished;
@@ -69,6 +70,14 @@ void Collector::record(int cls, double arrival, bool missed, bool aborted,
     }
     it->second.add(tardiness);
   }
+  if (distributions_on_) {
+    auto observe = [&](DistributionSet& d) {
+      if (response >= 0.0) d.response.add(response);
+      d.tardiness.add(tardiness);
+    };
+    observe(class_dists_[cls]);
+    if (node >= 0) observe(node_dists_[node]);
+  }
 }
 
 void Collector::enable_tardiness_histograms(double max_tardiness,
@@ -87,6 +96,49 @@ TardinessProfile Collector::tardiness_profile(int cls) const {
   p.p90 = it->second.quantile(0.90);
   p.p99 = it->second.quantile(0.99);
   return p;
+}
+
+void Collector::enable_distributions() { distributions_on_ = true; }
+
+namespace {
+template <typename Map>
+std::vector<int> sorted_keys(const Map& m) {
+  std::vector<int> out;
+  out.reserve(m.size());
+  for (const auto& [key, value] : m) out.push_back(key);
+  return out;
+}
+
+template <typename Map>
+const DistributionSet* find_in(const Map& m, int key) {
+  auto it = m.find(key);
+  return it == m.end() ? nullptr : &it->second;
+}
+}  // namespace
+
+std::vector<int> Collector::distribution_classes() const {
+  return sorted_keys(class_dists_);
+}
+
+std::vector<int> Collector::distribution_nodes() const {
+  return sorted_keys(node_dists_);
+}
+
+const DistributionSet* Collector::class_distributions(int cls) const {
+  return find_in(class_dists_, cls);
+}
+
+const DistributionSet* Collector::node_distributions(int node) const {
+  return find_in(node_dists_, node);
+}
+
+void Collector::merge_distributions(const Collector& other) {
+  if (!distributions_on_ || !other.distributions_on_) {
+    throw std::logic_error(
+        "Collector::merge_distributions: distributions not enabled");
+  }
+  for (const auto& [cls, d] : other.class_dists_) class_dists_[cls].merge(d);
+  for (const auto& [node, d] : other.node_dists_) node_dists_[node].merge(d);
 }
 
 ClassCounts Collector::counts(int cls) const {

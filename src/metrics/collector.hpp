@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/core/process_manager.hpp"
+#include "src/metrics/percentile.hpp"
 #include "src/metrics/task_class.hpp"
 #include "src/task/task.hpp"
 #include "src/util/histogram.hpp"
@@ -60,6 +61,19 @@ struct TardinessProfile {
   double p99 = 0.0;
 };
 
+/// Log-bucketed response-time + tardiness pair kept per task class and per
+/// node when Collector::enable_distributions() was called.  The shared
+/// geometry makes sets from independent replications merge() exactly.
+struct DistributionSet {
+  LogHistogram response;
+  LogHistogram tardiness;
+
+  void merge(const DistributionSet& other) {
+    response.merge(other.response);
+    tardiness.merge(other.tardiness);
+  }
+};
+
 class Collector {
  public:
   /// Observations for tasks that arrived before @p t are discarded
@@ -77,9 +91,11 @@ class Collector {
   /// Raw terminal record: class @p cls, arrived at @p arrival, @p missed
   /// its deadline (and was @p aborted before finishing), carrying @p work
   /// execution-time units.  @p response is the completion latency (< 0 for
-  /// tasks that never completed) and @p tardiness is max(0, lateness).
+  /// tasks that never completed), @p tardiness is max(0, lateness), and
+  /// @p node is the execution node (-1 for whole global runs, which have
+  /// no single node).
   void record(int cls, double arrival, bool missed, bool aborted, double work,
-              double response = -1.0, double tardiness = 0.0);
+              double response = -1.0, double tardiness = 0.0, int node = -1);
 
   /// Counts for one class (zeros when the class was never seen).
   ClassCounts counts(int cls) const;
@@ -95,6 +111,27 @@ class Collector {
   /// Tardiness quantiles for a class; `enabled` is false when histograms
   /// were not enabled or the class was never seen.
   TardinessProfile tardiness_profile(int cls) const;
+
+  // --- log-bucketed distribution telemetry --------------------------------
+  /// Turns on per-class *and per-node* log-bucketed response/tardiness
+  /// histograms (P50..P99.9 via metrics::summarize).  Call before the run;
+  /// zero cost when off (one branch per record).
+  void enable_distributions();
+  bool distributions_enabled() const noexcept { return distributions_on_; }
+
+  /// Classes / nodes with at least one recorded distribution sample.
+  std::vector<int> distribution_classes() const;
+  std::vector<int> distribution_nodes() const;
+
+  /// Distribution pair for a class / node; nullptr when distributions are
+  /// off or nothing was recorded there.
+  const DistributionSet* class_distributions(int cls) const;
+  const DistributionSet* node_distributions(int node) const;
+
+  /// Merges another collector's distributions into this one (replication
+  /// aggregation; the counting statistics are aggregated by Report
+  /// instead).  Requires both collectors to have distributions enabled.
+  void merge_distributions(const Collector& other);
 
   /// All classes seen, ascending.
   std::vector<int> classes() const;
@@ -124,6 +161,9 @@ class Collector {
   double hist_max_ = 50.0;
   std::size_t hist_buckets_ = 500;
   std::map<int, util::Histogram> tardiness_hist_;
+  bool distributions_on_ = false;
+  std::map<int, DistributionSet> class_dists_;
+  std::map<int, DistributionSet> node_dists_;
 };
 
 }  // namespace sda::metrics

@@ -1,0 +1,118 @@
+#include "src/metrics/json_writer.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace sda::metrics {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::comma_for_value() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // the key already wrote its comma
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) os_ << ',';
+    has_elements_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma_for_value();
+  os_ << '{';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  has_elements_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma_for_value();
+  os_ << '[';
+  has_elements_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  has_elements_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& k) {
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) os_ << ',';
+    has_elements_.back() = true;
+  }
+  os_ << '"' << json_escape(k) << "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma_for_value();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  os_.write(buf, res.ptr - buf);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma_for_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma_for_value();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  comma_for_value();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  comma_for_value();
+  os_ << '"' << json_escape(v) << '"';
+  return *this;
+}
+
+}  // namespace sda::metrics

@@ -1,0 +1,57 @@
+// Minimal streaming JSON writer shared by the telemetry exporters.
+//
+// No DOM, no allocation beyond the nesting stack: values stream straight
+// to the ostream with commas managed per nesting level.  Doubles render in
+// std::to_chars shortest round-trip form (never locale-dependent, never
+// "1,5"); non-finite values become null, which every checker downstream
+// treats as "absent".
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sda::metrics {
+
+/// Escapes a string body per RFC 8259 (quotes not included).
+std::string json_escape(const std::string& s);
+
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& os) : os_(os) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; the next value/begin_* call is its value.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  /// key + value in one call.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void comma_for_value();
+
+  std::ostream& os_;
+  /// One frame per open container: true once the first element was
+  /// written (the next element needs a leading comma).
+  std::vector<bool> has_elements_;
+  bool pending_key_ = false;
+};
+
+}  // namespace sda::metrics

@@ -1,0 +1,105 @@
+#include "src/metrics/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sda::metrics {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           int buckets_per_octave)
+    : min_value_(min_value), max_value_(max_value),
+      per_octave_(buckets_per_octave) {
+  if (!(min_value > 0.0) || !(max_value > min_value) ||
+      buckets_per_octave < 1) {
+    throw std::invalid_argument(
+        "LogHistogram: need 0 < min_value < max_value, buckets_per_octave "
+        ">= 1");
+  }
+  inv_log_gamma_ =
+      static_cast<double>(per_octave_) / std::log(2.0);
+  const std::size_t log_buckets = static_cast<std::size_t>(
+      std::ceil(std::log(max_value_ / min_value_) * inv_log_gamma_));
+  // [zero][log_buckets...][overflow]
+  counts_.assign(log_buckets + 2, 0);
+}
+
+std::size_t LogHistogram::bucket_index(double x) const noexcept {
+  if (!(x >= min_value_)) return 0;  // zero bucket (also catches NaN)
+  if (x >= max_value_) return counts_.size() - 1;
+  const auto i =
+      static_cast<std::size_t>(std::log(x / min_value_) * inv_log_gamma_);
+  // Rounding at an exact bucket edge can land one past the last log bucket.
+  return std::min(i + 1, counts_.size() - 2);
+}
+
+double LogHistogram::bucket_lo(std::size_t i) const noexcept {
+  if (i == 0) return 0.0;
+  if (i == counts_.size() - 1) return max_value_;
+  return min_value_ *
+         std::exp(static_cast<double>(i - 1) / inv_log_gamma_);
+}
+
+double LogHistogram::bucket_hi(std::size_t i) const noexcept {
+  if (i == 0) return min_value_;
+  if (i == counts_.size() - 1) return max_value_;
+  return min_value_ * std::exp(static_cast<double>(i) / inv_log_gamma_);
+}
+
+void LogHistogram::add(double x, std::uint64_t count) noexcept {
+  counts_[bucket_index(x)] += count;
+  total_ += count;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (!same_geometry(other)) {
+    throw std::invalid_argument("LogHistogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+}
+
+double LogHistogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total_);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i == 0) return 0.0;  // zero bucket reports its floor
+      const double frac =
+          (target - cum) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) + frac * (bucket_hi(i) - bucket_lo(i));
+    }
+    cum = next;
+  }
+  return max_value_;
+}
+
+double LogHistogram::approximate_mean() const noexcept {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 1; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    sum += static_cast<double>(counts_[i]) *
+           0.5 * (bucket_lo(i) + bucket_hi(i));
+  }
+  return sum / static_cast<double>(total_);
+}
+
+Quantiles summarize(const LogHistogram& h) noexcept {
+  Quantiles q;
+  q.count = h.total();
+  q.mean = h.approximate_mean();
+  q.p50 = h.quantile(0.50);
+  q.p90 = h.quantile(0.90);
+  q.p99 = h.quantile(0.99);
+  q.p999 = h.quantile(0.999);
+  return q;
+}
+
+}  // namespace sda::metrics

@@ -1,0 +1,90 @@
+// Log-bucketed latency histogram for tail-quantile telemetry.
+//
+// The paper's figures are aggregate miss-rate curves; diagnosing *why* a
+// strategy wins under load needs the distribution's tail (P99/P99.9 of
+// tardiness and response time), which a fixed-width histogram cannot cover
+// without either losing resolution near zero or truncating the tail.
+// LogHistogram uses geometrically spaced buckets — constant *relative*
+// error (~'precision' sub-buckets per octave, HdrHistogram-style) — so one
+// structure spans microseconds to full-run horizons.
+//
+// Buckets are addressed purely arithmetically from the value, so two
+// histograms with the same geometry merge bucket-by-bucket: replications
+// aggregate exactly (same totals as a single pass over all samples).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sda::metrics {
+
+class LogHistogram {
+ public:
+  /// Geometry: values in [0, min_value) land in the zero bucket; values in
+  /// [min_value, max_value) map to log-spaced buckets with
+  /// @p buckets_per_octave sub-buckets per doubling; >= max_value goes to
+  /// the overflow bucket.  Requires 0 < min_value < max_value and
+  /// buckets_per_octave >= 1.
+  explicit LogHistogram(double min_value = 1e-3, double max_value = 1e6,
+                        int buckets_per_octave = 8);
+
+  void add(double x) noexcept { add(x, 1); }
+  /// Bulk add (merging pre-counted data).
+  void add(double x, std::uint64_t count) noexcept;
+
+  /// Bucket-wise merge.  Requires identical geometry (throws
+  /// std::invalid_argument otherwise).
+  void merge(const LogHistogram& other);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t zero_count() const noexcept { return counts_.empty() ? 0 : counts_[0]; }
+
+  double min_value() const noexcept { return min_value_; }
+  double max_value() const noexcept { return max_value_; }
+  int buckets_per_octave() const noexcept { return per_octave_; }
+
+  /// Approximate quantile (q in [0, 1]) with linear interpolation inside
+  /// the containing bucket.  0 when empty.
+  double quantile(double q) const noexcept;
+
+  /// Sample mean approximated from bucket midpoints (exact for the zero
+  /// bucket).  0 when empty.
+  double approximate_mean() const noexcept;
+
+  /// True when the two histograms can merge().
+  bool same_geometry(const LogHistogram& other) const noexcept {
+    return min_value_ == other.min_value_ && max_value_ == other.max_value_ &&
+           per_octave_ == other.per_octave_;
+  }
+
+ private:
+  std::size_t bucket_index(double x) const noexcept;
+  /// Inclusive lower / exclusive upper value edges of bucket @p i.
+  double bucket_lo(std::size_t i) const noexcept;
+  double bucket_hi(std::size_t i) const noexcept;
+
+  double min_value_;
+  double max_value_;
+  int per_octave_;
+  double inv_log_gamma_;  ///< 1 / ln(2^(1/per_octave))
+  /// counts_[0] = zero bucket, counts_[1..n] = log buckets, counts_.back()
+  /// = overflow.
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// The quantile set every telemetry surface reports.
+struct Quantiles {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+};
+
+/// Summarizes a histogram into the standard quantile set.
+Quantiles summarize(const LogHistogram& h) noexcept;
+
+}  // namespace sda::metrics

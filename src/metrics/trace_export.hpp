@@ -1,0 +1,36 @@
+// Chrome trace_event exporter for metrics::Tracer.
+//
+// Renders a captured lifecycle trace in the Chrome/Perfetto trace_event
+// JSON format (https://ui.perfetto.dev opens the file directly): one named
+// track (tid) per node carrying "X" service slices reconstructed from
+// start/terminal event pairs plus "i" instants for submissions, and a
+// final "global runs" track carrying one instant per global-run milestone
+// with flow arrows ("s"/"f", id = run id) connecting a run's submission to
+// its completion through its subtask slices ("t" steps).
+//
+// The exporter is strictly post-hoc: it reads the Tracer's record ring and
+// writes JSON.  It never touches the simulation, so attaching it cannot
+// change a determinism fingerprint.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "src/metrics/trace.hpp"
+
+namespace sda::metrics {
+
+/// Writes the whole trace as a Chrome trace_event JSON document.
+/// @p node_count is the number of node tracks to declare (compute nodes
+/// plus links, i.e. k + link_count); the global-run track lands at
+/// tid == node_count.  Sim time units render as milliseconds (ts is in
+/// microseconds, so ts = time * 1000).
+void write_chrome_trace(const Tracer& tracer, int node_count,
+                        std::ostream& os);
+
+/// Same, to a file.  Throws std::runtime_error when the file cannot be
+/// opened.
+void write_chrome_trace_file(const Tracer& tracer, int node_count,
+                             const std::string& path);
+
+}  // namespace sda::metrics

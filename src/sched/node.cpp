@@ -34,6 +34,15 @@ void Node::submit(TaskPtr t) {
   t->submitted_at = engine_.now();
   t->remaining = t->attrs.exec_time;
   note_population_change(+1);
+  ++submissions_;
+  // +1: the submitted task is about to join the ready queue (or the
+  // server), so count it in the depth observed at this instant.
+  const std::size_t depth = scheduler_->size() + 1;
+  if (depth > queue_high_water_) queue_high_water_ = depth;
+  if ((submissions_ & 63) == 0) {  // the oracle's deterministic cadence
+    ++depth_samples_;
+    depth_sample_sum_ += static_cast<double>(depth);
+  }
   notify(Event::kSubmitted, *t);
 
   if (config_.abort_policy == LocalAbortPolicy::kAbortOnVirtualDeadline &&
@@ -167,6 +176,7 @@ void Node::arm_abort_timer(const TaskPtr& t) {
   // Capture a weak_ptr: the timer must not keep an otherwise-finished task
   // alive, and must do nothing if the task already left the node.
   std::weak_ptr<task::SimpleTask> weak = t;
+  ++abort_timers_armed_;
   abort_timers_[t->id] =
       engine_.at(t->attrs.virtual_deadline, [this, weak] {
         TaskPtr locked = weak.lock();
@@ -184,6 +194,7 @@ void Node::disarm_abort_timer(const task::SimpleTask& t) {
   if (it == abort_timers_.end()) return;
   engine_.cancel(it->second);
   abort_timers_.erase(it);
+  ++abort_timers_cancelled_;
 }
 
 void Node::local_abort(const TaskPtr& t) {
@@ -237,6 +248,31 @@ bool Node::abort(const task::SimpleTask& t) {
   ++aborted_externally_;
   notify(Event::kAborted, *owned);
   return true;
+}
+
+Node::PerfCounters Node::perf_counters() const noexcept {
+  PerfCounters pc;
+  pc.node = config_.index;
+  pc.busy_time = busy_time();
+  const sim::Time now = engine_.now();
+  pc.idle_time = now > pc.busy_time ? now - pc.busy_time : 0.0;
+  pc.utilization = utilization();
+  pc.submissions = submissions_;
+  pc.completed = completed_;
+  pc.aborted_locally = aborted_locally_;
+  pc.aborted_externally = aborted_externally_;
+  pc.preemptions = preemptions_;
+  pc.failed = failed_;
+  pc.crashes = crashes_;
+  pc.queue_high_water = queue_high_water_;
+  pc.abort_timers_armed = abort_timers_armed_;
+  pc.abort_timers_cancelled = abort_timers_cancelled_;
+  pc.queue_depth_samples = depth_samples_;
+  pc.queue_depth_mean =
+      depth_samples_ > 0
+          ? depth_sample_sum_ / static_cast<double>(depth_samples_)
+          : 0.0;
+  return pc;
 }
 
 sim::Time Node::busy_time() const noexcept {

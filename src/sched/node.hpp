@@ -126,6 +126,40 @@ class Node {
   void recover();
 
   // --- statistics -------------------------------------------------------
+  /// Always-on lightweight perf counters, snapshotted into RunResult at
+  /// the end of every replication.  All fields are O(1) increments or max
+  /// updates on paths the node already touches — no events are scheduled
+  /// and no RNG is drawn, so counters can never perturb a run's
+  /// determinism fingerprint.  Queue-depth mean is *sampled* on the same
+  /// deterministic cadence as the SDA_VALIDATE oracle (every 64th
+  /// submission) rather than time-weighted, keeping the hot path to one
+  /// mask-and-branch.
+  struct PerfCounters {
+    int node = -1;
+    double busy_time = 0.0;
+    double idle_time = 0.0;   ///< elapsed - busy at snapshot time
+    double utilization = 0.0;
+    std::uint64_t submissions = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t aborted_locally = 0;
+    std::uint64_t aborted_externally = 0;
+    std::uint64_t preemptions = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t crashes = 0;
+    std::size_t queue_high_water = 0;  ///< max ready-queue length observed
+    /// Abort-timer churn: timers armed / cancelled before firing.  High
+    /// churn means the local-abort policy is mostly paying bookkeeping for
+    /// tasks that finish in time.
+    std::uint64_t abort_timers_armed = 0;
+    std::uint64_t abort_timers_cancelled = 0;
+    /// Sampled queue-depth statistics (every 64th submission).
+    std::uint64_t queue_depth_samples = 0;
+    double queue_depth_mean = 0.0;
+  };
+
+  /// Snapshot of the node's perf counters at the current simulation time.
+  PerfCounters perf_counters() const noexcept;
+
   std::uint64_t completed() const noexcept { return completed_; }
   std::uint64_t aborted_locally() const noexcept { return aborted_locally_; }
   std::uint64_t aborted_externally() const noexcept {
@@ -186,6 +220,14 @@ class Node {
   std::uint64_t failed_ = 0;
   std::uint64_t crashes_ = 0;
   sim::Time busy_accum_ = 0.0;
+
+  // Perf-counter bookkeeping (see PerfCounters).
+  std::uint64_t submissions_ = 0;
+  std::size_t queue_high_water_ = 0;
+  std::uint64_t abort_timers_armed_ = 0;
+  std::uint64_t abort_timers_cancelled_ = 0;
+  std::uint64_t depth_samples_ = 0;
+  double depth_sample_sum_ = 0.0;
 
   // Time-weighted population accounting for Little's law.
   int population_ = 0;

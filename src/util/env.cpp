@@ -1,8 +1,11 @@
 #include "src/util/env.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <sstream>
 
 extern "C" char** environ;
@@ -70,17 +73,61 @@ std::vector<std::string> unknown_sda_env() {
   return out;
 }
 
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  auto low = [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  };
+  const std::size_t n = a.size(), m = b.size();
+  // Three rolling rows are enough for the transposition lookback.
+  std::vector<std::size_t> prev2(m + 1), prev(m + 1), cur(m + 1);
+  for (std::size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= n; ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= m; ++j) {
+      const bool eq = low(a[i - 1]) == low(b[j - 1]);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + (eq ? 0 : 1)});
+      if (i > 1 && j > 1 && low(a[i - 1]) == low(b[j - 2]) &&
+          low(a[i - 2]) == low(b[j - 1])) {
+        cur[j] = std::min(cur[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::string closest_match(const std::string& name,
+                          const std::vector<std::string>& candidates) {
+  const std::size_t budget = std::max<std::size_t>(1, name.size() / 3);
+  std::string best;
+  std::size_t best_d = budget + 1;
+  for (const std::string& c : candidates) {
+    const std::size_t d = edit_distance(name, c);
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best_d <= budget ? best : std::string();
+}
+
 void warn_unknown_sda_env() noexcept {
   static bool warned = false;
   if (warned) return;
   warned = true;
   try {
+    const std::vector<std::string> known(std::begin(kKnownSdaVars),
+                                         std::end(kKnownSdaVars));
     for (const std::string& name : unknown_sda_env()) {
+      const std::string suggestion = closest_match(name, known);
       std::fprintf(stderr,
                    "WARNING: unknown environment variable %s (known knobs: "
                    "SDA_SIM_TIME SDA_REPS SDA_WARMUP SDA_SEED SDA_FULL "
-                   "SDA_THREADS SDA_VALIDATE) — ignored\n",
-                   name.c_str());
+                   "SDA_THREADS SDA_VALIDATE)%s%s — ignored\n",
+                   name.c_str(),
+                   suggestion.empty() ? "" : "; did you mean ",
+                   suggestion.c_str());
     }
   } catch (...) {
     // Allocation failure while warning must not break the bench itself.

@@ -59,4 +59,15 @@ std::vector<std::string> unknown_sda_env();
 /// process, so callers may invoke it from every entry point.
 void warn_unknown_sda_env() noexcept;
 
+/// Case-insensitive Damerau-Levenshtein distance between two short names
+/// (insert/delete/substitute/transpose, all cost 1).
+std::size_t edit_distance(const std::string& a, const std::string& b);
+
+/// The candidate closest to @p name when it is close enough to be a likely
+/// typo (distance <= max(1, name.size()/3)); empty string otherwise.
+/// Shared by the SDA_* env warning and ExperimentConfig::set's unknown-key
+/// diagnostics.
+std::string closest_match(const std::string& name,
+                          const std::vector<std::string>& candidates);
+
 }  // namespace sda::util

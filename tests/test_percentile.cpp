@@ -1,0 +1,177 @@
+// LogHistogram geometry, quantiles, exact merges, and the per-node perf
+// counters + distribution telemetry they feed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/percentile.hpp"
+
+namespace {
+
+using namespace sda;
+using metrics::LogHistogram;
+using metrics::Quantiles;
+
+TEST(LogHistogram, ZeroAndOverflowBuckets) {
+  LogHistogram h(1e-3, 1e3, 8);
+  h.add(0.0);
+  h.add(1e-4);   // below min_value -> zero bucket
+  h.add(-5.0);   // negative clamps into the zero bucket too
+  h.add(1e9);    // above max_value -> overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.zero_count(), 3u);
+  // The overflow bucket's quantile reports the max_value edge, not 1e9.
+  EXPECT_GE(h.quantile(0.999), 1e3 * 0.5);
+}
+
+TEST(LogHistogram, QuantilesWithinRelativeError) {
+  // 8 buckets/octave => bucket width factor 2^(1/8) ~ 9%: quantiles land
+  // within one bucket of the exact value.
+  LogHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i));
+  const double p50 = h.quantile(0.50);
+  const double p99 = h.quantile(0.99);
+  EXPECT_NEAR(p50, 500.0, 500.0 * 0.10);
+  EXPECT_NEAR(p99, 990.0, 990.0 * 0.10);
+  EXPECT_LE(h.quantile(0.0), h.quantile(1.0));
+}
+
+TEST(LogHistogram, ApproximateMean) {
+  LogHistogram h;
+  for (int i = 0; i < 100; ++i) h.add(10.0);
+  EXPECT_NEAR(h.approximate_mean(), 10.0, 10.0 * 0.10);
+}
+
+TEST(LogHistogram, MergeMatchesSinglePass) {
+  LogHistogram a, b, all;
+  for (int i = 1; i < 500; ++i) {
+    const double x = 0.01 * i * i;
+    ((i % 2) ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), all.total());
+  // Bucket-wise merge is exact: identical quantiles, not just close ones.
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, MergeRejectsGeometryMismatch) {
+  LogHistogram a(1e-3, 1e6, 8);
+  LogHistogram b(1e-3, 1e6, 4);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(LogHistogram, SummarizeEmpty) {
+  const Quantiles q = metrics::summarize(LogHistogram{});
+  EXPECT_EQ(q.count, 0u);
+  EXPECT_EQ(q.p999, 0.0);
+}
+
+// --- per-node perf counters ------------------------------------------------
+
+exp::ExperimentConfig small_config() {
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.sim_time = 3000.0;
+  c.replications = 1;
+  return c;
+}
+
+TEST(PerfCounters, PopulatedAndInternallyConsistent) {
+  const exp::ExperimentConfig c = small_config();
+  const exp::RunResult r = exp::run_once(c, 42);
+  ASSERT_EQ(r.node_counters.size(), static_cast<std::size_t>(c.k));
+  for (const auto& pc : r.node_counters) {
+    EXPECT_GE(pc.node, 0);
+    EXPECT_GT(pc.submissions, 0u);
+    EXPECT_LE(pc.completed, pc.submissions);
+    EXPECT_GE(pc.utilization, 0.0);
+    EXPECT_LE(pc.utilization, 1.0);
+    EXPECT_NEAR(pc.busy_time + pc.idle_time, c.sim_time, 1e-6);
+    EXPECT_GE(pc.queue_high_water, 1u);
+    // Depth samples run on the every-64th-submission cadence.
+    EXPECT_EQ(pc.queue_depth_samples, pc.submissions / 64);
+    if (pc.queue_depth_samples > 0) {
+      EXPECT_GE(pc.queue_depth_mean, 1.0);  // depth includes the new arrival
+      EXPECT_LE(pc.queue_depth_mean,
+                static_cast<double>(pc.queue_high_water));
+    }
+  }
+}
+
+TEST(PerfCounters, AbortTimerChurnTracked) {
+  exp::ExperimentConfig c = small_config();
+  c.local_abort = sched::LocalAbortPolicy::kAbortOnVirtualDeadline;
+  c.load = 0.9;  // force tardiness so timers actually fire
+  const exp::RunResult r = exp::run_once(c, 7);
+  std::uint64_t armed = 0, aborted = 0;
+  for (const auto& pc : r.node_counters) {
+    armed += pc.abort_timers_armed;
+    aborted += pc.aborted_locally;
+  }
+  EXPECT_GT(armed, 0u);
+  EXPECT_GT(aborted, 0u);
+}
+
+// --- collector distribution telemetry --------------------------------------
+
+TEST(Distributions, PerClassAndPerNode) {
+  exp::ExperimentConfig c = small_config();
+  c.distributions = true;
+  const exp::RunResult r = exp::run_once(c, 42);
+  const metrics::Collector& col = r.collector;
+  ASSERT_TRUE(col.distributions_enabled());
+  EXPECT_FALSE(col.distribution_classes().empty());
+  // Every compute node executed work, so every node has a distribution.
+  EXPECT_EQ(col.distribution_nodes().size(), static_cast<std::size_t>(c.k));
+  for (const int cls : col.distribution_classes()) {
+    const metrics::DistributionSet* d = col.class_distributions(cls);
+    ASSERT_NE(d, nullptr);
+    EXPECT_GT(d->tardiness.total(), 0u);
+  }
+  const metrics::DistributionSet* n0 = col.node_distributions(0);
+  ASSERT_NE(n0, nullptr);
+  const metrics::Quantiles q = metrics::summarize(n0->response);
+  EXPECT_GT(q.count, 0u);
+  EXPECT_GT(q.p999, 0.0);
+  EXPECT_LE(q.p50, q.p999);
+}
+
+TEST(Distributions, MergeAcrossReplications) {
+  exp::ExperimentConfig c = small_config();
+  c.distributions = true;
+  const exp::RunResult r1 = exp::run_once(c, exp::replication_seed(c.seed, 0));
+  const exp::RunResult r2 = exp::run_once(c, exp::replication_seed(c.seed, 1));
+  metrics::Collector merged;
+  merged.enable_distributions();
+  merged.merge_distributions(r1.collector);
+  merged.merge_distributions(r2.collector);
+  const auto* m = merged.class_distributions(metrics::kLocalClass);
+  const auto* a = r1.collector.class_distributions(metrics::kLocalClass);
+  const auto* b = r2.collector.class_distributions(metrics::kLocalClass);
+  ASSERT_NE(m, nullptr);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(m->tardiness.total(), a->tardiness.total() + b->tardiness.total());
+}
+
+TEST(Distributions, MergeRequiresEnabled) {
+  metrics::Collector off;
+  metrics::Collector on;
+  on.enable_distributions();
+  EXPECT_THROW(on.merge_distributions(off), std::logic_error);
+  EXPECT_THROW(off.merge_distributions(on), std::logic_error);
+}
+
+TEST(Distributions, OffByDefaultAndZeroFootprint) {
+  const exp::ExperimentConfig c = small_config();
+  const exp::RunResult r = exp::run_once(c, 42);
+  EXPECT_FALSE(r.collector.distributions_enabled());
+  EXPECT_EQ(r.collector.class_distributions(metrics::kLocalClass), nullptr);
+}
+
+}  // namespace

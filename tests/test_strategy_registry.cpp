@@ -1,0 +1,135 @@
+// The self-registering strategy registry: built-ins, prefix families,
+// duplicate rejection, error reporting, and end-to-end reachability of a
+// user-registered strategy through the config layer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "src/core/strategy.hpp"
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+
+namespace {
+
+using namespace sda;
+
+TEST(StrategyRegistry, BuiltInsListedInRegistrationOrder) {
+  const auto psp = core::list_psp_strategies();
+  ASSERT_GE(psp.size(), 4u);
+  EXPECT_EQ(psp[0], "ud");
+  EXPECT_EQ(psp[1], "div-<x>");
+  EXPECT_EQ(psp[2], "gf");
+  EXPECT_EQ(psp[3], "gf-<delta>");
+
+  const auto ssp = core::list_ssp_strategies();
+  ASSERT_GE(ssp.size(), 4u);
+  EXPECT_EQ(ssp[0], "ud");
+  EXPECT_EQ(ssp[1], "ed");
+  EXPECT_EQ(ssp[2], "eqs");
+  EXPECT_EQ(ssp[3], "eqf");
+}
+
+TEST(StrategyRegistry, BuiltInLookupsStillWork) {
+  EXPECT_EQ(core::make_psp_strategy("ud")->name(), "UD");
+  EXPECT_EQ(core::make_psp_strategy("DIV-1.5")->name(), "DIV-1.5");
+  EXPECT_NE(core::make_psp_strategy("gf"), nullptr);
+  EXPECT_NE(core::make_psp_strategy("gf-0.125"), nullptr);
+  EXPECT_EQ(core::make_ssp_strategy("EQF")->name(), "EQF");
+}
+
+TEST(StrategyRegistry, UnknownAndMalformedNamesThrow) {
+  EXPECT_THROW(core::make_psp_strategy(""), std::invalid_argument);
+  EXPECT_THROW(core::make_psp_strategy("first"), std::invalid_argument);
+  EXPECT_THROW(core::make_psp_strategy("div"), std::invalid_argument);
+  EXPECT_THROW(core::make_psp_strategy("div-"), std::invalid_argument);
+  EXPECT_THROW(core::make_psp_strategy("div-x"), std::invalid_argument);
+  EXPECT_THROW(core::make_ssp_strategy("edd"), std::invalid_argument);
+}
+
+TEST(StrategyRegistry, UnknownNameErrorListsAndSuggests) {
+  try {
+    core::make_ssp_strategy("eqff");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown SSP strategy"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("eqs"), std::string::npos) << msg;  // the listing
+    EXPECT_NE(msg.find("did you mean 'eqf'"), std::string::npos) << msg;
+  }
+}
+
+TEST(StrategyRegistry, DuplicateRegistrationRejected) {
+  EXPECT_THROW(
+      core::register_psp("ud",
+                         [](const std::string&) -> std::unique_ptr<core::PspStrategy> {
+                           return nullptr;
+                         }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::register_ssp("EQF",  // duplicate detection is case-insensitive
+                         [](const std::string&) -> std::unique_ptr<core::SspStrategy> {
+                           return nullptr;
+                         }),
+      std::invalid_argument);
+  EXPECT_THROW(
+      core::register_psp("",
+                         [](const std::string&) -> std::unique_ptr<core::PspStrategy> {
+                           return nullptr;
+                         }),
+      std::invalid_argument);
+}
+
+/// A trivial custom strategy used for the registration tests below.
+class HalfAllowance final : public core::PspStrategy {
+ public:
+  core::Time assign(const core::PspContext& ctx, int, core::Time) const override {
+    return ctx.now + (ctx.deadline - ctx.now) / 2.0;
+  }
+  std::string name() const override { return "HalfAllowance"; }
+};
+
+TEST(StrategyRegistry, CustomStrategyReachableEverywhere) {
+  core::register_psp("half",
+                     [](const std::string&) -> std::unique_ptr<core::PspStrategy> {
+                       return std::make_unique<HalfAllowance>();
+                     });
+
+  // Factory lookup, case-insensitive.
+  EXPECT_EQ(core::make_psp_strategy("half")->name(), "HalfAllowance");
+  EXPECT_EQ(core::make_psp_strategy("HALF")->name(), "HalfAllowance");
+
+  // Listed after the built-ins.
+  const auto names = core::list_psp_strategies();
+  EXPECT_NE(std::find(names.begin(), names.end(), "half"), names.end());
+
+  // And a config using it passes validation and runs — the registry is the
+  // single name-resolution point for the whole experiment layer.
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.set("psp", "half");
+  c.sim_time = 500.0;
+  c.replications = 1;
+  EXPECT_TRUE(c.validate().empty());
+  const exp::RunResult r = exp::run_once(c, 3);
+  EXPECT_GT(r.globals_generated, 0u);
+}
+
+TEST(StrategyRegistry, CustomPrefixFamilyParsesParameter) {
+  core::register_psp(
+      "half-",
+      [](const std::string& full) -> std::unique_ptr<core::PspStrategy> {
+        // Reject non-numeric parameters by returning nullptr: the registry
+        // reports the name as unknown.
+        for (const char ch : full.substr(5)) {
+          if ((ch < '0' || ch > '9') && ch != '.') return nullptr;
+        }
+        return std::make_unique<HalfAllowance>();
+      },
+      core::NameMatch::kPrefix, "half-<x>");
+  EXPECT_NE(core::make_psp_strategy("half-2"), nullptr);
+  EXPECT_THROW(core::make_psp_strategy("half-oops"), std::invalid_argument);
+}
+
+}  // namespace

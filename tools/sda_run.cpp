@@ -1,0 +1,266 @@
+// sda_run — the unified experiment front door.
+//
+//   sda_run psp=gf ssp=eqf load=0.9 reps=4 --json out.jsonl --trace run.trace.json
+//
+// Takes the Table-1 baseline config, applies key=value overrides through
+// the ExperimentConfig kv API (every public field is a key; --list-keys
+// prints them), validates, runs the replications, and prints a per-class
+// summary table.  Optional exporters:
+//
+//   --json <path|->   JSON lines: one "sda.run.v1" record per replication
+//                     followed by one "sda.report.v1" aggregate record
+//                     (schema documented in EXPERIMENTS.md).
+//   --trace <path>    Chrome trace_event JSON of replication 0 — open it
+//                     in https://ui.perfetto.dev (one track per node).
+//
+// Replications run sequentially through exp::run_once with the exact seed
+// schedule of exp::run_experiment (replication_seed), so the determinism
+// fingerprints printed here are byte-identical to the library path — with
+// or without exporters attached, since exporting is strictly post-hoc.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/core/strategy.hpp"
+#include "src/exp/config.hpp"
+#include "src/exp/json_export.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/percentile.hpp"
+#include "src/metrics/report.hpp"
+#include "src/metrics/task_class.hpp"
+#include "src/metrics/trace_export.hpp"
+#include "src/util/env.hpp"
+#include "src/util/table.hpp"
+
+namespace {
+
+using namespace sda;
+
+int usage(const char* argv0, int code) {
+  std::fprintf(
+      stderr,
+      "usage: %s [key=value ...] [options]\n"
+      "\n"
+      "Runs one experiment (Table-1 baseline unless overridden) and prints\n"
+      "per-class miss rates with 95%% CIs.\n"
+      "\n"
+      "  key=value          override a config field, e.g. psp=gf load=0.9\n"
+      "                     (reps is shorthand for replications)\n"
+      "  --json <path|->    write JSON-lines results (sda.run.v1 per\n"
+      "                     replication + sda.report.v1 aggregate)\n"
+      "  --trace <path>     write a Chrome/Perfetto trace of replication 0\n"
+      "  --list-keys        print every config key with its current value\n"
+      "  --list-strategies  print registered PSP and SSP strategies\n"
+      "  --validate-only    check the config and exit (0 = valid)\n"
+      "  -h, --help         this text\n",
+      argv0);
+  return code;
+}
+
+void print_summary(const exp::ExperimentConfig& config,
+                   const metrics::Report& report,
+                   const std::vector<std::uint64_t>& fingerprints,
+                   const std::vector<exp::RunResult>& results,
+                   const metrics::Collector* merged) {
+  std::printf("%s\n", config.describe().c_str());
+  std::printf("replications: %zu  sim_time: %g  seed: %llu\n\n",
+              report.replications(), config.sim_time,
+              static_cast<unsigned long long>(config.seed));
+
+  util::Table table({"class", "finished", "MD", "missed work"});
+  for (const int cls : report.classes()) {
+    const metrics::ClassSummary s = report.summary(cls);
+    table.add_row({metrics::default_class_name(cls),
+                   std::to_string(s.finished_total),
+                   util::fmt_pct_ci(s.miss_rate.mean, s.miss_rate.half_width),
+                   util::fmt_pct_ci(s.missed_work_rate.mean,
+                                    s.missed_work_rate.half_width)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto mw = report.overall_missed_work();
+  std::printf("overall missed work: %s\n",
+              util::fmt_pct_ci(mw.mean, mw.half_width).c_str());
+
+  if (!results.empty()) {
+    double busy = 0.0, total = 0.0;
+    std::size_t high_water = 0;
+    for (const auto& pc : results.front().node_counters) {
+      busy += pc.busy_time;
+      total += pc.busy_time + pc.idle_time;
+      if (pc.queue_high_water > high_water) high_water = pc.queue_high_water;
+    }
+    std::printf("rep 0: utilization %.3f, queue high-water %zu, "
+                "%llu events\n",
+                total > 0.0 ? busy / total : 0.0, high_water,
+                static_cast<unsigned long long>(results.front().events_fired));
+  }
+
+  if (merged != nullptr) {
+    std::printf("\ntardiness quantiles (all replications merged):\n");
+    util::Table dist({"class", "count", "p50", "p90", "p99", "p99.9"});
+    for (const int cls : merged->distribution_classes()) {
+      const metrics::DistributionSet* d = merged->class_distributions(cls);
+      if (d == nullptr) continue;
+      const metrics::Quantiles q = metrics::summarize(d->tardiness);
+      dist.add_row({metrics::default_class_name(cls), std::to_string(q.count),
+                    util::fmt(q.p50, 3), util::fmt(q.p90, 3),
+                    util::fmt(q.p99, 3), util::fmt(q.p999, 3)});
+    }
+    std::printf("%s\n", dist.render().c_str());
+  }
+
+  std::printf("\nfingerprints:");
+  for (const std::uint64_t fp : fingerprints) {
+    std::printf(" %016llx", static_cast<unsigned long long>(fp));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::warn_unknown_sda_env();
+  exp::ExperimentConfig config = exp::baseline_config();
+
+  std::string json_path;
+  std::string trace_path;
+  bool list_keys = false;
+  bool list_strategies = false;
+  bool validate_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto flag_value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs an argument\n", flag);
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "-h" || arg == "--help") {
+      return usage(argv[0], 0);
+    } else if (arg == "--json") {
+      json_path = flag_value("--json");
+    } else if (arg == "--trace") {
+      trace_path = flag_value("--trace");
+    } else if (arg == "--list-keys") {
+      list_keys = true;
+    } else if (arg == "--list-strategies") {
+      list_strategies = true;
+    } else if (arg == "--validate-only") {
+      validate_only = true;
+    } else {
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos || eq == 0) return usage(argv[0], 64);
+      std::string key = arg.substr(0, eq);
+      if (key == "reps") key = "replications";  // the CLI's one shorthand
+      try {
+        config.set(key, arg.substr(eq + 1));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 64;
+      }
+    }
+  }
+
+  if (list_keys) {
+    for (const auto& [key, value] : config.to_kv()) {
+      std::printf("%-24s %s\n", key.c_str(), value.c_str());
+    }
+    return 0;
+  }
+  if (list_strategies) {
+    std::printf("PSP:");
+    for (const auto& n : core::list_psp_strategies()) std::printf(" %s", n.c_str());
+    std::printf("\nSSP:");
+    for (const auto& n : core::list_ssp_strategies()) std::printf(" %s", n.c_str());
+    std::printf("\n");
+    return 0;
+  }
+
+  const std::vector<std::string> problems = config.validate();
+  if (!problems.empty()) {
+    std::fprintf(stderr, "invalid config:\n");
+    for (const std::string& p : problems) {
+      std::fprintf(stderr, "  - %s\n", p.c_str());
+    }
+    return 64;
+  }
+  if (validate_only) {
+    std::printf("config valid\n");
+    return 0;
+  }
+
+  std::ofstream json_file;
+  std::ostream* json_os = nullptr;
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      json_os = &std::cout;
+    } else {
+      json_file.open(json_path);
+      if (!json_file) {
+        std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+        return 66;
+      }
+      json_os = &json_file;
+    }
+  }
+
+  // Sequential replications with run_experiment's exact seed schedule:
+  // fingerprints match the library path byte for byte.
+  std::vector<exp::RunResult> results;
+  std::vector<std::uint64_t> fingerprints;
+  metrics::Report report;
+  std::unique_ptr<metrics::Collector> merged;
+  metrics::Tracer rep0_trace;  // unbounded: --trace needs the records
+  try {
+    for (int rep = 0; rep < config.replications; ++rep) {
+      const std::uint64_t seed = exp::replication_seed(config.seed, rep);
+      // Capacity 1 keeps memory flat when the records are not needed; the
+      // fingerprint covers evicted events either way.
+      metrics::Tracer small(1);
+      metrics::Tracer* tracer =
+          (rep == 0 && !trace_path.empty()) ? &rep0_trace : &small;
+      results.push_back(exp::run_once(config, seed, tracer));
+      fingerprints.push_back(tracer->fingerprint());
+      report.add_replication(results.back().collector);
+      if (json_os != nullptr) {
+        exp::write_run_json_line(config, rep, seed, fingerprints.back(),
+                                 results.back(), *json_os);
+      }
+      if (config.distributions) {
+        if (merged == nullptr) {
+          merged = std::make_unique<metrics::Collector>();
+          merged->enable_distributions();
+        }
+        merged->merge_distributions(results.back().collector);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "run failed: %s\n", e.what());
+    return 70;
+  }
+
+  if (json_os != nullptr) {
+    exp::write_report_json_line(config, report, fingerprints, merged.get(),
+                                *json_os);
+  }
+  if (!trace_path.empty()) {
+    try {
+      metrics::write_chrome_trace_file(rep0_trace, config.k + config.link_count,
+                                       trace_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 66;
+    }
+  }
+
+  print_summary(config, report, fingerprints, results, merged.get());
+  return 0;
+}
