@@ -4,7 +4,13 @@
 // of regenerating the paper's figures and catch substrate regressions.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <sstream>
+
+#include "src/core/admission.hpp"
 #include "src/core/process_manager.hpp"
+#include "src/exp/serve.hpp"
+#include "src/metrics/percentile.hpp"
 #include "src/core/sda.hpp"
 #include "src/core/strategy.hpp"
 #include "src/exp/config.hpp"
@@ -197,6 +203,82 @@ void BM_ProcessManagerSubmitDrain(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_ProcessManagerSubmitDrain);
+
+void BM_AdmissionDecision(benchmark::State& state) {
+  // The serve path's hot loop: one full admission decision (plan lookup +
+  // feasibility battery + state machine) against a warm ledger, with the
+  // plan cache hitting on repeated tree shapes.  Per-call latency is
+  // tracked through metrics/percentile and exported as counters so the
+  // scorecard can watch tail latency, not just the mean.
+  core::AdmissionConfig ac;
+  ac.node_count = 8;
+  core::AdmissionController controller(ac);
+  std::vector<task::TreePtr> shapes;
+  for (int i = 0; i < 8; ++i) {
+    const int a = i % 8, b = (i + 3) % 8;
+    std::ostringstream notation;
+    notation << "[A@" << a << ":0.4/0.4 || B@" << b << ":0.6/0.6]";
+    shapes.push_back(task::parse_notation(notation.str()));
+  }
+
+  metrics::LogHistogram latency_ns(1.0, 1e9, 8);
+  using Clock = std::chrono::steady_clock;
+  double now = 0.0;
+  std::uint64_t ticket = 1;
+  for (auto _ : state) {
+    const task::TreeNode& tree = *shapes[ticket % shapes.size()];
+    const Clock::time_point t0 = Clock::now();
+    const core::AdmissionOutcome out =
+        controller.decide(tree, now, now + 4.0, ticket);
+    latency_ns.add(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - t0)
+            .count()));
+    benchmark::DoNotOptimize(out.decision);
+    // Retire immediately: steady-state ledger, not an ever-growing one.
+    controller.on_finished(ticket);
+    ++ticket;
+    now += 0.25;
+  }
+  state.SetItemsProcessed(state.iterations());
+  const metrics::Quantiles q = metrics::summarize(latency_ns);
+  state.counters["assign_p50_ns"] = q.p50;
+  state.counters["assign_p99_ns"] = q.p99;
+  state.counters["cache_hits"] =
+      static_cast<double>(controller.cache_stats().hits);
+}
+BENCHMARK(BM_AdmissionDecision);
+
+void BM_ServeStream(benchmark::State& state) {
+  // Sustained admissions/sec through the full --serve front door: parse,
+  // gate, emit JSON decision, for a prebuilt script of repeated-template
+  // submissions with periodic completions.
+  constexpr int kSubs = 512;
+  std::string script;
+  for (int i = 1; i <= kSubs; ++i) {
+    std::ostringstream line;
+    line << "sub id=" << i << " at=" << (0.25 * i)
+         << " deadline=4 tree=[A@" << (i % 8) << ":0.4/0.4 || B@"
+         << ((i + 3) % 8) << ":0.6/0.6]\n";
+    script += line.str();
+    if (i % 4 == 0 && i > 8) {
+      script += "done id=" + std::to_string(i - 8) + "\n";
+    }
+  }
+  exp::ServeOptions opts;
+  opts.admission.node_count = 8;
+
+  std::uint64_t decisions = 0;
+  for (auto _ : state) {
+    std::istringstream in(script);
+    std::ostringstream out;
+    const exp::ServeResult r = exp::serve_stream(in, out, opts);
+    decisions = r.decisions;
+    benchmark::DoNotOptimize(out.str().size());
+  }
+  state.SetItemsProcessed(state.iterations() * kSubs);
+  state.counters["decisions_per_stream"] = static_cast<double>(decisions);
+}
+BENCHMARK(BM_ServeStream);
 
 void BM_WholeReplication(benchmark::State& state) {
   exp::ExperimentConfig c = exp::baseline_config();

@@ -29,6 +29,33 @@ ctest --preset asan-ubsan "$@"
 # under ASan/UBSan at once.
 SDA_VALIDATE=1 ctest --preset asan-ubsan "$@"
 
+# --- admission-control overload soak under ASan ---------------------------
+# The overload paths churn ledgers, the plan cache's LRU list, the retry
+# queue, and retry-timer cancellation — exactly the object lifetimes ASan
+# is for.  Two legs: a sustained 3x bursty overload through the simulator
+# gate, and a serve-mode stream that thrashes queue/pump/flush.
+echo "== admission overload soak (asan) =="
+ASAN_BUILD=build-asan
+"$ASAN_BUILD/tools/sda_run" admission=1 load=3.0 frac_local=0 \
+  preemptive=1 global_burst_factor=4 global_burst_cycle=40 \
+  admission_plan_cache_capacity=8 sim_time=20000 reps=2 > /dev/null
+
+SOAK_INPUT=$(mktemp /tmp/sda_soak.XXXXXX)
+trap 'rm -f "$SOAK_INPUT"' EXIT
+python3 - "$SOAK_INPUT" <<'PY'
+import sys
+with open(sys.argv[1], "w") as f:
+    for i in range(1, 2001):
+        at = 0.05 * i  # far above capacity: constant queue churn
+        f.write(f"sub id={i} at={at:.2f} deadline=3 "
+                f"tree=[A@{i % 4}:0.8/0.8 || B@{(i + 1) % 4}:0.9/0.9]\n")
+        if i % 5 == 0:
+            f.write(f"done id={i - 4}\n")
+PY
+SDA_VALIDATE=1 "$ASAN_BUILD/tools/sda_run" --serve --input "$SOAK_INPUT" \
+  admission_tests=util,ct,sp k=4 > /dev/null
+echo "admission overload soak passed"
+
 # --- ThreadSanitizer pass: pool + determinism tests -----------------------
 # ASan and TSan cannot share a build, so the tsan preset gets its own
 # binary dir.  The test preset filters to the tests that exercise

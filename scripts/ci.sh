@@ -12,6 +12,10 @@
 #      --trace, then: every JSON line parses, schemas are sda.run.v1 /
 #      sda.report.v1, the trace declares one track per node, and the
 #      fingerprints in the report match a second exporter-free run.
+#   5. sda_run --serve smoke — a scripted submission stream through the
+#      admission front door: every line parses as JSON, N submissions get
+#      exactly N sda.admit.v1 decisions plus one summary, zero protocol
+#      errors, and a rerun is byte-identical (decision determinism).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,7 +34,7 @@ echo "=== [3/4] static analysis ==="
 scripts/check_static.sh "$BUILD"
 
 echo ""
-echo "=== [4/4] sda_run smoke + schema check ==="
+echo "=== [4/5] sda_run smoke + schema check ==="
 SMOKE_DIR=$(mktemp -d /tmp/sda_ci.XXXXXX)
 trap 'rm -f "$SMOKE_DIR"/*; rmdir "$SMOKE_DIR"' EXIT
 
@@ -79,6 +83,65 @@ assert [hex(int(f, 16)) for f in with_exp] == \
 
 print("smoke ok: schemas valid, 6+1 trace tracks, fingerprints identical "
       "with and without exporters")
+PY
+
+echo ""
+echo "=== [5/5] sda_run --serve smoke + schema check ==="
+N_SUBS=40
+{
+  echo "# ci serve smoke: repeated shapes, a burst, and completions"
+  for i in $(seq 1 "$N_SUBS"); do
+    at=$(python3 -c "print(0.5 * $i)")
+    echo "sub id=$i at=$at deadline=6 tree=[A@$((i % 6)):1/1 || B@$(((i + 2) % 6)):2/2]"
+    if (( i % 3 == 0 && i > 6 )); then
+      echo "done id=$((i - 6))"
+    fi
+  done
+} > "$SMOKE_DIR/serve_input.txt"
+
+"$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
+  > "$SMOKE_DIR/serve_out.jsonl"
+"$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
+  > "$SMOKE_DIR/serve_out2.jsonl"
+
+SMOKE_DIR="$SMOKE_DIR" N_SUBS="$N_SUBS" python3 - <<'PY'
+import json, os
+
+d = os.environ["SMOKE_DIR"]
+n_subs = int(os.environ["N_SUBS"])
+
+lines = [json.loads(l) for l in open(os.path.join(d, "serve_out.jsonl"))]
+decisions = [l for l in lines if l["schema"] == "sda.admit.v1"]
+summaries = [l for l in lines if l["schema"] == "sda.serve.summary.v1"]
+assert len(lines) == len(decisions) + len(summaries), "unknown schema in output"
+assert len(summaries) == 1, f"expected 1 summary, got {len(summaries)}"
+summary = summaries[0]
+
+# One decision per submission, none lost, none invented, no errors.
+assert summary["submissions"] == n_subs, summary
+assert summary["decisions"] == n_subs, summary
+assert len(decisions) == n_subs, len(decisions)
+assert summary["errors"] == 0, summary
+assert sorted(dec["id"] for dec in decisions) == list(range(1, n_subs + 1))
+for dec in decisions:
+    for key in ("id", "at", "decision", "state", "reason", "pressure"):
+        assert key in dec, f"sda.admit.v1 missing '{key}': {dec}"
+    assert dec["decision"] in ("admit", "admit_degraded", "reject", "shed",
+                               "backpressure"), dec
+    if dec["decision"].startswith("admit"):
+        assert dec.get("leaves"), "admitted decision without a plan"
+resolved = (summary["admitted"] + summary["admitted_degraded"] +
+            summary["rejected"] + summary["shed"] + summary["backpressure"])
+assert resolved == n_subs, summary
+
+# Byte-identical rerun: the decision stream is deterministic.
+a = open(os.path.join(d, "serve_out.jsonl")).read()
+b = open(os.path.join(d, "serve_out2.jsonl")).read()
+assert a == b, "serve output differs between identical runs"
+
+print(f"serve smoke ok: {n_subs} submissions -> {n_subs} decisions "
+      f"({summary['admitted']} admitted, {summary['rejected']} rejected, "
+      f"{summary['shed']} shed), reruns byte-identical")
 PY
 
 echo ""

@@ -11,6 +11,9 @@
 #             the fresh BM_EventQueuePushPop / BM_WholeReplication numbers
 #             against the committed baseline and fail when items/sec
 #             regressed by more than SDA_BENCH_TOLERANCE (default 2%).
+#             Also a correctness gate: fails when the quick scorecard has
+#             more failed checks than the committed baseline records, so
+#             a reproduction regression cannot hide behind a green build.
 #             Used by CI to catch telemetry that leaks into the hot paths
 #             (counters must stay passive O(1) increments).
 #
@@ -114,6 +117,17 @@ if failed:
     sys.exit(1)
 print("overhead guard: within tolerance")
 PY
+
+  echo "== scorecard regression gate (fresh vs $OUT) =="
+  BASE_FAILED=$(OUT="$OUT" python3 -c 'import json, os
+print(json.load(open(os.environ["OUT"])).get("reproduce_all_quick", {}).get("failed_checks", 0))')
+  if (( QUICK_FAILURES > BASE_FAILED )); then
+    echo "ERROR: quick scorecard regressed: ${QUICK_FAILURES} failed" >&2
+    echo "       check(s) vs ${BASE_FAILED} in the committed baseline." >&2
+    echo "       See /tmp/sda_quick.log for the failing claims." >&2
+    exit 1
+  fi
+  echo "scorecard gate: ${QUICK_FAILURES} failed check(s) (baseline ${BASE_FAILED})"
 fi
 
 MICRO_JSON="$MICRO_JSON" QUICK_MS="$QUICK_MS" \
@@ -131,6 +145,17 @@ for b in micro.get("benchmarks", []):
              "cpu_time_ns": b.get("cpu_time")}
     if "items_per_second" in b:
         entry["items_per_second"] = b["items_per_second"]
+    # Custom counters (state.counters[...]) surface as extra numeric
+    # members — e.g. micro_core's assign_p99_ns; keep them all.
+    standard = {
+        "name", "family_index", "per_family_instance_index", "run_name",
+        "run_type", "repetitions", "repetition_index", "threads",
+        "iterations", "real_time", "cpu_time", "time_unit",
+        "items_per_second", "bytes_per_second", "label", "aggregate_name",
+    }
+    for key, value in b.items():
+        if key not in standard and isinstance(value, (int, float)):
+            entry[key] = value
     benchmarks[b["name"]] = entry
 
 ctx = micro.get("context", {})

@@ -1,0 +1,95 @@
+#include "src/core/plan_cache.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "src/task/tree.hpp"
+
+namespace sda::core {
+
+namespace {
+
+void append_u32(std::string& out, std::uint32_t v) {
+  char bytes[sizeof v];
+  std::memcpy(bytes, &v, sizeof v);
+  out.append(bytes, sizeof v);
+}
+
+void append_f64(std::string& out, double v) {
+  const std::uint64_t bits = std::bit_cast<std::uint64_t>(v);
+  char bytes[sizeof bits];
+  std::memcpy(bytes, &bits, sizeof bits);
+  out.append(bytes, sizeof bits);
+}
+
+void serialize(const task::TreeNode& t, std::string& out) {
+  switch (t.kind) {
+    case task::TreeNode::Kind::Leaf:
+      out.push_back('L');
+      append_u32(out, static_cast<std::uint32_t>(t.exec_node));
+      append_f64(out, t.pred_exec);
+      return;
+    case task::TreeNode::Kind::Serial:
+      out.push_back('S');
+      break;
+    case task::TreeNode::Kind::Parallel:
+      out.push_back('P');
+      break;
+  }
+  append_u32(out, static_cast<std::uint32_t>(t.children.size()));
+  for (const auto& child : t.children) serialize(*child, out);
+}
+
+}  // namespace
+
+std::string plan_cache_key(const task::TreeNode& tree, double rel_deadline) {
+  std::string key;
+  // A leaf costs 13 bytes, a composite 5; leaf count bounds both.
+  key.reserve(static_cast<std::size_t>(task::leaf_count(tree)) * 18 + 8);
+  serialize(tree, key);
+  append_f64(key, rel_deadline);
+  return key;
+}
+
+NormalizedPlan compute_normalized_plan(const task::TreeNode& tree,
+                                       double rel_deadline,
+                                       const PspStrategy& psp,
+                                       const SspStrategy& ssp) {
+  const std::vector<LeafAssignment> assignments =
+      plan_assignment(tree, 0.0, rel_deadline, psp, ssp);
+  NormalizedPlan plan;
+  plan.reserve(assignments.size());
+  for (const LeafAssignment& a : assignments) {
+    plan.push_back({a.planned_dispatch, a.virtual_deadline});
+  }
+  return plan;
+}
+
+const NormalizedPlan& PlanCache::lookup_or_compute(const task::TreeNode& tree,
+                                                   double rel_deadline,
+                                                   const PspStrategy& psp,
+                                                   const SspStrategy& ssp,
+                                                   bool* hit) {
+  std::string key = plan_cache_key(tree, rel_deadline);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    ++stats_.hits;
+    if (hit != nullptr) *hit = true;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return lru_.front().second;
+  }
+  ++stats_.misses;
+  if (hit != nullptr) *hit = false;
+  lru_.emplace_front(std::move(key),
+                     compute_normalized_plan(tree, rel_deadline, psp, ssp));
+  map_.emplace(lru_.front().first, lru_.begin());
+  // Never evict the entry just returned (capacity 0 keeps one slot).
+  if (map_.size() > capacity_ && map_.size() > 1) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return lru_.front().second;
+}
+
+}  // namespace sda::core

@@ -1,0 +1,89 @@
+// SDA plan cache — O(1) amortized deadline assignment for repeated
+// tree shapes.
+//
+// A long-running admission service sees the same few task shapes over
+// and over (the paper's workloads draw from a handful of structural
+// templates), yet plan_assignment walks the whole tree every time.
+// The cache memoizes the walk.  Two properties make it safe:
+//
+//   * Plans are computed in *normalized time* — arrival 0, deadline
+//     equal to the task's relative slack — and shifted by the
+//     submission time on use.  Cached and fresh paths both evaluate
+//     plan_assignment(tree, 0, rel_deadline) and add the same offset,
+//     and IEEE-754 addition is deterministic, so a cache hit is
+//     bit-identical to a recomputation (proven by the fingerprint
+//     tests in tests/test_admission.cpp).
+//   * The key is an exact byte serialization of the tree (kinds, child
+//     counts, exec nodes, pex bit patterns) plus the relative-deadline
+//     bit pattern.  Exact string equality — two distinct shapes can
+//     never alias through a hash collision.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/core/sda.hpp"
+
+namespace sda::core {
+
+/// One leaf's normalized assignment: times relative to the arrival.
+struct NormalizedLeaf {
+  double planned_dispatch = 0.0;
+  double virtual_deadline = 0.0;
+};
+
+/// Leaf assignments in DFS leaf order (the order of task::leaves()).
+using NormalizedPlan = std::vector<NormalizedLeaf>;
+
+/// Exact byte serialization of (tree shape, exec nodes, pex bits,
+/// relative-deadline bits).  Structure bytes make the encoding
+/// prefix-free, so distinct trees never serialize alike.
+std::string plan_cache_key(const task::TreeNode& tree, double rel_deadline);
+
+/// Computes the normalized plan directly (the cache-off path).  The
+/// cache calls this on a miss, so cached and fresh plans are
+/// bit-identical by construction.
+NormalizedPlan compute_normalized_plan(const task::TreeNode& tree,
+                                       double rel_deadline,
+                                       const PspStrategy& psp,
+                                       const SspStrategy& ssp);
+
+/// LRU cache of normalized SDA plans with hit/miss/eviction counters.
+class PlanCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// @p capacity 0 degenerates to a pass-through (every call a miss).
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the normalized plan for (tree, rel_deadline), computing
+  /// and inserting it on a miss.  The reference stays valid until the
+  /// next call.  @p hit (optional) reports whether this was a hit.
+  const NormalizedPlan& lookup_or_compute(const task::TreeNode& tree,
+                                          double rel_deadline,
+                                          const PspStrategy& psp,
+                                          const SspStrategy& ssp,
+                                          bool* hit = nullptr);
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using Entry = std::pair<std::string, NormalizedPlan>;
+
+  std::size_t capacity_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+  Stats stats_;
+};
+
+}  // namespace sda::core

@@ -220,10 +220,19 @@ void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
   rec.retries = run.retries;
   rec.shed = shed;
 
-  // Timer hygiene: every terminal path ends here, so the run's abort timer
-  // can never outlive the run and fire against recycled state.
+  // Timer hygiene: every terminal path ends here, so neither the run's
+  // abort timer nor any pending backoff-retry timer can outlive the run
+  // and fire against recycled state.  A run shed by negative-slack
+  // shedding while a leaf waits out its backoff reaches this via
+  // terminate_run, which is exactly the case the retry-timer map exists
+  // for.
   if (engine_.pending(run.abort_timer)) engine_.cancel(run.abort_timer);
   assert(!engine_.pending(run.abort_timer));
+  // sda-lint: allow(UNORDERED_ITER) cancellation is order-independent
+  for (const auto& [leaf, timer] : run.retry_timers) {
+    if (engine_.pending(timer)) engine_.cancel(timer);
+  }
+  run.retry_timers.clear();
   if (shed) {
     ++shed_runs_;
     ++aborted_runs_;
@@ -301,11 +310,12 @@ void ProcessManager::handle_failure(const TaskPtr& t) {
           : 0.0;
   if (delay > 0.0) {
     const std::uint64_t run_id = run->id;
-    engine_.in(delay, [this, run_id, t] {
+    run->retry_timers[&leaf] = engine_.in(delay, [this, run_id, t] {
       Run* r = find_run(run_id);
       if (r == nullptr) return;  // the run ended while backing off
       auto it = r->leaf_of.find(t->id);
       if (it == r->leaf_of.end()) return;
+      r->retry_timers.erase(it->second);
       resubmit_retry(*r, *it->second, t);
     });
   } else {

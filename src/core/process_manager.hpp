@@ -155,6 +155,9 @@ class ProcessManager {
   // --- statistics ---------------------------------------------------------
   std::size_t live_runs() const noexcept { return runs_.size(); }
   std::uint64_t submitted() const noexcept { return submitted_; }
+  /// The id submit() will assign next — lets an admission gate register
+  /// a run under its eventual id before handing the tree over.
+  std::uint64_t next_run_id() const noexcept { return next_run_id_; }
   std::uint64_t completed_runs() const noexcept { return completed_runs_; }
   std::uint64_t aborted_runs() const noexcept { return aborted_runs_; }
   std::uint64_t resubmissions() const noexcept { return resubmissions_; }
@@ -189,6 +192,10 @@ class ProcessManager {
     std::unordered_map<std::uint64_t, const task::TreeNode*> leaf_of;
     /// Fault retries per leaf (drives the per-leaf backoff schedule).
     std::unordered_map<const task::TreeNode*, int> leaf_retries;
+    /// Pending backoff-retry timers, keyed by the waiting leaf.  Every
+    /// terminal path cancels them (finish_run), so a shed run can never
+    /// leave a timer behind to fire against recycled state.
+    std::unordered_map<const task::TreeNode*, sim::EventId> retry_timers;
 
     sim::EventId abort_timer;
   };

@@ -63,6 +63,10 @@ struct Md {
   double subtask = 0.0;
   double global = 0.0;
   double missed_work = 0.0;
+  /// 95% CI half-widths — orderings between near-equal rates are checked
+  /// up to the replication noise instead of as exact inequalities.
+  double local_hw = 0.0;
+  double global_hw = 0.0;
 };
 
 Md measure(ExperimentConfig c, int global_cls = metrics::global_class(4)) {
@@ -72,6 +76,8 @@ Md measure(ExperimentConfig c, int global_cls = metrics::global_class(4)) {
   m.subtask = r.summary(metrics::kSubtaskClass).miss_rate.mean;
   m.global = r.summary(global_cls).miss_rate.mean;
   m.missed_work = r.overall_missed_work().mean;
+  m.local_hw = r.summary(metrics::kLocalClass).miss_rate.half_width;
+  m.global_hw = r.summary(global_cls).miss_rate.half_width;
   return m;
 }
 
@@ -247,9 +253,13 @@ Scorecard run_reproduction_battery(const util::BenchEnv& env) {
     lo.psp = "ud";
     lo.ssp = "ud";
     const Md udud_lo = measure(lo, metrics::global_class(0));
+    // Both rates are small and close here; at quick scales (few short
+    // replications) the ordering can flip inside the CIs, so allow the
+    // combined statistical margin.
     card.check_less("fig15.low-load-inversion",
                     "at low load globals miss less (5x slack)",
-                    udud_lo.global, udud_lo.local);
+                    udud_lo.global, udud_lo.local,
+                    udud_lo.global_hw + udud_lo.local_hw);
   }
 
   return card;

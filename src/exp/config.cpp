@@ -2,6 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
+
+#include "src/core/admission.hpp"
 
 namespace sda::exp {
 
@@ -31,6 +34,45 @@ double ExperimentConfig::expected_global_work() const {
   return 0.5 * static_cast<double>(n_min + n_max) * spread_mean / mu_subtask;
 }
 
+core::AdmissionConfig ExperimentConfig::admission_config() const {
+  core::AdmissionConfig a;
+  a.node_count = k;
+  a.psp = psp;
+  a.ssp = ssp;
+  a.test_utilization = false;
+  a.test_completion_time = false;
+  a.test_scheduling_point = false;
+  std::stringstream tokens(admission_tests);
+  std::string token;
+  while (std::getline(tokens, token, ',')) {
+    if (token == "util") {
+      a.test_utilization = true;
+    } else if (token == "ct") {
+      a.test_completion_time = true;
+    } else if (token == "sp") {
+      a.test_scheduling_point = true;
+    } else if (!token.empty()) {
+      throw std::invalid_argument(
+          "admission_tests: unknown test '" + token +
+          "' (expected csv of util, ct, sp)");
+    }
+  }
+  a.util_bound = admission_util_bound;
+  a.enter_degraded = admission_enter_degraded;
+  a.exit_degraded = admission_exit_degraded;
+  a.enter_shedding = admission_enter_shedding;
+  a.exit_shedding = admission_exit_shedding;
+  a.pressure_alpha = admission_pressure_alpha;
+  a.degrade_stretch = admission_degrade_stretch;
+  a.shed_headroom = admission_shed_headroom;
+  a.plan_cache = admission_plan_cache;
+  a.plan_cache_capacity =
+      static_cast<std::size_t>(admission_plan_cache_capacity < 0
+                                   ? 0
+                                   : admission_plan_cache_capacity);
+  return a;
+}
+
 std::string ExperimentConfig::describe() const {
   std::ostringstream os;
   os << "k=" << k << " " << scheduler_policy
@@ -50,6 +92,10 @@ std::string ExperimentConfig::describe() const {
     case core::PmAbortMode::kRealDeadline: os << ", pm-abort"; break;
   }
   if (local_abort != sched::LocalAbortPolicy::kNone) os << ", local-abort";
+  if (admission) {
+    os << ", admission[" << admission_tests << "]";
+    if (global_burst_factor > 1.0) os << " burst=" << global_burst_factor;
+  }
   if (faults_enabled()) {
     os << ", faults[";
     bool first = true;

@@ -16,6 +16,10 @@
 #include "src/sched/abort_policy.hpp"
 #include "src/workload/pex_model.hpp"
 
+namespace sda::core {
+struct AdmissionConfig;
+}  // namespace sda::core
+
 namespace sda::exp {
 
 /// Shape of the global-task population.
@@ -137,6 +141,41 @@ struct ExperimentConfig {
   /// real deadline even with zero queueing.
   bool shed_negative_slack = true;
 
+  // --- online admission control (overload robustness extension) -----------
+  /// Gate every global arrival through core::AdmissionController: per-node
+  /// feasibility tests over the ledger of admitted work, plus the
+  /// normal/degraded/shedding overload state machine.  Off by default; the
+  /// gate draws no RNG, so turning it off reproduces the ungated system
+  /// bit for bit.  With admission on, `load` >= 1 becomes a legal
+  /// (deliberate-overload) configuration.
+  bool admission = false;
+  /// Feasibility battery, csv of "util" (density bound), "ct"
+  /// (completion-time walk), "sp" (scheduling-point criterion).
+  std::string admission_tests = "util,ct";
+  double admission_util_bound = 1.0;
+  /// Hysteresis thresholds on smoothed pressure (worst per-node ledger
+  /// density / util bound): enter/exit the degraded and shedding states.
+  double admission_enter_degraded = 0.70;
+  double admission_exit_degraded = 0.55;
+  double admission_enter_shedding = 0.90;
+  double admission_exit_shedding = 0.70;
+  double admission_pressure_alpha = 0.3;
+  /// Degraded state: a submission infeasible at its own deadline is
+  /// retried with deadline stretched by this factor.
+  double admission_degrade_stretch = 1.5;
+  /// Shedding state: admit only candidates that keep the worst node below
+  /// util_bound * (1 - headroom).
+  double admission_shed_headroom = 0.15;
+  /// SDA plan cache (normalized-time plans; bit-identical on/off).
+  bool admission_plan_cache = true;
+  int admission_plan_cache_capacity = 512;
+
+  /// Global-arrival burstiness (interrupted Poisson, like the local
+  /// knobs): 1 = the paper's pure Poisson, unchanged mean load.  The
+  /// overload tests drive the admission state machine with this.
+  double global_burst_factor = 1.0;
+  double global_burst_cycle = 50.0;
+
   /// True when any fault knob is active (decides whether the runner builds
   /// a fault plan — and splits the fault RNG stream — at all).
   bool faults_enabled() const noexcept {
@@ -152,6 +191,11 @@ struct ExperimentConfig {
 
   /// Resolved global slack range (applies the derivation rule above).
   std::pair<double, double> resolved_global_slack() const;
+
+  /// The admission-controller config implied by the admission_* fields
+  /// (node_count = k, strategies = psp/ssp).  Throws std::invalid_argument
+  /// on an unknown admission_tests token.
+  core::AdmissionConfig admission_config() const;
 
   /// Expected total execution demand of one global task (for the load
   /// equations): E[n]/mu_subtask for kParallel, sum(widths)/mu_subtask for

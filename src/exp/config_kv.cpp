@@ -255,6 +255,21 @@ const std::vector<Field>& fields() {
       SDA_KV_BOOL(retry_failover),
       SDA_KV_STRING(retry_deadline),
       SDA_KV_BOOL(shed_negative_slack),
+      // --- online admission control ---------------------------------------
+      SDA_KV_BOOL(admission),
+      SDA_KV_STRING(admission_tests),
+      SDA_KV_DOUBLE(admission_util_bound),
+      SDA_KV_DOUBLE(admission_enter_degraded),
+      SDA_KV_DOUBLE(admission_exit_degraded),
+      SDA_KV_DOUBLE(admission_enter_shedding),
+      SDA_KV_DOUBLE(admission_exit_shedding),
+      SDA_KV_DOUBLE(admission_pressure_alpha),
+      SDA_KV_DOUBLE(admission_degrade_stretch),
+      SDA_KV_DOUBLE(admission_shed_headroom),
+      SDA_KV_BOOL(admission_plan_cache),
+      SDA_KV_INT(admission_plan_cache_capacity),
+      SDA_KV_DOUBLE(global_burst_factor),
+      SDA_KV_DOUBLE(global_burst_cycle),
       // --- run control ----------------------------------------------------
       SDA_KV_DOUBLE(sim_time),
       SDA_KV_DOUBLE(warmup_fraction),

@@ -111,6 +111,28 @@ void write_run_json_line(const ExperimentConfig& config, int rep,
   w.kv("failovers", result.failovers);
   w.end_object();
 
+  if (result.admission_enabled) {
+    w.key("admission").begin_object();
+    w.kv("submitted", result.admission.submitted);
+    w.kv("admitted", result.admission.admitted);
+    w.kv("admitted_degraded", result.admission.admitted_degraded);
+    w.kv("rejected", result.admission.rejected);
+    w.kv("shed", result.admission.shed);
+    w.kv("not_admitted", result.globals_not_admitted);
+    w.kv("final_state", core::to_string(result.admission_final_state));
+    w.key("transitions").begin_object();
+    w.kv("to_degraded", result.admission.to_degraded);
+    w.kv("to_shedding", result.admission.to_shedding);
+    w.kv("to_normal", result.admission.to_normal);
+    w.end_object();
+    w.key("plan_cache").begin_object();
+    w.kv("hits", result.plan_cache.hits);
+    w.kv("misses", result.plan_cache.misses);
+    w.kv("evictions", result.plan_cache.evictions);
+    w.end_object();
+    w.end_object();
+  }
+
   w.key("classes").begin_array();
   for (const int cls : result.collector.classes()) {
     const metrics::ClassCounts counts = result.collector.counts(cls);

@@ -92,12 +92,24 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   pmc.recovery.shed_negative_slack = config.shed_negative_slack;
   core::ProcessManager pm(engine, node_ptrs, std::move(pmc));
 
+  // --- admission gate --------------------------------------------------------
+  // Built before the handlers so run completions can retire ledger
+  // entries.  The controller draws no RNG and schedules no events, so an
+  // absent gate leaves the simulation bit-identical.
+  std::unique_ptr<core::AdmissionController> admission;
+  if (config.admission) {
+    admission =
+        std::make_unique<core::AdmissionController>(config.admission_config());
+  }
+  core::AdmissionController* admission_ptr = admission.get();
+
   // --- metrics ----------------------------------------------------------------
   metrics::Collector collector;
   collector.set_warmup(config.warmup_fraction * config.sim_time);
   if (config.tardiness_histograms) collector.enable_tardiness_histograms();
   if (config.distributions) collector.enable_distributions();
   pm.set_global_handler([&, tracer](const core::GlobalTaskRecord& rec) {
+    if (admission_ptr != nullptr) admission_ptr->on_finished(rec.run_id);
     collector.record_global(rec);
     if (tracer != nullptr) {
       const metrics::TraceEvent ev =
@@ -202,6 +214,9 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
     gc.placement = workload::make_placement(
         config.placement,
         std::vector<const sched::Node*>(node_ptrs.begin(), node_ptrs.end()));
+    gc.burst_factor = config.global_burst_factor;
+    gc.burst_cycle = config.global_burst_cycle;
+    gc.admission = admission_ptr;
     parallel_source = std::make_unique<workload::ParallelGlobalSource>(
         engine, pm, master.split(), gc);
     parallel_source->start();
@@ -286,6 +301,15 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   result.fault_retries = pm.fault_retries();
   result.failovers = pm.failovers();
   result.globals_shed = pm.shed_runs();
+  if (admission_ptr != nullptr) {
+    result.admission_enabled = true;
+    result.admission = admission_ptr->stats();
+    result.plan_cache = admission_ptr->cache_stats();
+    result.admission_final_state = admission_ptr->state();
+    if (parallel_source) {
+      result.globals_not_admitted = parallel_source->not_admitted();
+    }
+  }
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/core/admission.hpp"
 #include "src/exp/config.hpp"
 #include "src/metrics/collector.hpp"
 #include "src/metrics/report.hpp"
@@ -48,6 +49,13 @@ struct RunResult {
   /// horizon.  Always populated — the counters are passive O(1) increments
   /// with no event-stream or RNG footprint.
   std::vector<sched::Node::PerfCounters> node_counters;
+
+  // Admission diagnostics (defaults / zero when the gate is off).
+  bool admission_enabled = false;
+  std::uint64_t globals_not_admitted = 0;  ///< drawn but rejected/shed
+  core::AdmissionStats admission;
+  core::PlanCache::Stats plan_cache;
+  core::OverloadState admission_final_state = core::OverloadState::kNormal;
 };
 
 /// Runs one replication with the given seed.  When @p tracer is non-null,

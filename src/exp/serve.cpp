@@ -1,0 +1,289 @@
+#include "src/exp/serve.hpp"
+
+#include <chrono>
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/metrics/json_writer.hpp"
+#include "src/metrics/percentile.hpp"
+#include "src/task/notation.hpp"
+#include "src/task/tree.hpp"
+
+namespace sda::exp {
+
+namespace {
+
+/// One parsed `sub`/`done` line.  `tree=` swallows the rest of the line
+/// (the notation's serial separator is a space).
+struct Line {
+  std::string verb;
+  std::uint64_t id = 0;
+  bool has_id = false;
+  double at = 0.0;
+  bool has_at = false;
+  double deadline = 0.0;
+  bool has_deadline = false;
+  std::string tree;
+  bool has_tree = false;
+  std::string error;  ///< non-empty = malformed
+};
+
+Line parse_line(const std::string& text) {
+  Line line;
+  std::istringstream in(text);
+  in >> line.verb;
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      line.error = "expected key=value, got '" + token + "'";
+      return line;
+    }
+    const std::string key = token.substr(0, eq);
+    std::string value = token.substr(eq + 1);
+    try {
+      if (key == "id") {
+        line.id = std::stoull(value);
+        line.has_id = true;
+      } else if (key == "at") {
+        line.at = std::stod(value);
+        line.has_at = true;
+      } else if (key == "deadline") {
+        line.deadline = std::stod(value);
+        line.has_deadline = true;
+      } else if (key == "tree") {
+        // Consume to end of line: the notation itself contains spaces.
+        std::string rest;
+        std::getline(in, rest);
+        line.tree = value + rest;
+        line.has_tree = true;
+      } else {
+        line.error = "unknown key '" + key + "'";
+        return line;
+      }
+    } catch (const std::exception&) {
+      line.error = "bad value for '" + key + "': '" + value + "'";
+      return line;
+    }
+  }
+  return line;
+}
+
+class Emitter {
+ public:
+  explicit Emitter(std::ostream& out) : out_(out) {}
+
+  void decision(std::uint64_t id, double at,
+                const core::AdmissionOutcome& outcome) {
+    metrics::JsonWriter w(out_);
+    w.begin_object()
+        .kv("schema", "sda.admit.v1")
+        .kv("id", id)
+        .kv("at", at)
+        .kv("decision", core::to_string(outcome.decision))
+        .kv("state", core::to_string(outcome.state))
+        .kv("reason", outcome.reason)
+        .kv("pressure", outcome.pressure)
+        .kv("deadline", outcome.deadline)
+        .kv("cache_hit", outcome.cache_hit);
+    if (!outcome.plan.empty()) {
+      w.key("leaves").begin_array();
+      for (const core::LeafAssignment& a : outcome.plan) {
+        w.begin_object()
+            .kv("node", a.leaf->exec_node)
+            .kv("dispatch", a.planned_dispatch)
+            .kv("deadline", a.virtual_deadline)
+            .end_object();
+      }
+      w.end_array();
+    }
+    w.end_object();
+    out_ << "\n";
+  }
+
+  void error(std::uint64_t id, bool has_id, double at,
+             const std::string& reason) {
+    metrics::JsonWriter w(out_);
+    w.begin_object().kv("schema", "sda.admit.v1");
+    if (has_id) w.kv("id", id);
+    w.kv("at", at)
+        .kv("decision", "error")
+        .kv("reason", reason)
+        .end_object();
+    out_ << "\n";
+  }
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace
+
+ServeResult serve_stream(std::istream& in, std::ostream& out,
+                         const ServeOptions& options) {
+  using Clock = std::chrono::steady_clock;
+
+  core::AdmissionController controller(options.admission);
+  Emitter emit(out);
+  ServeResult result;
+
+  metrics::LogHistogram latency_ns(1.0, 1e9, 8);  // 1 ns .. 1 s
+  double busy_seconds = 0.0;
+
+  double now = 0.0;
+  std::string text;
+  auto emit_resolved =
+      [&](const std::vector<std::pair<std::uint64_t, core::AdmissionOutcome>>&
+              resolved) {
+        for (const auto& [id, outcome] : resolved) {
+          emit.decision(id, now, outcome);
+          ++result.decisions;
+        }
+      };
+
+  while (std::getline(in, text)) {
+    if (text.empty() || text[0] == '#') continue;
+    Line line = parse_line(text);
+    if (!line.error.empty()) {
+      ++result.errors;
+      emit.error(line.id, line.has_id, now, line.error);
+      continue;
+    }
+    if (line.has_at) {
+      if (line.at < now) {
+        ++result.errors;
+        emit.error(line.id, line.has_id, now,
+                   "time went backwards (stream clock is monotonic)");
+        continue;
+      }
+      now = line.at;
+    }
+
+    if (line.verb == "done") {
+      if (!line.has_id) {
+        ++result.errors;
+        emit.error(line.id, line.has_id, now, "done needs id=");
+        continue;
+      }
+      controller.on_finished(line.id);
+      emit_resolved(controller.pump(now));
+      continue;
+    }
+    if (line.verb != "sub") {
+      ++result.errors;
+      emit.error(line.id, line.has_id, now,
+                 "unknown verb '" + line.verb + "'");
+      continue;
+    }
+    if (!line.has_id || !line.has_at || !line.has_deadline ||
+        !line.has_tree) {
+      ++result.errors;
+      emit.error(line.id, line.has_id, now,
+                 "sub needs id=, at=, deadline=, tree=");
+      continue;
+    }
+    if (line.deadline <= 0.0) {
+      ++result.errors;
+      emit.error(line.id, line.has_id, now, "deadline must be positive");
+      continue;
+    }
+    ++result.submissions;
+
+    task::TreePtr tree;
+    try {
+      tree = task::parse_notation(line.tree);
+    } catch (const std::exception& e) {
+      ++result.errors;
+      emit.error(line.id, true, now, e.what());
+      continue;
+    }
+    const std::string invalid = task::validate(*tree);
+    if (!invalid.empty()) {
+      ++result.errors;
+      emit.error(line.id, true, now, invalid);
+      continue;
+    }
+
+    // Earlier-parked submissions get first claim on freed capacity.
+    emit_resolved(controller.pump(now));
+
+    const Clock::time_point t0 =
+        options.measure_latency ? Clock::now() : Clock::time_point{};
+    core::AdmissionController::SubmitResult sr = controller.submit(
+        std::move(tree), now, now + line.deadline, line.id);
+    if (options.measure_latency) {
+      const auto dt = Clock::now() - t0;
+      const double ns = static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+      latency_ns.add(ns);
+      busy_seconds += ns * 1e-9;
+    }
+    if (!sr.queued) {
+      emit.decision(line.id, now, sr.outcome);
+      ++result.decisions;
+    }
+  }
+
+  // End of stream: resolve everything still parked, then summarize.
+  emit_resolved(controller.flush(now));
+
+  result.stats = controller.stats();
+  result.cache = controller.cache_stats();
+
+  metrics::JsonWriter w(out);
+  w.begin_object()
+      .kv("schema", "sda.serve.summary.v1")
+      .kv("submissions", result.submissions)
+      .kv("decisions", result.decisions)
+      .kv("errors", result.errors)
+      .kv("admitted", result.stats.admitted)
+      .kv("admitted_degraded", result.stats.admitted_degraded)
+      .kv("rejected", result.stats.rejected)
+      .kv("shed", result.stats.shed)
+      .kv("backpressure", result.stats.backpressure)
+      .kv("queued", result.stats.queued)
+      .kv("queue_high_water",
+          static_cast<std::uint64_t>(result.stats.queue_high_water))
+      .kv("final_state", core::to_string(controller.state()))
+      .kv("final_pressure", controller.pressure());
+  w.key("transitions")
+      .begin_object()
+      .kv("to_degraded", result.stats.to_degraded)
+      .kv("to_shedding", result.stats.to_shedding)
+      .kv("to_normal", result.stats.to_normal)
+      .end_object();
+  w.key("plan_cache")
+      .begin_object()
+      .kv("hits", result.cache.hits)
+      .kv("misses", result.cache.misses)
+      .kv("evictions", result.cache.evictions)
+      .end_object();
+  if (options.measure_latency) {
+    const metrics::Quantiles q = metrics::summarize(latency_ns);
+    w.key("assign_latency_ns")
+        .begin_object()
+        .kv("count", static_cast<std::uint64_t>(q.count))
+        .kv("mean", q.mean)
+        .kv("p50", q.p50)
+        .kv("p90", q.p90)
+        .kv("p99", q.p99)
+        .kv("p999", q.p999)
+        .end_object();
+    w.kv("admissions_per_sec",
+         busy_seconds > 0.0
+             ? static_cast<double>(result.stats.admitted +
+                                   result.stats.admitted_degraded) /
+                   busy_seconds
+             : 0.0);
+  }
+  w.end_object();
+  out << "\n";
+  return result;
+}
+
+}  // namespace sda::exp

@@ -1,0 +1,57 @@
+// The long-running admission front door behind `sda_run --serve`.
+//
+// serve_stream reads newline-delimited submissions from any istream (a
+// pipe, a FIFO created with mkfifo, a file, a socket wrapped by nc) and
+// emits one versioned `sda.admit.v1` JSON-lines decision per submission
+// plus a final `sda.serve.summary.v1` record.  The protocol:
+//
+//   sub id=<u64> at=<time> deadline=<rel> tree=<notation to end of line>
+//   done id=<u64> [at=<time>]
+//   # comment — ignored, as are blank lines
+//
+// `at` is the submission's logical clock (monotonically non-decreasing;
+// the stream owns time, serve never reads a wall clock), `deadline` is
+// relative to `at`, and `tree` uses the task notation with bound nodes
+// and demands ("[a@0:2 || b@1:1.5]").  `done` retires an admitted run's
+// ledger reservations early (the run finished), which is also the
+// moment parked submissions get retried.
+//
+// Decisions are a pure function of the input bytes and the admission
+// config: no RNG, no wall clock, no iteration over unordered
+// containers.  Running the same stream twice — or with the plan cache
+// on vs. off — produces byte-identical output, which the fingerprint
+// tests assert.  Wall-clock latency measurement is therefore opt-in
+// (`measure_latency`) and only ever shows up in the summary record.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "src/core/admission.hpp"
+
+namespace sda::exp {
+
+struct ServeOptions {
+  core::AdmissionConfig admission;
+  /// Measure per-decision wall latency (steady_clock) and report
+  /// count/p50/p90/p99/p99.9 plus sustained admissions/sec in the
+  /// summary.  Off by default: timing fields are nondeterministic bytes.
+  bool measure_latency = false;
+};
+
+struct ServeResult {
+  std::uint64_t submissions = 0;  ///< `sub` lines seen
+  std::uint64_t decisions = 0;    ///< decision records emitted
+  std::uint64_t errors = 0;       ///< malformed lines answered with errors
+  core::AdmissionStats stats;
+  core::PlanCache::Stats cache;
+};
+
+/// Runs the admission service over @p in until EOF, writing JSON lines
+/// to @p out.  Every `sub` line is answered by exactly one decision
+/// record (possibly later in the stream, when the submission was parked
+/// in the retry queue; at the latest from the EOF flush).
+ServeResult serve_stream(std::istream& in, std::ostream& out,
+                         const ServeOptions& options);
+
+}  // namespace sda::exp

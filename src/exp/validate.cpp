@@ -3,6 +3,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/core/admission.hpp"
 #include "src/core/strategy.hpp"
 #include "src/sched/scheduler.hpp"
 #include "src/workload/exec_dist.hpp"
@@ -47,7 +48,12 @@ std::vector<std::string> validate(const ExperimentConfig& c) {
 
   // --- workload --------------------------------------------------------------
   if (c.load < 0.0) bad("load must be >= 0");
-  if (c.load >= 1.0) bad("load must be < 1 for a stable system");
+  // Overload (load >= 1) is a legal, deliberate configuration when the
+  // admission gate is on — that is the regime it exists for.  Without
+  // the gate the queues grow without bound, so keep the guard.
+  if (c.load >= 1.0 && !c.admission) {
+    bad("load must be < 1 for a stable system (or enable admission=1)");
+  }
   if (c.frac_local < 0.0 || c.frac_local > 1.0) {
     bad("frac_local must be in [0, 1]");
   }
@@ -115,6 +121,22 @@ std::vector<std::string> validate(const ExperimentConfig& c) {
   }
   if (c.retry_deadline != "sda" && c.retry_deadline != "stale") {
     bad("retry_deadline must be \"sda\" or \"stale\"");
+  }
+
+  // --- admission -------------------------------------------------------------
+  if (c.global_burst_factor < 1.0) bad("global_burst_factor must be >= 1");
+  if (c.global_burst_cycle <= 0.0) bad("global_burst_cycle must be positive");
+  if (c.admission) {
+    try {
+      // The controller's constructor re-validates thresholds, stretch,
+      // headroom, and the test battery; borrow its checks.
+      (void)core::AdmissionController(c.admission_config());
+    } catch (const std::exception& e) {
+      bad(e.what());
+    }
+    if (c.global_kind != GlobalKind::kParallel) {
+      bad("admission=1 currently supports global_kind=parallel only");
+    }
   }
 
   // --- run control -------------------------------------------------------------

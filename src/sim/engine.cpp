@@ -18,6 +18,8 @@ EventId Engine::at(Time t, EventFn fn) {
   if (t < now_) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
+  // Pooled event heap: one entry per pending event, recycled on fire,
+  // bounded by live model objects.  sda-lint: allow(UNBOUNDED_QUEUE)
   return queue_.push(t, std::move(fn));
 }
 
@@ -30,6 +32,7 @@ EventId Engine::in(Time delay, EventFn fn) {
   if (delay < 0.0) {
     throw std::logic_error("Engine::in: negative delay");
   }
+  // sda-lint: allow(UNBOUNDED_QUEUE) same pooled heap as at()
   return queue_.push(now_ + delay, std::move(fn));
 }
 

@@ -20,9 +20,18 @@ double ParallelGlobalSource::expected_work(const Config& c) noexcept {
 ParallelGlobalSource::ParallelGlobalSource(sim::Engine& engine,
                                            core::ProcessManager& pm,
                                            util::Rng rng, Config config)
-    : engine_(engine), pm_(pm), rng_(rng), config_(config) {
+    : engine_(engine),
+      pm_(pm),
+      rng_(rng),
+      config_(config),
+      interarrival_(config.lambda > 0.0 ? config.lambda : 1.0,
+                    config.burst_factor, config.burst_cycle) {
   if (config_.lambda < 0.0) {
     throw std::invalid_argument("ParallelGlobalSource: negative arrival rate");
+  }
+  if (config_.burst_factor < 1.0) {
+    throw std::invalid_argument(
+        "ParallelGlobalSource: burst_factor must be >= 1");
   }
   if (config_.n_min < 1 || config_.n_min > config_.n_max) {
     throw std::invalid_argument("ParallelGlobalSource: bad [n_min, n_max]");
@@ -53,7 +62,7 @@ ParallelGlobalSource::ParallelGlobalSource(sim::Engine& engine,
 
 void ParallelGlobalSource::start() {
   if (config_.lambda <= 0.0) return;
-  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+  engine_.in(interarrival_.next(rng_), [this] { arrival(); });
 }
 
 void ParallelGlobalSource::arrival() {
@@ -84,9 +93,24 @@ void ParallelGlobalSource::arrival() {
   const sim::Time deadline = now + max_ex + slack;  // Equation 2
 
   ++generated_;
-  pm_.submit(std::move(tree), deadline, metrics::global_class(n),
-             config_.subtask_metrics_class);
-  engine_.in(rng_.exponential(1.0 / config_.lambda), [this] { arrival(); });
+  // The admission gate sits strictly after every RNG draw, so gated and
+  // ungated runs consume identical random sequences.
+  bool admit = true;
+  sim::Time effective_deadline = deadline;
+  if (config_.admission != nullptr) {
+    const core::AdmissionOutcome outcome =
+        config_.admission->decide(*tree, now, deadline, pm_.next_run_id());
+    admit = outcome.decision == core::AdmissionDecision::kAdmit ||
+            outcome.decision == core::AdmissionDecision::kAdmitDegraded;
+    effective_deadline = outcome.deadline;
+  }
+  if (admit) {
+    pm_.submit(std::move(tree), effective_deadline, metrics::global_class(n),
+               config_.subtask_metrics_class);
+  } else {
+    ++not_admitted_;
+  }
+  engine_.in(interarrival_.next(rng_), [this] { arrival(); });
 }
 
 }  // namespace sda::workload

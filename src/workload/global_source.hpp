@@ -18,9 +18,11 @@
 
 #include <optional>
 
+#include "src/core/admission.hpp"
 #include "src/core/process_manager.hpp"
 #include "src/metrics/task_class.hpp"
 #include "src/util/rng.hpp"
+#include "src/workload/arrivals.hpp"
 #include "src/workload/exec_dist.hpp"
 #include "src/workload/pex_model.hpp"
 #include "src/workload/placement.hpp"
@@ -50,6 +52,16 @@ class ParallelGlobalSource {
     /// Subtask service distribution; unset = exponential(mean_subtask_exec).
     /// exec_spread composes multiplicatively with any distribution.
     std::optional<ExecDistribution> exec;
+    /// Arrival burstiness (interrupted Poisson, like LocalSource's).
+    /// burst_factor 1 draws exactly the plain-Poisson random sequence, so
+    /// the default changes nothing.
+    double burst_factor = 1.0;
+    double burst_cycle = 50.0;
+    /// Optional admission gate: when set, every drawn task is offered to
+    /// the controller and only admitted (possibly with a degraded
+    /// deadline) tasks reach the process manager.  The gate draws no RNG,
+    /// so a null gate reproduces the ungated run bit for bit.
+    core::AdmissionController* admission = nullptr;
   };
 
   ParallelGlobalSource(sim::Engine& engine, core::ProcessManager& pm,
@@ -59,6 +71,8 @@ class ParallelGlobalSource {
   void start();
 
   std::uint64_t generated() const noexcept { return generated_; }
+  /// Tasks turned away by the admission gate (0 without a gate).
+  std::uint64_t not_admitted() const noexcept { return not_admitted_; }
 
   /// Expected work brought by one global task (for the load equations):
   /// E[n] * mean_subtask_exec * E[s^U].  For the spread model,
@@ -72,7 +86,9 @@ class ParallelGlobalSource {
   core::ProcessManager& pm_;
   util::Rng rng_;
   Config config_;
+  InterarrivalSampler interarrival_;
   std::uint64_t generated_ = 0;
+  std::uint64_t not_admitted_ = 0;
 };
 
 }  // namespace sda::workload

@@ -79,6 +79,20 @@ TEST(ConfigKv, RoundTripEveryFieldNonDefault) {
   c.retry_failover = false;
   c.retry_deadline = "stale";
   c.shed_negative_slack = false;
+  c.admission = true;
+  c.admission_tests = "util,ct,sp";
+  c.admission_util_bound = 0.95;
+  c.admission_enter_degraded = 0.65;
+  c.admission_exit_degraded = 0.5;
+  c.admission_enter_shedding = 0.85;
+  c.admission_exit_shedding = 0.75;
+  c.admission_pressure_alpha = 0.45;
+  c.admission_degrade_stretch = 2.0;
+  c.admission_shed_headroom = 0.2;
+  c.admission_plan_cache = false;
+  c.admission_plan_cache_capacity = 128;
+  c.global_burst_factor = 4.0;
+  c.global_burst_cycle = 99.0;
   c.sim_time = 12345.6789;
   c.warmup_fraction = 0.1;
   c.replications = 7;

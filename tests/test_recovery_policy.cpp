@@ -341,4 +341,28 @@ TEST(RecoveryDeterminism, RecoveryKnobsAloneDoNotPerturbFailFreeRuns) {
   EXPECT_EQ(rb.fault_retries, 0u);
 }
 
+// A run shed by negative-slack shedding while one of its legs is parked
+// on a backoff timer must cancel that timer: nothing of the run may fire
+// after termination (the timer would otherwise dereference recycled run
+// state — and at minimum drag the engine clock to the stale fire time).
+TEST_F(RecoveryTest, ShedRunCancelsPendingRetryTimer) {
+  RecoveryPolicy rp;
+  rp.backoff_base = 10.0;  // a's retry would fire at t = 11
+  rp.shed_negative_slack = true;
+  build(rp);
+  fail_first_attempts(0, 1, 1.0);  // a fails at t=1 -> backoff until t=11
+  fail_first_attempts(1, 1, 2.0);  // b fails at t=2 -> slack gone -> shed
+  // Deadline 6.5: at t=1 a still fits (1 + 5 <= 6.5) so its retry is
+  // parked; at t=2 the remaining critical path overruns (2 + 5 > 6.5).
+  pm->submit(task::parse_notation("[a@0:5/5 || b@1:5/5]"), 6.5, 100, 1);
+  engine->run();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_TRUE(finished[0].shed);
+  // The engine went quiet at the shed time, not at the timer's: the
+  // backoff timer died with the run.
+  EXPECT_EQ(engine->events_pending(), 0u);
+  EXPECT_DOUBLE_EQ(engine->now(), 2.0);
+  EXPECT_EQ(pm->live_runs(), 0u);
+}
+
 }  // namespace

@@ -1,0 +1,189 @@
+// The sda_run --serve stream loop: protocol handling, one decision per
+// submission, deterministic bytes, and plan-cache transparency.
+#include "src/exp/serve.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace sda;
+
+exp::ServeOptions options() {
+  exp::ServeOptions o;
+  o.admission.node_count = 2;
+  o.admission.queue_capacity = 1;
+  return o;
+}
+
+std::pair<exp::ServeResult, std::string> run(const std::string& input,
+                                             const exp::ServeOptions& opts) {
+  std::istringstream in(input);
+  std::ostringstream out;
+  const exp::ServeResult r = exp::serve_stream(in, out, opts);
+  return {r, out.str()};
+}
+
+std::vector<std::string> lines(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+/// Drops the "cache_hit" member — the one field of a decision record
+/// that is *supposed* to differ between cache-on and cache-off runs.
+std::string strip_cache_hit(std::string line) {
+  for (const char* token :
+       {",\"cache_hit\":true", ",\"cache_hit\":false"}) {
+    const std::size_t pos = line.find(token);
+    if (pos != std::string::npos) {
+      line.erase(pos, std::string(token).size());
+    }
+  }
+  return line;
+}
+
+std::size_t count_substr(const std::string& text, const std::string& what) {
+  std::size_t n = 0;
+  for (std::size_t pos = text.find(what); pos != std::string::npos;
+       pos = text.find(what, pos + what.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Serve, OneDecisionPerSubmissionPlusSummary) {
+  const std::string input =
+      "# comment and blank lines are ignored\n"
+      "\n"
+      "sub id=1 at=0 deadline=5 tree=a@0:2/2\n"
+      "sub id=2 at=1 deadline=5 tree=b@1:2/2\n"
+      "done id=1 at=3\n"
+      "sub id=3 at=4 deadline=5 tree=a@0:2/2\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.submissions, 3u);
+  EXPECT_EQ(r.decisions, 3u);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(count_substr(out, "\"schema\":\"sda.admit.v1\""), 3u);
+  EXPECT_EQ(count_substr(out, "\"schema\":\"sda.serve.summary.v1\""), 1u);
+  EXPECT_EQ(count_substr(out, "\"decision\":\"admit\""), 3u);
+  // Decisions carry the per-leaf plan.
+  EXPECT_EQ(count_substr(out, "\"leaves\":["), 3u);
+}
+
+TEST(Serve, RerunsAreByteIdentical) {
+  const std::string input =
+      "sub id=1 at=0 deadline=4 tree=[a@0:1/1 || b@1:2/2]\n"
+      "sub id=2 at=0.5 deadline=4 tree=a@0:3/3\n"
+      "done id=1 at=2\n"
+      "sub id=3 at=2.5 deadline=4 tree=a@0:3/3\n";
+  const auto [r1, out1] = run(input, options());
+  const auto [r2, out2] = run(input, options());
+  EXPECT_EQ(out1, out2);
+  EXPECT_EQ(r1.decisions, r2.decisions);
+}
+
+TEST(Serve, PlanCacheDoesNotChangeDecisionBytes) {
+  // Repeated tree shapes so the cache actually hits, then compare every
+  // decision line (the summary line differs only in its hit counters).
+  std::string input;
+  for (int i = 1; i <= 8; ++i) {
+    input += "sub id=" + std::to_string(i) + " at=" + std::to_string(i) +
+             " deadline=3 tree=[a@0:0.5/0.5 || b@1:0.75/0.75]\n";
+  }
+  exp::ServeOptions cached = options();
+  exp::ServeOptions fresh = options();
+  fresh.admission.plan_cache = false;
+  const auto [r1, out1] = run(input, cached);
+  const auto [r2, out2] = run(input, fresh);
+
+  std::vector<std::string> l1 = lines(out1);
+  std::vector<std::string> l2 = lines(out2);
+  ASSERT_EQ(l1.size(), l2.size());
+  ASSERT_GE(l1.size(), 2u);
+  for (std::size_t i = 0; i + 1 < l1.size(); ++i) {
+    EXPECT_EQ(strip_cache_hit(l1[i]), strip_cache_hit(l2[i]))
+        << "decision line " << i;
+  }
+  EXPECT_GT(r1.cache.hits, 0u);
+  EXPECT_EQ(r2.cache.hits + r2.cache.misses, 0u);
+  // The cached run's decisions do advertise their hits.
+  EXPECT_GT(count_substr(out1, "\"cache_hit\":true"), 0u);
+  EXPECT_EQ(count_substr(out2, "\"cache_hit\":true"), 0u);
+}
+
+TEST(Serve, DoneRetiresAndPumpsTheQueue) {
+  // id=2 cannot fit next to id=1; it parks until done id=1 frees the
+  // node, then resolves with an admit carrying id=2.
+  const std::string input =
+      "sub id=1 at=0 deadline=5 tree=a@0:4/4\n"
+      "sub id=2 at=1 deadline=9 tree=a@0:4/4\n"
+      "done id=1 at=2\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.submissions, 2u);
+  EXPECT_EQ(r.decisions, 2u);
+  EXPECT_EQ(r.stats.queued, 1u);
+  EXPECT_EQ(r.stats.admitted, 2u);
+  const std::vector<std::string> l = lines(out);
+  ASSERT_EQ(l.size(), 3u);  // two decisions + summary
+  EXPECT_NE(l[0].find("\"id\":1"), std::string::npos);
+  EXPECT_NE(l[1].find("\"id\":2"), std::string::npos);
+  EXPECT_NE(l[1].find("\"decision\":\"admit\""), std::string::npos);
+}
+
+TEST(Serve, QueueOverflowYieldsBackpressureAndEofFlushes) {
+  // Queue capacity 1: the third infeasible sub gets an immediate
+  // backpressure decision; the parked one is resolved (shed) at EOF.
+  const std::string input =
+      "sub id=1 at=0 deadline=5 tree=a@0:4/4\n"
+      "sub id=2 at=0 deadline=5 tree=a@0:4/4\n"
+      "sub id=3 at=0 deadline=5 tree=a@0:4/4\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.submissions, 3u);
+  EXPECT_EQ(r.decisions, 3u);
+  EXPECT_EQ(r.stats.backpressure, 1u);
+  EXPECT_EQ(count_substr(out, "\"decision\":\"backpressure\""), 1u);
+  EXPECT_EQ(count_substr(out, "\"reason\":\"flushed\""), 1u);
+}
+
+TEST(Serve, ProtocolErrorsGetErrorRecordsAndKeepTheStreamAlive) {
+  const std::string input =
+      "frobnicate id=1\n"
+      "sub id=2 at=0\n"
+      "sub id=3 at=0 deadline=-1 tree=a@0:1/1\n"
+      "sub id=4 at=0 deadline=5 tree=((((\n"
+      "sub id=5 at=0 deadline=5 tree=a@0:1/1\n"
+      "sub id=6 at=-1 deadline=5 tree=a@0:1/1\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.errors, 5u);
+  EXPECT_EQ(count_substr(out, "\"decision\":\"error\""), 5u);
+  // The one well-formed submission still got a real decision.
+  EXPECT_EQ(count_substr(out, "\"decision\":\"admit\""), 1u);
+  EXPECT_NE(out.find("\"id\":5"), std::string::npos);
+}
+
+TEST(Serve, MonotonicStreamClockIsEnforced) {
+  const std::string input =
+      "sub id=1 at=5 deadline=5 tree=a@0:1/1\n"
+      "sub id=2 at=3 deadline=5 tree=a@0:1/1\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_NE(out.find("time went backwards"), std::string::npos);
+}
+
+TEST(Serve, TimingSummaryReportsLatencyQuantiles) {
+  exp::ServeOptions o = options();
+  o.measure_latency = true;
+  const auto [r, out] = run("sub id=1 at=0 deadline=5 tree=a@0:1/1\n", o);
+  EXPECT_EQ(r.decisions, 1u);
+  EXPECT_NE(out.find("\"assign_latency_ns\""), std::string::npos);
+  EXPECT_NE(out.find("\"admissions_per_sec\""), std::string::npos);
+}
+
+}  // namespace

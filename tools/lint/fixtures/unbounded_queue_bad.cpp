@@ -1,0 +1,30 @@
+// UNBOUNDED_QUEUE bad fixture: pushes into queue-named containers with
+// no capacity check anywhere near them.
+#include <deque>
+#include <queue>
+#include <vector>
+
+struct Pending {
+  int ticket;
+};
+
+struct Controller {
+  std::deque<Pending> queue_;
+  std::vector<int> retry_queue;
+  std::queue<int>* overflow_queue = nullptr;
+
+  void enqueue(const Pending& p) {
+    queue_.push_back(p);  // finding 1: no bound in sight
+  }
+
+  void retry(int ticket) {
+    int widen = ticket * 2;
+    int jitter = widen + 1;
+    (void)jitter;
+    retry_queue.emplace_back(ticket);  // finding 2
+  }
+
+  void spill(int ticket) {
+    overflow_queue->push(ticket);  // finding 3: pointer access too
+  }
+};

@@ -1,0 +1,30 @@
+// UNBOUNDED_QUEUE good fixture: every push is either visibly bounded,
+// suppressed with a justification, or not a queue at all.
+#include <deque>
+#include <vector>
+
+struct Pending {
+  int ticket;
+};
+
+struct Controller {
+  std::deque<Pending> queue_;
+  std::vector<int> retry_queue;
+  std::vector<int> log_lines;  // not queue-named: out of scope
+  std::size_t queue_capacity = 64;
+
+  bool enqueue(const Pending& p) {
+    if (queue_.size() >= queue_capacity) return false;  // the guard
+    queue_.push_back(p);
+    return true;
+  }
+
+  void retry(int ticket) {
+    // sda-lint: allow(UNBOUNDED_QUEUE) drained every tick, bounded by k
+    retry_queue.emplace_back(ticket);
+  }
+
+  void note(int line) {
+    log_lines.push_back(line);  // plain vector, rule does not apply
+  }
+};

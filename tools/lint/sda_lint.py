@@ -29,6 +29,13 @@ rules encode contracts the compiler cannot see:
   ASSERT_SIDE_EFFECT  assert(...) whose argument mutates state (++/--/
                       assignment/reset/erase...); NDEBUG builds skip the
                       argument entirely.
+  UNBOUNDED_QUEUE     push/push_back/emplace into an identifier whose name
+                      contains "queue" with no capacity check in sight
+                      (same line or the few lines above).  Admission and
+                      retry queues are load-bearing backpressure points:
+                      an unchecked push turns overload into unbounded
+                      memory growth.  Check .size() against a capacity
+                      first, or carry an allow() naming the bound.
 
 Suppression: append `// sda-lint: allow(RULE)` on the offending line or
 the line directly above it.  Findings print as `file:line: RULE message`
@@ -378,11 +385,40 @@ def rule_assert_side_effect(rel, lines, findings):
                 "the whole expression"))
 
 
+QUEUE_PUSH_RE = re.compile(
+    r"\b((?:\w+(?:\.|->))*\w*queue\w*)\s*(?:\.|->)\s*"
+    r"(?:push_back|push_front|push|emplace_back|emplace_front|emplace)"
+    r"\s*\(", re.IGNORECASE)
+# Evidence that the push is guarded: a size/capacity comparison close by.
+QUEUE_GUARD_RE = re.compile(
+    r"\.size\s*\(\)|\.length\s*\(\)|capacity|high_water|_cap\b|cap_\b|"
+    r"\bmax_\w+|\bfull\b|\bbounded\b", re.IGNORECASE)
+QUEUE_GUARD_WINDOW = 6  # lines above the push searched for a guard
+
+
+def rule_unbounded_queue(rel, lines, findings):
+    for idx, ln in enumerate(lines):
+        m = QUEUE_PUSH_RE.search(ln.code)
+        if not m:
+            continue
+        lo = max(0, idx - QUEUE_GUARD_WINDOW)
+        guarded = any(QUEUE_GUARD_RE.search(lines[j].code)
+                      for j in range(lo, idx + 1))
+        if guarded or suppressed(lines, idx, "UNBOUNDED_QUEUE"):
+            continue
+        findings.append(Finding(
+            rel, idx + 1, "UNBOUNDED_QUEUE",
+            f"push into '{m.group(1)}' without a visible capacity check; "
+            "bound the queue (compare .size() against a capacity before "
+            "pushing) or carry an allow() naming the bound"))
+
+
 # --- driver ---------------------------------------------------------------
 
 RULES_HELP = [
     "RNG_SOURCE", "STD_FUNCTION", "NAKED_NEW", "FLOAT_EQ", "ENDL",
     "PRAGMA_ONCE", "UNORDERED_ITER", "ASSERT_SIDE_EFFECT",
+    "UNBOUNDED_QUEUE",
 ]
 
 
@@ -400,6 +436,7 @@ def scan_file(root, path, lines, unordered_names, local_names, only_rules):
             rel, lines, findings, unordered_names, local_names),
         "ASSERT_SIDE_EFFECT": lambda: rule_assert_side_effect(
             rel, lines, findings),
+        "UNBOUNDED_QUEUE": lambda: rule_unbounded_queue(rel, lines, findings),
     }
     for rule in RULES_HELP:
         if only_rules and rule not in only_rules:

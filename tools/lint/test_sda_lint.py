@@ -38,6 +38,8 @@ CASES = [
     ("unordered_iter_good.cpp", "UNORDERED_ITER", 0),
     ("assert_side_effect_bad.cpp", "ASSERT_SIDE_EFFECT", 3),
     ("assert_side_effect_good.cpp", "ASSERT_SIDE_EFFECT", 0),
+    ("unbounded_queue_bad.cpp", "UNBOUNDED_QUEUE", 3),
+    ("unbounded_queue_good.cpp", "UNBOUNDED_QUEUE", 0),
 ]
 
 

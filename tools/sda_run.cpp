@@ -13,6 +13,16 @@
 //   --trace <path>    Chrome trace_event JSON of replication 0 — open it
 //                     in https://ui.perfetto.dev (one track per node).
 //
+// A third mode turns the batch tool into a long-running admission
+// service (EXPERIMENTS.md "Serve mode"):
+//
+//   sda_run --serve [--input <path>] [--timing] [key=value ...]
+//
+// reads newline-delimited `sub`/`done` lines from stdin (or a file/FIFO
+// via --input), gates them through the feasibility-based admission
+// controller configured by the admission_* keys, and emits one
+// `sda.admit.v1` JSON-lines decision per submission.
+//
 // Replications run sequentially through exp::run_once with the exact seed
 // schedule of exp::run_experiment (replication_seed), so the determinism
 // fingerprints printed here are byte-identical to the library path — with
@@ -30,6 +40,7 @@
 #include "src/exp/config.hpp"
 #include "src/exp/json_export.hpp"
 #include "src/exp/runner.hpp"
+#include "src/exp/serve.hpp"
 #include "src/metrics/percentile.hpp"
 #include "src/metrics/report.hpp"
 #include "src/metrics/task_class.hpp"
@@ -54,6 +65,12 @@ int usage(const char* argv0, int code) {
       "  --json <path|->    write JSON-lines results (sda.run.v1 per\n"
       "                     replication + sda.report.v1 aggregate)\n"
       "  --trace <path>     write a Chrome/Perfetto trace of replication 0\n"
+      "  --serve            admission-service mode: read sub/done lines\n"
+      "                     from stdin, write sda.admit.v1 decisions\n"
+      "  --input <path>     serve mode: read from a file or FIFO instead\n"
+      "  --timing           serve mode: measure per-decision latency and\n"
+      "                     report P50/P90/P99 + admissions/sec (the\n"
+      "                     summary bytes become nondeterministic)\n"
       "  --list-keys        print every config key with its current value\n"
       "  --list-strategies  print registered PSP and SSP strategies\n"
       "  --validate-only    check the config and exit (0 = valid)\n"
@@ -99,6 +116,22 @@ void print_summary(const exp::ExperimentConfig& config,
                 "%llu events\n",
                 total > 0.0 ? busy / total : 0.0, high_water,
                 static_cast<unsigned long long>(results.front().events_fired));
+    if (results.front().admission_enabled) {
+      const core::AdmissionStats& a = results.front().admission;
+      const core::PlanCache::Stats& pc = results.front().plan_cache;
+      std::printf(
+          "rep 0 admission: %llu admitted (+%llu degraded), %llu rejected, "
+          "%llu shed, final state %s\n"
+          "rep 0 plan cache: %llu hits / %llu misses / %llu evictions\n",
+          static_cast<unsigned long long>(a.admitted),
+          static_cast<unsigned long long>(a.admitted_degraded),
+          static_cast<unsigned long long>(a.rejected),
+          static_cast<unsigned long long>(a.shed),
+          core::to_string(results.front().admission_final_state),
+          static_cast<unsigned long long>(pc.hits),
+          static_cast<unsigned long long>(pc.misses),
+          static_cast<unsigned long long>(pc.evictions));
+    }
   }
 
   if (merged != nullptr) {
@@ -130,9 +163,12 @@ int main(int argc, char** argv) {
 
   std::string json_path;
   std::string trace_path;
+  std::string input_path;
   bool list_keys = false;
   bool list_strategies = false;
   bool validate_only = false;
+  bool serve = false;
+  bool timing = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -149,6 +185,12 @@ int main(int argc, char** argv) {
       json_path = flag_value("--json");
     } else if (arg == "--trace") {
       trace_path = flag_value("--trace");
+    } else if (arg == "--serve") {
+      serve = true;
+    } else if (arg == "--input") {
+      input_path = flag_value("--input");
+    } else if (arg == "--timing") {
+      timing = true;
     } else if (arg == "--list-keys") {
       list_keys = true;
     } else if (arg == "--list-strategies") {
@@ -195,6 +237,29 @@ int main(int argc, char** argv) {
   if (validate_only) {
     std::printf("config valid\n");
     return 0;
+  }
+
+  if (serve) {
+    exp::ServeOptions opts;
+    try {
+      opts.admission = config.admission_config();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 64;
+    }
+    opts.measure_latency = timing;
+    std::ifstream input_file;
+    std::istream* in = &std::cin;
+    if (!input_path.empty()) {
+      input_file.open(input_path);
+      if (!input_file) {
+        std::fprintf(stderr, "cannot open %s\n", input_path.c_str());
+        return 66;
+      }
+      in = &input_file;
+    }
+    const exp::ServeResult r = exp::serve_stream(*in, std::cout, opts);
+    return r.errors == 0 ? 0 : 65;
   }
 
   std::ofstream json_file;
