@@ -4,10 +4,19 @@
 // of regenerating the paper's figures and catch substrate regressions.
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <chrono>
+#include <cstdio>
+#include <cstring>
 #include <sstream>
+#include <thread>
 
 #include "src/core/admission.hpp"
+#include "src/exp/net.hpp"
 #include "src/core/process_manager.hpp"
 #include "src/exp/serve.hpp"
 #include "src/metrics/percentile.hpp"
@@ -248,13 +257,11 @@ void BM_AdmissionDecision(benchmark::State& state) {
 }
 BENCHMARK(BM_AdmissionDecision);
 
-void BM_ServeStream(benchmark::State& state) {
-  // Sustained admissions/sec through the full --serve front door: parse,
-  // gate, emit JSON decision, for a prebuilt script of repeated-template
-  // submissions with periodic completions.
-  constexpr int kSubs = 512;
+/// The --serve script the front-door benchmarks share: @p subs
+/// submissions with a completion every 4th once the pipeline is warm.
+std::string serve_script(int subs) {
   std::string script;
-  for (int i = 1; i <= kSubs; ++i) {
+  for (int i = 1; i <= subs; ++i) {
     std::ostringstream line;
     line << "sub id=" << i << " at=" << (0.25 * i)
          << " deadline=4 tree=[A@" << (i % 8) << ":0.4/0.4 || B@"
@@ -264,6 +271,15 @@ void BM_ServeStream(benchmark::State& state) {
       script += "done id=" + std::to_string(i - 8) + "\n";
     }
   }
+  return script;
+}
+
+void BM_ServeStream(benchmark::State& state) {
+  // Sustained admissions/sec through the full --serve front door: parse,
+  // gate, emit JSON decision, for a prebuilt script of repeated-template
+  // submissions with periodic completions.
+  constexpr int kSubs = 512;
+  const std::string script = serve_script(kSubs);
   exp::ServeOptions opts;
   opts.admission.node_count = 8;
 
@@ -279,6 +295,108 @@ void BM_ServeStream(benchmark::State& state) {
   state.counters["decisions_per_stream"] = static_cast<double>(decisions);
 }
 BENCHMARK(BM_ServeStream);
+
+void BM_ServeSocket(benchmark::State& state) {
+  // End-to-end admissions/sec through the *socket* front door: TCP
+  // loopback, the event loop on its own thread, one client writing the
+  // BM_ServeStream script and reading every routed reply back.  The
+  // delta against BM_ServeStream is the transport tax (epoll wakeups,
+  // line reassembly, reply routing, loopback copies).
+  constexpr int kSubs = 256;
+  std::string script = serve_script(kSubs);
+  // Sentinel tail: an unknown id is answered immediately on the same
+  // connection, so seeing its reply means every earlier reply arrived.
+  script += "done id=999999 at=1000\n";
+  const std::string sentinel = "\"id\":999999";
+
+  for (auto _ : state) {
+    exp::ServeOptions opts;
+    opts.admission.node_count = 8;
+    exp::ServeSession session(opts);
+    exp::net::ServerOptions server_opts;  // 127.0.0.1, ephemeral port
+    exp::net::ServeServer server(session, server_opts);
+    std::string error;
+    if (!server.start(&error)) {
+      state.SkipWithError(error.c_str());
+      return;
+    }
+    std::ostringstream drain;
+    std::thread loop([&] { server.run(drain); });
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(server.bound_port());
+    inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    bool ok = fd >= 0 &&
+              ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                        sizeof addr) == 0;
+    std::size_t off = 0;
+    while (ok && off < script.size()) {
+      const ssize_t n = ::send(fd, script.data() + off, script.size() - off, 0);
+      if (n <= 0) ok = false;
+      else off += static_cast<std::size_t>(n);
+    }
+    std::string received;
+    char buf[4096];
+    while (ok && received.find(sentinel) == std::string::npos) {
+      const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+      if (n <= 0) ok = false;
+      else received.append(buf, static_cast<std::size_t>(n));
+    }
+    if (fd >= 0) ::close(fd);
+    server.request_stop();
+    loop.join();
+    if (!ok) {
+      state.SkipWithError("socket round-trip failed");
+      return;
+    }
+    benchmark::DoNotOptimize(received.size());
+  }
+  state.SetItemsProcessed(state.iterations() * kSubs);
+}
+BENCHMARK(BM_ServeSocket);
+
+void BM_JournalRecoveryReplay(benchmark::State& state) {
+  // Crash-recovery cost: replay an N-record sda.journal.v1 into a
+  // fresh session (the kill -9 startup path).  Setup writes the
+  // journal once by running the script through a journaling session;
+  // the timed loop is open_journal() in replay-only mode.
+  const int subs = static_cast<int>(state.range(0));
+  const std::string path =
+      "/tmp/sda_bench_recovery_" + std::to_string(::getpid()) + ".wal";
+  std::remove(path.c_str());
+  {
+    exp::ServeOptions opts;
+    opts.admission.node_count = 8;
+    opts.journal_path = path;
+    std::istringstream in(serve_script(subs));
+    std::ostringstream out;
+    exp::serve_stream(in, out, opts);
+  }
+
+  std::uint64_t replayed = 0;
+  for (auto _ : state) {
+    exp::ServeOptions opts;
+    opts.admission.node_count = 8;
+    opts.journal_path = path;
+    opts.journal_replay_only = true;
+    exp::ServeSession session(opts);
+    std::string error;
+    if (!session.open_journal(&error)) {
+      state.SkipWithError(error.c_str());
+      std::remove(path.c_str());
+      return;
+    }
+    replayed = session.result().replayed;
+    benchmark::DoNotOptimize(session.state_fingerprint());
+  }
+  std::remove(path.c_str());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(replayed));
+  state.counters["replayed_records"] = static_cast<double>(replayed);
+}
+BENCHMARK(BM_JournalRecoveryReplay)->Arg(512)->Arg(4096);
 
 void BM_WholeReplication(benchmark::State& state) {
   exp::ExperimentConfig c = exp::baseline_config();

@@ -52,8 +52,18 @@ with open(sys.argv[1], "w") as f:
         if i % 5 == 0:
             f.write(f"done id={i - 4}\n")
 PY
+# Most runs in this stream get shed, so the `done` lines frequently
+# target already-retired ids: each is answered with sda.error.v1 and
+# the run exits 65 (answered errors) by contract — that, not 0, is the
+# passing exit code here.  Anything else (ASan abort, validate trip,
+# crash) still fails the gate.
+rc=0
 SDA_VALIDATE=1 "$ASAN_BUILD/tools/sda_run" --serve --input "$SOAK_INPUT" \
-  admission_tests=util,ct,sp k=4 > /dev/null
+  admission_tests=util,ct,sp k=4 > /dev/null || rc=$?
+if [[ "$rc" != 65 && "$rc" != 0 ]]; then
+  echo "FAIL: serve soak exit $rc (expected 0 or 65)" >&2
+  exit 1
+fi
 echo "admission overload soak passed"
 
 # --- ThreadSanitizer pass: pool + determinism tests -----------------------

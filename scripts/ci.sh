@@ -14,27 +14,32 @@
 #      fingerprints in the report match a second exporter-free run.
 #   5. sda_run --serve smoke — a scripted submission stream through the
 #      admission front door: every line parses as JSON, N submissions get
-#      exactly N sda.admit.v1 decisions plus one summary, zero protocol
-#      errors, and a rerun is byte-identical (decision determinism).
+#      exactly N sda.admit.v1 decisions plus one summary, `done` lines for
+#      already-retired ids get structured sda.error.v1 replies, and a
+#      rerun is byte-identical (decision determinism).
+#   6. socket front door — spawn `--serve --listen 127.0.0.1:0 --journal`,
+#      submit over TCP, SIGTERM drain, then verify the drain summary's
+#      journal fingerprint against an offline `--recover-check` replay;
+#      finally a TSan build/run of the multi-client server test.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== [1/4] configure + build ==="
+echo "=== [1/6] configure + build ==="
 cmake -B "$BUILD" -S . > /dev/null
 cmake --build "$BUILD" -j "$(nproc)"
 
 echo ""
-echo "=== [2/4] ctest ==="
+echo "=== [2/6] ctest ==="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
 echo ""
-echo "=== [3/4] static analysis ==="
+echo "=== [3/6] static analysis ==="
 scripts/check_static.sh "$BUILD"
 
 echo ""
-echo "=== [4/5] sda_run smoke + schema check ==="
+echo "=== [4/6] sda_run smoke + schema check ==="
 SMOKE_DIR=$(mktemp -d /tmp/sda_ci.XXXXXX)
 trap 'rm -f "$SMOKE_DIR"/*; rmdir "$SMOKE_DIR"' EXIT
 
@@ -86,7 +91,7 @@ print("smoke ok: schemas valid, 6+1 trace tracks, fingerprints identical "
 PY
 
 echo ""
-echo "=== [5/5] sda_run --serve smoke + schema check ==="
+echo "=== [5/6] sda_run --serve smoke + schema check ==="
 N_SUBS=40
 {
   echo "# ci serve smoke: repeated shapes, a burst, and completions"
@@ -99,10 +104,15 @@ N_SUBS=40
   done
 } > "$SMOKE_DIR/serve_input.txt"
 
-"$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
-  > "$SMOKE_DIR/serve_out.jsonl"
-"$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
-  > "$SMOKE_DIR/serve_out2.jsonl"
+# The stream deliberately contains `done` lines for already-retired ids,
+# so sda_run's EX_DATAERR-style contract (answered errors => exit 65)
+# applies: anything other than 65 here is a real failure.
+rc=0; "$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
+  > "$SMOKE_DIR/serve_out.jsonl" || rc=$?
+[ "$rc" -eq 65 ] || { echo "FAIL: serve exit $rc, expected 65 (answered errors)"; exit 1; }
+rc=0; "$BUILD/tools/sda_run" --serve --input "$SMOKE_DIR/serve_input.txt" \
+  > "$SMOKE_DIR/serve_out2.jsonl" || rc=$?
+[ "$rc" -eq 65 ] || { echo "FAIL: serve rerun exit $rc, expected 65"; exit 1; }
 
 SMOKE_DIR="$SMOKE_DIR" N_SUBS="$N_SUBS" python3 - <<'PY'
 import json, os
@@ -113,15 +123,23 @@ n_subs = int(os.environ["N_SUBS"])
 lines = [json.loads(l) for l in open(os.path.join(d, "serve_out.jsonl"))]
 decisions = [l for l in lines if l["schema"] == "sda.admit.v1"]
 summaries = [l for l in lines if l["schema"] == "sda.serve.summary.v1"]
-assert len(lines) == len(decisions) + len(summaries), "unknown schema in output"
+errors = [l for l in lines if l["schema"] == "sda.error.v1"]
+assert len(lines) == len(decisions) + len(summaries) + len(errors), \
+    "unknown schema in output"
 assert len(summaries) == 1, f"expected 1 summary, got {len(summaries)}"
 summary = summaries[0]
 
-# One decision per submission, none lost, none invented, no errors.
+# One decision per submission, none lost, none invented.
 assert summary["submissions"] == n_subs, summary
 assert summary["decisions"] == n_subs, summary
 assert len(decisions) == n_subs, len(decisions)
-assert summary["errors"] == 0, summary
+# The stream retires ids on a fixed lag, so some `done` lines target
+# runs the controller already shed: each must be *answered* with a
+# structured unknown-id error, and the summary must count them.
+assert summary["errors"] == len(errors), summary
+for err in errors:
+    assert err["code"] == "unknown-id", err
+    assert "id" in err and "reason" in err, err
 assert sorted(dec["id"] for dec in decisions) == list(range(1, n_subs + 1))
 for dec in decisions:
     for key in ("id", "at", "decision", "state", "reason", "pressure"):
@@ -141,8 +159,101 @@ assert a == b, "serve output differs between identical runs"
 
 print(f"serve smoke ok: {n_subs} submissions -> {n_subs} decisions "
       f"({summary['admitted']} admitted, {summary['rejected']} rejected, "
-      f"{summary['shed']} shed), reruns byte-identical")
+      f"{summary['shed']} shed, {len(errors)} answered errors), "
+      f"reruns byte-identical")
 PY
+
+echo ""
+echo "=== [6/6] socket front door: TCP smoke, SIGTERM drain, replay check ==="
+"$BUILD/tools/sda_run" --serve --listen 127.0.0.1:0 \
+  --journal "$SMOKE_DIR/ci.wal" --journal-flush-every 1 \
+  > "$SMOKE_DIR/socket_out.jsonl" &
+SERVER_WAIT_PID=$!
+
+# The banner (first stdout line) carries the ephemeral port and pid.
+for _ in $(seq 1 100); do
+  [ -s "$SMOKE_DIR/socket_out.jsonl" ] && break
+  sleep 0.1
+done
+[ -s "$SMOKE_DIR/socket_out.jsonl" ] || {
+  echo "FAIL: no sda.listen.v1 banner from the socket server"; exit 1;
+}
+
+SMOKE_DIR="$SMOKE_DIR" python3 - <<'PY'
+import json, os, socket
+
+d = os.environ["SMOKE_DIR"]
+banner = json.loads(open(os.path.join(d, "socket_out.jsonl")).readline())
+assert banner["schema"] == "sda.listen.v1", banner
+assert banner["transport"] == "tcp", banner
+
+# Submit over TCP: decisions come back on the submitting connection,
+# and a done for an unknown id is answered, not dropped.  Late
+# submissions park in the admission queue (no instant reply), so the
+# dones below both retire capacity — pumping the parked ones out — and
+# exercise the unknown-id error path; then we collect until every
+# submission is decided.
+conn = socket.create_connection((banner["host"], banner["port"]), timeout=10)
+reader = conn.makefile("r")
+for i in range(1, 9):
+    conn.sendall(
+        f"sub id={i} at={0.5 * i} deadline=6 "
+        f"tree=[A@{i % 6}:1/1 || B@{(i + 2) % 6}:2/2]\n".encode())
+conn.sendall(b"done id=1 at=5\n")
+conn.sendall(b"done id=2 at=5.5\n")
+conn.sendall(b"done id=4242 at=6\n")
+decisions, errors = [], []
+while len(decisions) < 8 or len(errors) < 1:
+    msg = json.loads(reader.readline())
+    if msg["schema"] == "sda.admit.v1":
+        decisions.append(msg)
+    else:
+        assert msg["schema"] == "sda.error.v1", msg
+        errors.append(msg)
+assert sorted(d["id"] for d in decisions) == list(range(1, 9)), decisions
+assert errors[0]["code"] == "unknown-id" and errors[0]["id"] == 4242, errors
+conn.close()
+
+# Hand the pid to the shell for the SIGTERM drain.
+open(os.path.join(d, "server.pid"), "w").write(str(banner["pid"]))
+print(f"socket smoke ok: 8 decisions + 1 answered error over "
+      f"127.0.0.1:{banner['port']} ({banner['backend']})")
+PY
+
+kill -TERM "$(cat "$SMOKE_DIR/server.pid")"
+wait "$SERVER_WAIT_PID"
+
+"$BUILD/tools/sda_run" --recover-check "$SMOKE_DIR/ci.wal" \
+  > "$SMOKE_DIR/recover.jsonl"
+
+SMOKE_DIR="$SMOKE_DIR" python3 - <<'PY'
+import json, os
+
+d = os.environ["SMOKE_DIR"]
+lines = [json.loads(l) for l in open(os.path.join(d, "socket_out.jsonl"))]
+summary = [l for l in lines if l["schema"] == "sda.serve.summary.v1"]
+assert len(summary) == 1, "SIGTERM drain must emit exactly one summary"
+summary = summary[0]
+assert summary["submissions"] == 8, summary
+assert summary["net"]["accepted"] == 1, summary
+assert summary["errors"] == 1, summary
+
+recover = json.loads(open(os.path.join(d, "recover.jsonl")).readline())
+assert recover["schema"] == "sda.recover.v1", recover
+assert recover["ok"] and not recover["truncated"], recover
+# The crash-safety contract in one line: offline replay of the journal
+# reproduces the exact state fingerprint the drain summary published.
+assert recover["fingerprint"] == summary["journal"]["fingerprint"], (
+    recover["fingerprint"], summary["journal"]["fingerprint"])
+print(f"drain + replay ok: journal fingerprint {recover['fingerprint']} "
+      f"matches across {recover['replayed']} replayed records")
+PY
+
+echo ""
+echo "--- TSan pass over the multi-client server ---"
+cmake --preset tsan > /dev/null
+cmake --build build-tsan --target test_net -j "$(nproc)"
+ctest --test-dir build-tsan -R test_net --output-on-failure
 
 echo ""
 echo "CI gate passed."

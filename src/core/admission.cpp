@@ -8,6 +8,7 @@
 
 #include "src/core/invariants.hpp"
 #include "src/util/feq.hpp"
+#include "src/util/fnv.hpp"
 
 namespace sda::core {
 
@@ -237,7 +238,7 @@ void AdmissionController::plan_candidate(const task::TreeNode& tree,
                                          std::uint64_t ticket,
                                          std::vector<LedgerJob>& jobs,
                                          std::vector<int>& sites,
-                                         std::vector<LeafAssignment>& plan,
+                                         std::vector<PlanEntry>& plan,
                                          bool* cache_hit) {
   // Both cache paths evaluate the same normalized computation, so the
   // shifted absolute times below are bit-identical either way.
@@ -265,12 +266,13 @@ void AdmissionController::plan_candidate(const task::TreeNode& tree,
     const NormalizedLeaf& a = (*normalized)[i];
     LedgerJob job;
     job.ticket = ticket;
+    job.leaf = static_cast<std::uint32_t>(i);
     job.release = now + a.planned_dispatch;
     job.deadline = now + a.virtual_deadline;
     job.demand = leaf->pred_exec;
     jobs.push_back(job);
     sites.push_back(leaf->exec_node);
-    plan.push_back({leaf, job.release, job.deadline});
+    plan.push_back({leaf->exec_node, job.release, job.deadline});
     if (leaf->exec_node >= static_cast<int>(ledgers_.size())) {
       ledgers_.resize(static_cast<std::size_t>(leaf->exec_node) + 1);
     }
@@ -501,6 +503,66 @@ void AdmissionController::on_finished(std::uint64_t ticket) {
     std::erase_if(ledger,
                   [ticket](const LedgerJob& j) { return j.ticket == ticket; });
   }
+}
+
+std::size_t AdmissionController::on_leaf_finished(std::uint64_t ticket,
+                                                  std::uint32_t leaf) {
+  std::size_t removed = 0;
+  for (auto& ledger : ledgers_) {
+    removed += std::erase_if(ledger, [ticket, leaf](const LedgerJob& j) {
+      return j.ticket == ticket && j.leaf == leaf;
+    });
+  }
+  return removed;
+}
+
+void AdmissionController::trip_shedding() {
+  // Raise the smoothed pressure to the entry threshold: the state flips
+  // now, and the ordinary EWMA decay in refresh() walks it back out
+  // through the same hysteresis exits as a load-driven trip.
+  pressure_ = std::max(pressure_, config_.enter_shedding);
+  if (state_ != OverloadState::kShedding) {
+    state_ = OverloadState::kShedding;
+    ++stats_.to_shedding;
+  }
+}
+
+std::uint64_t AdmissionController::fingerprint() const {
+  std::uint64_t h = util::kFnvOffsetBasis;
+  util::fnv1a_mix_value(h, static_cast<std::uint32_t>(state_));
+  util::fnv1a_mix_value(h, pressure_);
+  for (const auto& ledger : ledgers_) {
+    const std::uint64_t n = ledger.size();
+    util::fnv1a_mix_value(h, n);
+    for (const LedgerJob& j : ledger) {
+      util::fnv1a_mix_value(h, j.ticket);
+      util::fnv1a_mix_value(h, j.leaf);
+      util::fnv1a_mix_value(h, j.release);
+      util::fnv1a_mix_value(h, j.deadline);
+      util::fnv1a_mix_value(h, j.demand);
+    }
+  }
+  const std::uint64_t depth = queue_.size();
+  util::fnv1a_mix_value(h, depth);
+  for (const Pending& p : queue_) {
+    util::fnv1a_mix_value(h, p.ticket);
+    util::fnv1a_mix_value(h, p.deadline);
+    // Exact byte serialization of the parked tree — the same encoding
+    // the plan cache keys on, so distinct trees never hash alike.
+    const std::string key = plan_cache_key(*p.tree, p.deadline);
+    util::fnv1a_mix(h, key.data(), key.size());
+  }
+  util::fnv1a_mix_value(h, stats_.submitted);
+  util::fnv1a_mix_value(h, stats_.admitted);
+  util::fnv1a_mix_value(h, stats_.admitted_degraded);
+  util::fnv1a_mix_value(h, stats_.rejected);
+  util::fnv1a_mix_value(h, stats_.shed);
+  util::fnv1a_mix_value(h, stats_.backpressure);
+  util::fnv1a_mix_value(h, stats_.queued);
+  util::fnv1a_mix_value(h, stats_.to_degraded);
+  util::fnv1a_mix_value(h, stats_.to_shedding);
+  util::fnv1a_mix_value(h, stats_.to_normal);
+  return h;
 }
 
 }  // namespace sda::core

@@ -43,6 +43,7 @@ namespace sda::core {
 /// the leaf's pex — the demand visible to the service at admission.
 struct LedgerJob {
   std::uint64_t ticket = 0;   ///< caller-chosen id, retires the job
+  std::uint32_t leaf = 0;     ///< DFS leaf index within the ticket's tree
   double release = 0.0;       ///< planned dispatch of the leaf
   double deadline = 0.0;      ///< leaf's (virtual) deadline
   double demand = 0.0;        ///< pex
@@ -131,6 +132,17 @@ struct AdmissionStats {
   std::uint64_t to_normal = 0;
 };
 
+/// Value-type copy of one leaf's assignment in an admitted plan.
+/// Deliberately holds no pointer into the submitted tree: the tree can
+/// die with the submit()/pump() call while the outcome outlives it (the
+/// serve front door renders the reply afterwards — a LeafAssignment
+/// here would be a use-after-free).
+struct PlanEntry {
+  int node = 0;                   ///< exec node of the leaf
+  double planned_dispatch = 0.0;  ///< absolute planned dispatch
+  double virtual_deadline = 0.0;  ///< absolute leaf deadline
+};
+
 /// The verdict on one submission.
 struct AdmissionOutcome {
   AdmissionDecision decision = AdmissionDecision::kReject;
@@ -142,7 +154,7 @@ struct AdmissionOutcome {
   bool cache_hit = false;
   /// Absolute per-leaf assignments (DFS leaf order); empty unless
   /// admitted.  Bit-identical with the plan cache on or off.
-  std::vector<LeafAssignment> plan;
+  std::vector<PlanEntry> plan;
 };
 
 class AdmissionController {
@@ -184,6 +196,28 @@ class AdmissionController {
   /// aborted) — frees its reserved capacity early.
   void on_finished(std::uint64_t ticket);
 
+  /// Reservation-update path: retires only leaf @p leaf of @p ticket
+  /// (that subtask finished), shrinking the completion-time ledgers
+  /// immediately instead of waiting for whole-run retirement.  Returns
+  /// the number of ledger entries removed (0 when the reservation
+  /// already expired — not an error for an admitted run).
+  std::size_t on_leaf_finished(std::uint64_t ticket, std::uint32_t leaf);
+
+  /// External overload trip: forces the state machine into shedding
+  /// and raises the smoothed pressure to the shedding threshold so the
+  /// normal hysteresis path governs recovery.  Used by the serve front
+  /// door when decision latency blows its deadline — a wall-clock
+  /// signal the load-derived pressure cannot see.
+  void trip_shedding();
+
+  /// FNV-1a fingerprint of the complete decision-relevant state:
+  /// overload state, pressure bits, every ledger entry in order, the
+  /// retry queue (tickets, deadlines, exact tree serializations), and
+  /// the decision counters.  Two controllers fed the same accepted
+  /// submissions report the same fingerprint — the equality the
+  /// journal-replay crash tests assert.
+  std::uint64_t fingerprint() const;
+
   OverloadState state() const noexcept { return state_; }
   double pressure() const noexcept { return pressure_; }
   std::size_t queue_depth() const noexcept { return queue_.size(); }
@@ -216,7 +250,7 @@ class AdmissionController {
   void plan_candidate(const task::TreeNode& tree, double now,
                       double deadline, std::uint64_t ticket,
                       std::vector<LedgerJob>& jobs, std::vector<int>& sites,
-                      std::vector<LeafAssignment>& plan, bool* cache_hit);
+                      std::vector<PlanEntry>& plan, bool* cache_hit);
 
   AdmissionConfig config_;
   std::unique_ptr<PspStrategy> psp_;

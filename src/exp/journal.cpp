@@ -1,0 +1,205 @@
+#include "src/exp/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "src/util/fnv.hpp"
+
+namespace sda::exp {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return std::string(buf, 16);
+}
+
+/// Writes all of @p data to @p fd, retrying on EINTR / short writes.
+bool write_all(int fd, const char* data, std::size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+JournalReadResult read_journal(const std::string& path) {
+  JournalReadResult result;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    result.diagnostic = "cannot open " + path;
+    return result;
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kJournalHeader) {
+    result.diagnostic = "missing sda.journal.v1 header";
+    return result;
+  }
+  result.ok = true;
+  std::uint64_t record_no = 0;
+  while (std::getline(in, line)) {
+    ++record_no;
+    const auto torn = [&](const char* why) {
+      result.truncated = true;
+      result.diagnostic = "record " + std::to_string(record_no) + ": " + why;
+    };
+    // "<type> <crc16> <len> <payload>" — reject anything shorter than
+    // the fixed prefix outright.
+    if (line.size() < 2 + 17 + 2 || (line[0] != 'E' && line[0] != 'C') ||
+        line[1] != ' ' || line[18] != ' ') {
+      torn("malformed record framing");
+      break;
+    }
+    std::uint64_t crc = 0;
+    {
+      const char* first = line.data() + 2;
+      const std::from_chars_result r =
+          std::from_chars(first, first + 16, crc, 16);
+      if (r.ec != std::errc() || r.ptr != first + 16) {
+        torn("bad checksum field");
+        break;
+      }
+    }
+    std::size_t len = 0;
+    const std::size_t len_start = 19;
+    const std::size_t len_end = line.find(' ', len_start);
+    if (len_end == std::string::npos) {
+      torn("missing length field");
+      break;
+    }
+    {
+      const char* first = line.data() + len_start;
+      const char* last = line.data() + len_end;
+      const std::from_chars_result r = std::from_chars(first, last, len);
+      if (r.ec != std::errc() || r.ptr != last) {
+        torn("bad length field");
+        break;
+      }
+    }
+    const std::string_view payload =
+        std::string_view(line).substr(len_end + 1);
+    if (payload.size() != len) {
+      torn("length mismatch (torn write)");
+      break;
+    }
+    if (util::fnv1a(payload) != crc) {
+      torn("checksum mismatch");
+      break;
+    }
+    result.records.push_back(JournalRecord{line[0], std::string(payload)});
+  }
+  // A final line without '\n' is only surfaced by getline when it has
+  // content, and the length/crc checks above already reject it.
+  return result;
+}
+
+JournalWriter::~JournalWriter() { close(); }
+
+bool JournalWriter::open(const std::string& path, const Config& config,
+                         std::string* error) {
+  close();
+  config_ = config;
+  failed_ = false;
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) {
+      *error = "cannot open journal " + path + ": " + std::strerror(errno);
+    }
+    return false;
+  }
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size == 0) {
+    const std::string header = std::string(kJournalHeader) + "\n";
+    if (!write_all(fd, header.data(), header.size()) || ::fsync(fd) != 0) {
+      if (error != nullptr) {
+        *error = "cannot write journal header: " +
+                 std::string(std::strerror(errno));
+      }
+      if (::close(fd) != 0) { /* nothing left to salvage */ }
+      return false;
+    }
+  } else {
+    // Appending to an existing journal: it must be one of ours.
+    std::ifstream check(path, std::ios::binary);
+    std::string first;
+    if (!std::getline(check, first) || first != kJournalHeader) {
+      if (error != nullptr) {
+        *error = path + " exists but is not an sda.journal.v1 file";
+      }
+      if (::close(fd) != 0) { /* nothing left to salvage */ }
+      return false;
+    }
+  }
+  fd_ = fd;
+  last_flush_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+bool JournalWriter::append(char type, std::string_view payload,
+                           bool force_flush) {
+  if (fd_ < 0 || failed_) return false;
+  buffer_.push_back(type);
+  buffer_.push_back(' ');
+  buffer_ += hex16(util::fnv1a(payload));
+  buffer_.push_back(' ');
+  buffer_ += std::to_string(payload.size());
+  buffer_.push_back(' ');
+  buffer_ += payload;
+  buffer_.push_back('\n');
+  ++pending_;
+  ++appended_;
+  if (force_flush || pending_ >= config_.flush_every) return flush();
+  return true;
+}
+
+bool JournalWriter::append_event(std::string_view line) {
+  return append('E', line, /*force_flush=*/false);
+}
+
+bool JournalWriter::append_checkpoint(std::string_view summary_json) {
+  return append('C', summary_json, /*force_flush=*/true);
+}
+
+bool JournalWriter::flush() {
+  if (fd_ < 0 || failed_) return false;
+  if (buffer_.empty()) return true;
+  if (!write_all(fd_, buffer_.data(), buffer_.size()) || ::fsync(fd_) != 0) {
+    ++io_errors_;
+    failed_ = true;  // a half-written batch is unrecoverable in-process
+    return false;
+  }
+  buffer_.clear();
+  pending_ = 0;
+  last_flush_ = std::chrono::steady_clock::now();
+  return true;
+}
+
+bool JournalWriter::maybe_flush(std::chrono::steady_clock::time_point now) {
+  if (pending_ == 0) return true;
+  if (now - last_flush_ < config_.flush_interval) return true;
+  return flush();
+}
+
+void JournalWriter::close() {
+  if (fd_ < 0) return;
+  if (!flush()) { /* sticky failure already counted in io_errors_ */ }
+  if (::close(fd_) != 0) ++io_errors_;
+  fd_ = -1;
+}
+
+}  // namespace sda::exp

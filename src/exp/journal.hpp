@@ -1,0 +1,116 @@
+// Write-ahead decision journal for the admission front door
+// (`sda.journal.v1`): crash durability for `sda_run --serve`.
+//
+// The admission controller is a pure function of the accepted input
+// lines, so the journal records exactly those — every *valid,
+// state-changing* protocol line (`sub` after tree validation, `done`
+// for a known run), in application order.  Replaying the journal
+// through a fresh ServeSession reconstructs ledgers, retry queue,
+// overload state, pressure EWMA, and plan cache bit-identically
+// (tests/test_crash_recovery.cpp proves this against kill -9).
+// Malformed lines are answered but never journaled: they change no
+// admission state.
+//
+// On-disk format (text, one record per line, append-only):
+//
+//   sda.journal.v1                          <- header, first line
+//   E <fnv1a64-hex16> <len> <payload>       <- one accepted input line
+//   C <fnv1a64-hex16> <len> <payload>       <- checkpoint (summary JSON)
+//
+// The checksum covers the payload bytes; `len` is the payload length.
+// A crash can only truncate the final record, and any torn tail fails
+// the length or checksum test, so recovery replays the longest valid
+// prefix and reports where (and why) it stopped.  Writes are batched:
+// records buffer in user space and are written + fsync'd every
+// `flush_every` records or when `flush_interval` elapses (the socket
+// event loop calls maybe_flush on its timer tick), and always on
+// checkpoint/close — a bounded-loss window traded for not paying an
+// fsync per decision.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sda::exp {
+
+inline constexpr const char* kJournalHeader = "sda.journal.v1";
+
+struct JournalRecord {
+  char type = 'E';      ///< 'E' = event line, 'C' = checkpoint
+  std::string payload;  ///< the raw protocol line / summary JSON
+};
+
+/// Result of reading a journal back.
+struct JournalReadResult {
+  bool ok = false;                     ///< file opened and header matched
+  std::vector<JournalRecord> records;  ///< longest valid prefix
+  bool truncated = false;              ///< a torn/corrupt tail was dropped
+  std::string diagnostic;              ///< why reading stopped, if it did
+};
+
+/// Reads every valid record from @p path.  Missing file: ok=false with
+/// a diagnostic (callers treat that as "nothing to recover").  A
+/// corrupt or torn record stops the scan — everything before it is
+/// returned, `truncated` is set, and the diagnostic names the spot.
+JournalReadResult read_journal(const std::string& path);
+
+/// Append-only journal writer with batched fsync.
+class JournalWriter {
+ public:
+  struct Config {
+    std::size_t flush_every = 32;  ///< records per write+fsync batch
+    std::chrono::milliseconds flush_interval{100};  ///< wall-clock bound
+  };
+
+  JournalWriter() = default;
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Opens @p path for appending, writing the header if the file is
+  /// new/empty.  An existing file must start with the v1 header.
+  /// Returns false (with @p error set) on open/header mismatch.
+  bool open(const std::string& path, const Config& config,
+            std::string* error);
+
+  bool is_open() const noexcept { return fd_ >= 0; }
+
+  /// Buffers one event record; flushes when the batch is full.
+  /// Returns false once the underlying file has failed (the error is
+  /// sticky; io_errors() counts every failed syscall batch).
+  bool append_event(std::string_view line);
+
+  /// Buffers a checkpoint record and forces a synchronous flush —
+  /// checkpoints exist to be durable.
+  bool append_checkpoint(std::string_view summary_json);
+
+  /// Writes buffered records and fsyncs.  No-op when nothing pending.
+  bool flush();
+
+  /// Timer-driven flush: flushes when `flush_interval` has elapsed
+  /// since the last flush and records are pending.
+  bool maybe_flush(std::chrono::steady_clock::time_point now);
+
+  /// Flushes and closes the fd.
+  void close();
+
+  std::uint64_t records_appended() const noexcept { return appended_; }
+  std::uint64_t io_errors() const noexcept { return io_errors_; }
+
+ private:
+  bool append(char type, std::string_view payload, bool force_flush);
+
+  int fd_ = -1;
+  Config config_;
+  std::string buffer_;           ///< encoded records awaiting write
+  std::size_t pending_ = 0;      ///< records in buffer_
+  std::uint64_t appended_ = 0;   ///< records accepted (buffered or written)
+  std::uint64_t io_errors_ = 0;
+  bool failed_ = false;          ///< sticky after an unrecoverable error
+  std::chrono::steady_clock::time_point last_flush_{};
+};
+
+}  // namespace sda::exp

@@ -1,0 +1,611 @@
+#include "src/exp/net.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+#include "src/metrics/json_writer.hpp"
+
+namespace sda::exp::net {
+
+namespace {
+
+std::uint64_t steady_ms() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+bool set_cloexec(int fd) {
+  const int flags = ::fcntl(fd, F_GETFD, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC) == 0;
+}
+
+}  // namespace
+
+bool parse_listen_spec(const std::string& text, ListenSpec* spec,
+                       std::string* error) {
+  if (text.rfind("unix:", 0) == 0) {
+    const std::string path = text.substr(5);
+    if (path.empty()) {
+      if (error != nullptr) *error = "unix: listen spec needs a path";
+      return false;
+    }
+    if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+      if (error != nullptr) *error = "unix socket path too long";
+      return false;
+    }
+    spec->kind = ListenSpec::Kind::kUnix;
+    spec->path = path;
+    return true;
+  }
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size()) {
+    if (error != nullptr) {
+      *error =
+          "listen spec must be host:port or unix:/path, got '" + text + "'";
+    }
+    return false;
+  }
+  const std::string_view port_text = std::string_view(text).substr(colon + 1);
+  std::uint16_t port = 0;
+  const char* first = port_text.data();
+  const char* last = port_text.data() + port_text.size();
+  const std::from_chars_result r = std::from_chars(first, last, port);
+  if (r.ec != std::errc() || r.ptr != last) {
+    if (error != nullptr) *error = "bad port '" + std::string(port_text) + "'";
+    return false;
+  }
+  spec->kind = ListenSpec::Kind::kTcp;
+  spec->host = text.substr(0, colon);
+  spec->port = port;
+  return true;
+}
+
+// --- Poller --------------------------------------------------------------
+
+Poller::Poller() {
+#ifdef __linux__
+  const char* force_poll = std::getenv("SDA_NET_POLL");
+  if (force_poll == nullptr || force_poll[0] == '\0' ||
+      force_poll[0] == '0') {
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    // epoll_fd_ stays -1 on failure: silently degrade to poll.
+  }
+#endif
+}
+
+Poller::~Poller() {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    if (::close(epoll_fd_) != 0) { /* shutting down anyway */ }
+  }
+#endif
+}
+
+bool Poller::add(int fd, bool want_write) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) return false;
+  }
+#endif
+  interest_[fd] = want_write;
+  return true;
+}
+
+bool Poller::update(int fd, bool want_write) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) return false;
+  }
+#endif
+  interest_[fd] = want_write;
+  return true;
+}
+
+void Poller::remove(int fd) {
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0) {
+      // Removing an already-closed fd is fine.
+    }
+  }
+#endif
+  interest_.erase(fd);
+}
+
+bool Poller::wait(int timeout_ms, std::vector<Event>& events) {
+  events.clear();
+#ifdef __linux__
+  if (epoll_fd_ >= 0) {
+    epoll_event ready[64];
+    const int n = ::epoll_wait(epoll_fd_, ready, 64, timeout_ms);
+    if (n < 0) return errno == EINTR;
+    for (int i = 0; i < n; ++i) {
+      Event ev;
+      ev.fd = ready[i].data.fd;
+      ev.readable = (ready[i].events & (EPOLLIN | EPOLLHUP)) != 0;
+      ev.writable = (ready[i].events & EPOLLOUT) != 0;
+      ev.error = (ready[i].events & EPOLLERR) != 0;
+      events.push_back(ev);
+    }
+    return true;
+  }
+#endif
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, want_write] : interest_) {
+    pollfd p{};
+    p.fd = fd;
+    p.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int n = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (n < 0) return errno == EINTR;
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    Event ev;
+    ev.fd = p.fd;
+    ev.readable = (p.revents & (POLLIN | POLLHUP)) != 0;
+    ev.writable = (p.revents & POLLOUT) != 0;
+    ev.error = (p.revents & (POLLERR | POLLNVAL)) != 0;
+    events.push_back(ev);
+  }
+  return true;
+}
+
+// --- ServeServer ---------------------------------------------------------
+
+ServeServer::ServeServer(ServeSession& session, const ServerOptions& options)
+    : session_(session), options_(options) {}
+
+ServeServer::~ServeServer() {
+  for (const auto& [fd, conn] : connections_) {
+    if (::close(fd) != 0) { /* already gone */ }
+  }
+  connections_.clear();
+  if (listen_fd_ >= 0) {
+    if (::close(listen_fd_) != 0) { /* nothing to do */ }
+  }
+  if (stop_read_fd_ >= 0) {
+    if (::close(stop_read_fd_) != 0) { /* ditto */ }
+  }
+  if (stop_write_fd_ >= 0) {
+    if (::close(stop_write_fd_) != 0) { /* ditto */ }
+  }
+  if (options_.listen.kind == ListenSpec::Kind::kUnix &&
+      !options_.listen.path.empty()) {
+    if (::unlink(options_.listen.path.c_str()) != 0) { /* best effort */ }
+  }
+}
+
+bool ServeServer::start(std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    return false;
+  };
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) return fail("pipe");
+  stop_read_fd_ = pipe_fds[0];
+  stop_write_fd_ = pipe_fds[1];
+  if (!set_nonblocking(stop_read_fd_) || !set_nonblocking(stop_write_fd_) ||
+      !set_cloexec(stop_read_fd_) || !set_cloexec(stop_write_fd_)) {
+    return fail("fcntl(stop pipe)");
+  }
+
+  if (options_.listen.kind == ListenSpec::Kind::kUnix) {
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket(unix)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.listen.path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::unlink(options_.listen.path.c_str()) != 0) { /* fresh path */ }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind(" + options_.listen.path + ")");
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) return fail("socket(tcp)");
+    const int one = 1;
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                     sizeof one) != 0) {
+      return fail("setsockopt(SO_REUSEADDR)");
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.listen.port);
+    if (::inet_pton(AF_INET, options_.listen.host.c_str(), &addr.sin_addr) !=
+        1) {
+      if (error != nullptr) {
+        *error = "bad listen host '" + options_.listen.host +
+                 "' (IPv4 literal required)";
+      }
+      return false;
+    }
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof addr) != 0) {
+      return fail("bind(" + options_.listen.host + ":" +
+                  std::to_string(options_.listen.port) + ")");
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0) {
+      return fail("getsockname");
+    }
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (!set_nonblocking(listen_fd_) || !set_cloexec(listen_fd_)) {
+    return fail("fcntl(listener)");
+  }
+  if (::listen(listen_fd_, 64) != 0) return fail("listen");
+  if (!poller_.add(listen_fd_, /*want_write=*/false) ||
+      !poller_.add(stop_read_fd_, /*want_write=*/false)) {
+    return fail("poller add");
+  }
+  return true;
+}
+
+std::string ServeServer::banner() const {
+  std::ostringstream out;
+  metrics::JsonWriter w(out);
+  w.begin_object().kv("schema", "sda.listen.v1");
+  if (options_.listen.kind == ListenSpec::Kind::kUnix) {
+    w.kv("transport", "unix").kv("path", options_.listen.path);
+  } else {
+    w.kv("transport", "tcp")
+        .kv("host", options_.listen.host)
+        .kv("port", static_cast<std::uint64_t>(bound_port_));
+  }
+  w.kv("backend", poller_.using_epoll() ? "epoll" : "poll")
+      .kv("pid", static_cast<std::uint64_t>(::getpid()))
+      .end_object();
+  return std::move(out).str();
+}
+
+void ServeServer::request_stop() {
+  // Async-signal-safe: one write, no locks, no allocation.
+  const char byte = 's';
+  if (stop_write_fd_ >= 0) {
+    if (::write(stop_write_fd_, &byte, 1) != 1) {
+      // A full pipe means a stop is already pending — good enough.
+    }
+  }
+}
+
+void ServeServer::accept_clients() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN or a transient error: next readiness round
+    }
+    if (connections_.size() >= options_.max_connections) {
+      ++stats_.rejected_connections;
+      if (::close(fd) != 0) { /* rejected anyway */ }
+      continue;
+    }
+    if (!set_nonblocking(fd) || !set_cloexec(fd) ||
+        !poller_.add(fd, /*want_write=*/false)) {
+      if (::close(fd) != 0) { /* setup failed */ }
+      continue;
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.splitter = LineSplitter(options_.max_line_bytes);
+    conn.last_activity_ms = steady_ms();
+    connections_.emplace(fd, std::move(conn));
+    ++stats_.accepted;
+  }
+}
+
+void ServeServer::send_to(Connection& conn, std::string_view bytes) {
+  conn.outbox.append(bytes.data(), bytes.size());
+  // Opportunistic immediate write keeps the common case buffer-free.
+  while (conn.sent < conn.outbox.size()) {
+    const ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.sent,
+                              conn.outbox.size() - conn.sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN or a real error; the poller will tell us
+    }
+    conn.sent += static_cast<std::size_t>(n);
+  }
+  if (conn.sent == conn.outbox.size()) {
+    conn.outbox.clear();
+    conn.sent = 0;
+    if (!poller_.update(conn.fd, /*want_write=*/false)) { /* next tick */ }
+    return;
+  }
+  if (conn.outbox.size() - conn.sent > options_.max_write_buffer) {
+    // Slow-client backpressure: the peer is not reading its decisions.
+    ++stats_.evicted_slow;
+    close_connection(conn.fd);
+    return;
+  }
+  if (!poller_.update(conn.fd, /*want_write=*/true)) { /* next tick */ }
+}
+
+void ServeServer::handle_writable(Connection& conn) {
+  while (conn.sent < conn.outbox.size()) {
+    const ssize_t n = ::write(conn.fd, conn.outbox.data() + conn.sent,
+                              conn.outbox.size() - conn.sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      close_connection(conn.fd);
+      return;
+    }
+    conn.sent += static_cast<std::size_t>(n);
+  }
+  conn.outbox.clear();
+  conn.sent = 0;
+  if (conn.draining) {
+    close_connection(conn.fd);
+    return;
+  }
+  if (!poller_.update(conn.fd, /*want_write=*/false)) { /* next tick */ }
+}
+
+void ServeServer::route_replies(
+    Connection* origin, const std::vector<ServeSession::Reply>& replies) {
+  for (const ServeSession::Reply& reply : replies) {
+    if (reply.kind == ServeSession::ReplyKind::kSummary) continue;
+    int target_fd = origin != nullptr ? origin->fd : -1;
+    if (reply.kind == ServeSession::ReplyKind::kDecision && reply.has_id) {
+      const auto route = id_routes_.find(reply.id);
+      if (route != id_routes_.end()) {
+        target_fd = route->second;
+        // A decision is final: the route has served its purpose.
+        id_routes_.erase(route);
+      }
+    }
+    const auto it =
+        target_fd >= 0 ? connections_.find(target_fd) : connections_.end();
+    if (it == connections_.end()) {
+      ++stats_.orphaned_replies;
+      continue;
+    }
+    send_to(it->second, reply.line);
+  }
+}
+
+void ServeServer::feed_line(Connection& conn, std::string_view line,
+                            bool oversized) {
+  ++stats_.lines;
+  // Pre-parse (cheap, bounded) to learn whether this is a submission —
+  // its decision may resolve long after this call, triggered by another
+  // client, so the id -> connection route must exist before the
+  // admission controller ever sees the line.
+  bool registered_here = false;
+  std::uint64_t sub_id = 0;
+  if (!oversized) {
+    const ParsedLine peek = parse_serve_line(line, ProtocolLimits{});
+    if (peek.verb == "sub" && peek.has_id &&
+        id_routes_.find(peek.id) == id_routes_.end()) {
+      id_routes_.emplace(peek.id, conn.fd);
+      registered_here = true;
+      sub_id = peek.id;
+    }
+  }
+  std::vector<ServeSession::Reply> replies;
+  if (oversized) {
+    // The splitter handed over a truncated prefix and is discarding the
+    // rest; answer directly instead of feeding a half line through the
+    // session (whose own limit check would see a plausible length).
+    ServeSession::Reply r;
+    r.kind = ServeSession::ReplyKind::kError;
+    std::ostringstream text;
+    metrics::JsonWriter w(text);
+    w.begin_object()
+        .kv("schema", "sda.error.v1")
+        .kv("code", to_string(ProtocolErrorCode::kLimit))
+        .kv("reason", "line exceeds transport limit")
+        .end_object();
+    text << "\n";
+    r.line = std::move(text).str();
+    replies.push_back(std::move(r));
+  } else {
+    session_.handle_line(line, replies);
+  }
+  if (registered_here) {
+    // If the line itself failed (bad tree, duplicate, …) no decision
+    // will ever come; drop the tentative route.
+    for (const ServeSession::Reply& reply : replies) {
+      if (reply.kind == ServeSession::ReplyKind::kError && reply.has_id &&
+          reply.id == sub_id) {
+        id_routes_.erase(sub_id);
+        break;
+      }
+    }
+  }
+  route_replies(&conn, replies);
+}
+
+void ServeServer::handle_readable(Connection& conn) {
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn.fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn.fd);
+      return;
+    }
+    const int fd = conn.fd;
+    if (n == 0) {
+      // Peer closed: a final unterminated line still counts (matching
+      // the istream harness's getline semantics), then flush replies.
+      conn.splitter.finish([&](std::string_view line, bool oversized) {
+        feed_line(conn, line, oversized);
+      });
+      const auto it = connections_.find(fd);
+      if (it != connections_.end()) {
+        if (it->second.outbox.empty()) {
+          close_connection(fd);
+        } else {
+          it->second.draining = true;  // flush pending replies first
+        }
+      }
+      return;
+    }
+    conn.last_activity_ms = steady_ms();
+    const bool had_partial = conn.splitter.has_partial();
+    conn.splitter.feed(std::string_view(buf, static_cast<std::size_t>(n)),
+                       [&](std::string_view line, bool oversized) {
+                         feed_line(conn, line, oversized);
+                       });
+    // feed_line can evict (slow client); re-check before touching state.
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    if (conn.splitter.has_partial()) {
+      if (!had_partial || conn.partial_since_ms == 0) {
+        conn.partial_since_ms = conn.last_activity_ms;
+      }
+    } else {
+      conn.partial_since_ms = 0;
+    }
+  }
+}
+
+void ServeServer::close_connection(int fd) {
+  const auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  poller_.remove(fd);
+  if (::close(fd) != 0) { /* nothing better to do */ }
+  connections_.erase(it);
+  // Routes pointing at this client stay: later decisions for its
+  // submissions surface as orphaned_replies, which is the honest count.
+}
+
+void ServeServer::enforce_timeouts(std::uint64_t now_ms) {
+  std::vector<int> idle, stuck;
+  for (const auto& [fd, conn] : connections_) {
+    if (options_.idle_timeout_ms > 0 &&
+        now_ms - conn.last_activity_ms >
+            static_cast<std::uint64_t>(options_.idle_timeout_ms)) {
+      idle.push_back(fd);
+    } else if (options_.request_timeout_ms > 0 &&
+               conn.partial_since_ms != 0 &&
+               now_ms - conn.partial_since_ms >
+                   static_cast<std::uint64_t>(options_.request_timeout_ms)) {
+      stuck.push_back(fd);
+    }
+  }
+  for (const int fd : idle) {
+    ++stats_.evicted_idle;
+    close_connection(fd);
+  }
+  for (const int fd : stuck) {
+    ++stats_.evicted_request;
+    close_connection(fd);
+  }
+}
+
+void ServeServer::drain(std::ostream& out) {
+  // Stop accepting; the fd stays open until destruction so late
+  // connectors queue against a dead listener instead of racing a
+  // rebinding of the port.
+  poller_.remove(listen_fd_);
+
+  std::vector<ServeSession::Reply> replies;
+  session_.finish(replies, &stats_);
+  route_replies(nullptr, replies);
+  for (const ServeSession::Reply& reply : replies) {
+    if (reply.kind == ServeSession::ReplyKind::kSummary) out << reply.line;
+  }
+  out.flush();
+
+  // Best-effort outbox flush inside the drain budget.
+  const std::uint64_t deadline =
+      steady_ms() + static_cast<std::uint64_t>(options_.drain_timeout_ms);
+  std::vector<Poller::Event> events;
+  while (steady_ms() < deadline) {
+    bool pending = false;
+    for (const auto& [fd, conn] : connections_) {
+      if (!conn.outbox.empty()) pending = true;
+    }
+    if (!pending) break;
+    if (!poller_.wait(10, events)) break;
+    for (const Poller::Event& ev : events) {
+      const auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;
+      if (ev.writable || ev.readable || ev.error) handle_writable(it->second);
+    }
+  }
+  std::vector<int> open_fds;
+  for (const auto& [fd, conn] : connections_) open_fds.push_back(fd);
+  for (const int fd : open_fds) close_connection(fd);
+}
+
+int ServeServer::run(std::ostream& out) {
+  std::vector<Poller::Event> events;
+  while (!stop_requested_) {
+    if (!poller_.wait(options_.tick_ms, events)) return 1;
+    for (const Poller::Event& ev : events) {
+      if (ev.fd == stop_read_fd_) {
+        char sink[16];
+        while (::read(stop_read_fd_, sink, sizeof sink) > 0) {
+        }
+        stop_requested_ = true;
+        continue;
+      }
+      if (ev.fd == listen_fd_) {
+        accept_clients();
+        continue;
+      }
+      const auto it = connections_.find(ev.fd);
+      if (it == connections_.end()) continue;
+      if (ev.error) {
+        close_connection(ev.fd);
+        continue;
+      }
+      if (ev.writable) {
+        handle_writable(it->second);
+        if (connections_.find(ev.fd) == connections_.end()) continue;
+      }
+      if (ev.readable) handle_readable(it->second);
+    }
+    enforce_timeouts(steady_ms());
+    session_.on_tick();  // journal flush-interval enforcement
+  }
+  drain(out);
+  return 0;
+}
+
+}  // namespace sda::exp::net

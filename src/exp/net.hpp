@@ -1,0 +1,164 @@
+// The socket transport for the admission front door: a single-threaded
+// non-blocking event loop (epoll on Linux, poll everywhere else /
+// when SDA_NET_POLL=1) that drives one shared ServeSession.
+//
+// Service model: any number of clients connect and write protocol
+// lines; every decision is routed back to the connection that
+// submitted the run — including decisions that resolve later, when a
+// *different* client's `done` frees the capacity a parked submission
+// was waiting for.  Replies for a client that has since disconnected
+// are counted (`orphaned_replies`) and dropped; the admission state
+// they changed stands, exactly as it would have in-stream.
+//
+// Robustness contract, enforced per connection:
+//   * bounded read buffering — LineSplitter truncates oversized lines,
+//     so a client without newlines cannot grow memory;
+//   * bounded write buffering — a client that stops reading while
+//     decisions accumulate is evicted (slow-client backpressure)
+//     rather than ballooning the server;
+//   * idle and partial-line (request) timeouts evict dead peers.
+//
+// Shutdown: request_stop() is async-signal-safe (one write to a
+// self-pipe).  The loop then drains: stops accepting, processes the
+// complete lines already received, flushes write buffers briefly,
+// journals a checkpoint, and emits the summary record on the control
+// stream.  kill -9 is the *other* supported shutdown: the journal
+// replays (see journal.hpp).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/exp/protocol.hpp"
+#include "src/exp/serve.hpp"
+
+namespace sda::exp::net {
+
+/// A parsed --listen address: "host:port" (TCP; port 0 = ephemeral,
+/// the bound port is reported in the sda.listen.v1 banner) or
+/// "unix:/path" (stream socket; the path is unlinked on close).
+struct ListenSpec {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string path;  ///< unix-domain socket path
+};
+
+/// Parses @p text into @p spec.  Returns false with a message in
+/// @p error on malformed input.
+bool parse_listen_spec(const std::string& text, ListenSpec* spec,
+                       std::string* error);
+
+struct ServerOptions {
+  ListenSpec listen;
+  std::size_t max_connections = 64;
+  /// Per-connection line-assembly bound (LineSplitter truncation).
+  std::size_t max_line_bytes = 64 * 1024;
+  /// Eviction threshold for a connection's pending outbound bytes.
+  std::size_t max_write_buffer = 1 << 20;
+  int idle_timeout_ms = 30'000;    ///< no bytes at all from the peer
+  int request_timeout_ms = 5'000;  ///< an unfinished line this old
+  int tick_ms = 50;                ///< event-loop timer granularity
+  int drain_timeout_ms = 1'000;    ///< write-flush budget at shutdown
+};
+
+/// Minimal readiness-API shim: epoll where available, poll otherwise.
+/// Level-triggered semantics in both backends (the loop re-arms write
+/// interest only while bytes are pending, so level-triggered is cheap).
+class Poller {
+ public:
+  struct Event {
+    int fd = -1;
+    bool readable = false;
+    bool writable = false;
+    bool error = false;
+  };
+
+  Poller();
+  ~Poller();
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  bool add(int fd, bool want_write);
+  bool update(int fd, bool want_write);
+  void remove(int fd);
+  /// Blocks up to @p timeout_ms; fills @p events with ready fds.
+  /// Returns false on an unrecoverable backend error.
+  bool wait(int timeout_ms, std::vector<Event>& events);
+  bool using_epoll() const noexcept { return epoll_fd_ >= 0; }
+
+ private:
+  int epoll_fd_ = -1;                 ///< -1 = poll fallback
+  std::map<int, bool> interest_;      ///< fd -> want_write (poll backend)
+};
+
+/// One accepted client.
+struct Connection {
+  int fd = -1;
+  LineSplitter splitter{0};
+  std::string outbox;          ///< unsent reply bytes
+  std::size_t sent = 0;        ///< outbox prefix already written
+  std::uint64_t last_activity_ms = 0;
+  std::uint64_t partial_since_ms = 0;  ///< first byte of an unfinished line
+  bool draining = false;       ///< flush outbox, then close
+};
+
+class ServeServer {
+ public:
+  ServeServer(ServeSession& session, const ServerOptions& options);
+  ~ServeServer();
+  ServeServer(const ServeServer&) = delete;
+  ServeServer& operator=(const ServeServer&) = delete;
+
+  /// Binds and listens.  After success bound_port() reports the real
+  /// port (meaningful with port 0).
+  bool start(std::string* error);
+
+  /// The sda.listen.v1 banner line (includes the bound address) that
+  /// sda_run prints on stdout so scripts can discover an ephemeral
+  /// port.  Valid after start().
+  std::string banner() const;
+
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+  /// Runs the event loop until request_stop().  Drain output (the
+  /// summary record) goes to @p out.  Returns 0 on a clean drain,
+  /// 1 on an unrecoverable loop error.
+  int run(std::ostream& out);
+
+  /// Async-signal-safe stop: one byte down the self-pipe.  Safe to
+  /// call from a signal handler or another thread.
+  void request_stop();
+
+  const ServeNetStats& stats() const noexcept { return stats_; }
+
+ private:
+  void accept_clients();
+  void handle_readable(Connection& conn);
+  void handle_writable(Connection& conn);
+  void feed_line(Connection& conn, std::string_view line, bool oversized);
+  void route_replies(Connection* origin,
+                     const std::vector<ServeSession::Reply>& replies);
+  void send_to(Connection& conn, std::string_view bytes);
+  void close_connection(int fd);
+  void enforce_timeouts(std::uint64_t now_ms);
+  void drain(std::ostream& out);
+
+  ServeSession& session_;
+  ServerOptions options_;
+  Poller poller_;
+  int listen_fd_ = -1;
+  int stop_read_fd_ = -1;
+  int stop_write_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  bool stop_requested_ = false;
+  std::map<int, Connection> connections_;       ///< fd -> state
+  std::map<std::uint64_t, int> id_routes_;      ///< run id -> owning fd
+  ServeNetStats stats_;
+};
+
+}  // namespace sda::exp::net

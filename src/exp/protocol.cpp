@@ -1,0 +1,177 @@
+#include "src/exp/protocol.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+
+namespace sda::exp {
+
+namespace {
+
+bool is_sep(char c) noexcept { return c == ' ' || c == '\t'; }
+
+/// from_chars wrapper: the whole value must be consumed (no trailing
+/// junk, no leading whitespace — stricter than the old stoull/stod
+/// path, which silently ignored trailing garbage).
+template <typename T>
+bool parse_number(std::string_view value, T* out) {
+  if (value.empty()) return false;
+  const char* first = value.data();
+  const char* last = value.data() + value.size();
+  const std::from_chars_result r = std::from_chars(first, last, *out);
+  return r.ec == std::errc() && r.ptr == last;
+}
+
+ParsedLine fail(ParsedLine line, ProtocolErrorCode code, std::string message) {
+  line.code = code;
+  line.error = std::move(message);
+  return line;
+}
+
+}  // namespace
+
+const char* to_string(ProtocolErrorCode code) noexcept {
+  switch (code) {
+    case ProtocolErrorCode::kNone: return "none";
+    case ProtocolErrorCode::kParse: return "parse";
+    case ProtocolErrorCode::kLimit: return "limit";
+    case ProtocolErrorCode::kVerb: return "verb";
+    case ProtocolErrorCode::kField: return "field";
+    case ProtocolErrorCode::kClock: return "clock";
+    case ProtocolErrorCode::kTree: return "tree";
+    case ProtocolErrorCode::kUnknownId: return "unknown-id";
+    case ProtocolErrorCode::kDuplicateId: return "duplicate-id";
+    case ProtocolErrorCode::kIo: return "io";
+  }
+  return "?";
+}
+
+ParsedLine parse_serve_line(std::string_view text,
+                            const ProtocolLimits& limits) {
+  ParsedLine line;
+  if (!text.empty() && text.back() == '\r') text.remove_suffix(1);
+  if (text.empty() || text.front() == '#') {
+    line.ignorable = true;
+    return line;
+  }
+  if (text.size() > limits.max_line_bytes) {
+    return fail(std::move(line), ProtocolErrorCode::kLimit,
+                "line exceeds " + std::to_string(limits.max_line_bytes) +
+                    " bytes");
+  }
+  if (text.find('\0') != std::string_view::npos) {
+    return fail(std::move(line), ProtocolErrorCode::kParse,
+                "embedded NUL byte");
+  }
+
+  std::size_t pos = 0;
+  const auto skip_sep = [&] {
+    while (pos < text.size() && is_sep(text[pos])) ++pos;
+  };
+  const auto next_token = [&]() -> std::string_view {
+    const std::size_t start = pos;
+    while (pos < text.size() && !is_sep(text[pos])) ++pos;
+    return text.substr(start, pos - start);
+  };
+
+  skip_sep();
+  line.verb = std::string(next_token());
+  if (line.verb.empty()) {
+    return fail(std::move(line), ProtocolErrorCode::kVerb,
+                "unknown verb ''");
+  }
+
+  std::size_t fields = 0;
+  bool saw_id = false, saw_at = false, saw_deadline = false, saw_leaf = false;
+  for (skip_sep(); pos < text.size(); skip_sep()) {
+    if (++fields > limits.max_fields) {
+      return fail(std::move(line), ProtocolErrorCode::kLimit,
+                  "more than " + std::to_string(limits.max_fields) +
+                      " fields");
+    }
+    // Peek the key first: tree= swallows the rest of the line (the
+    // notation's serial separator is a space), everything else is a
+    // space-delimited token.
+    const std::size_t token_start = pos;
+    std::string_view token = next_token();
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return fail(std::move(line), ProtocolErrorCode::kParse,
+                  "expected key=value, got '" + std::string(token) + "'");
+    }
+    const std::string_view key = token.substr(0, eq);
+    std::string_view value = token.substr(eq + 1);
+    if (key == "tree") {
+      value = text.substr(token_start + eq + 1);
+      pos = text.size();
+      if (value.size() > limits.max_tree_bytes) {
+        return fail(std::move(line), ProtocolErrorCode::kLimit,
+                    "tree exceeds " + std::to_string(limits.max_tree_bytes) +
+                        " bytes");
+      }
+      if (line.has_tree) {
+        return fail(std::move(line), ProtocolErrorCode::kParse,
+                    "duplicate key 'tree'");
+      }
+      line.tree = std::string(value);
+      line.has_tree = true;
+      continue;
+    }
+    if (value.size() > limits.max_value_bytes) {
+      return fail(std::move(line), ProtocolErrorCode::kLimit,
+                  "value for '" + std::string(key) + "' exceeds " +
+                      std::to_string(limits.max_value_bytes) + " bytes");
+    }
+    const auto bad_value = [&] {
+      return fail(std::move(line), ProtocolErrorCode::kParse,
+                  "bad value for '" + std::string(key) + "': '" +
+                      std::string(value) + "'");
+    };
+    if (key == "id") {
+      if (saw_id) {
+        return fail(std::move(line), ProtocolErrorCode::kParse,
+                    "duplicate key 'id'");
+      }
+      saw_id = true;
+      if (!parse_number(value, &line.id)) return bad_value();
+      line.has_id = true;
+    } else if (key == "at") {
+      if (saw_at) {
+        return fail(std::move(line), ProtocolErrorCode::kParse,
+                    "duplicate key 'at'");
+      }
+      saw_at = true;
+      // Non-finite times would poison the monotonic clock (NaN compares
+      // false against everything) — reject at the parser.
+      if (!parse_number(value, &line.at) || !std::isfinite(line.at)) {
+        return bad_value();
+      }
+      line.has_at = true;
+    } else if (key == "deadline") {
+      if (saw_deadline) {
+        return fail(std::move(line), ProtocolErrorCode::kParse,
+                    "duplicate key 'deadline'");
+      }
+      saw_deadline = true;
+      if (!parse_number(value, &line.deadline) ||
+          !std::isfinite(line.deadline)) {
+        return bad_value();
+      }
+      line.has_deadline = true;
+    } else if (key == "leaf") {
+      if (saw_leaf) {
+        return fail(std::move(line), ProtocolErrorCode::kParse,
+                    "duplicate key 'leaf'");
+      }
+      saw_leaf = true;
+      if (!parse_number(value, &line.leaf)) return bad_value();
+      line.has_leaf = true;
+    } else {
+      return fail(std::move(line), ProtocolErrorCode::kParse,
+                  "unknown key '" + std::string(key) + "'");
+    }
+  }
+  return line;
+}
+
+}  // namespace sda::exp

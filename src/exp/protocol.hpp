@@ -1,0 +1,140 @@
+// The serve-mode wire protocol: a strict incremental line parser with
+// explicit limits, shared by the istream harness (exp::serve_stream)
+// and the socket front door (exp::net::ServeServer).
+//
+// One record per newline-terminated line:
+//
+//   sub id=<u64> at=<t> deadline=<rel> tree=<notation to end of line>
+//   done id=<u64> [at=<t>] [leaf=<u32>]
+//   # comment — ignored, as are blank lines
+//
+// Hardening contract: parsing NEVER throws and NEVER aborts the
+// process, whatever the bytes.  Every malformed line yields a
+// ParsedLine whose `error` is non-empty (with a machine-readable
+// `code`), which the session answers with one `sda.error.v1` reply.
+// Numbers parse through std::from_chars — locale-independent, no
+// exceptions, trailing junk rejected — and size limits bound every
+// allocation a hostile client can force.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace sda::exp {
+
+/// Bounds a single protocol line.  Defaults are generous for real
+/// workloads and tight enough that a hostile client cannot force
+/// unbounded allocation or a deep notation-parser recursion.
+struct ProtocolLimits {
+  std::size_t max_line_bytes = 64 * 1024;  ///< whole line, pre-split
+  std::size_t max_tree_bytes = 8 * 1024;   ///< the tree= payload
+  std::size_t max_value_bytes = 64;        ///< any non-tree value
+  std::size_t max_fields = 16;             ///< key=value fields per line
+};
+
+/// Machine-readable category for sda.error.v1 replies.
+enum class ProtocolErrorCode {
+  kNone,       ///< line parsed clean
+  kParse,      ///< malformed token / bad value / duplicate key
+  kLimit,      ///< a ProtocolLimits bound was exceeded
+  kVerb,       ///< unknown verb
+  kField,      ///< missing or out-of-range field
+  kClock,      ///< stream clock violation (set by the session)
+  kTree,       ///< notation parse / validation failure (session)
+  kUnknownId,  ///< done for an unknown or already-retired id (session)
+  kDuplicateId,///< sub with an id that is still in flight (session)
+  kIo          ///< journal / transport IO failure (session)
+};
+
+const char* to_string(ProtocolErrorCode code) noexcept;
+
+/// One parsed line.  `error` non-empty means malformed: no other field
+/// except `id`/`has_id` (reported when it parsed before the error) may
+/// be trusted.
+struct ParsedLine {
+  bool ignorable = false;  ///< blank line or '#' comment
+  std::string verb;
+  std::uint64_t id = 0;
+  bool has_id = false;
+  double at = 0.0;
+  bool has_at = false;
+  double deadline = 0.0;
+  bool has_deadline = false;
+  std::string tree;
+  bool has_tree = false;
+  std::uint32_t leaf = 0;
+  bool has_leaf = false;
+  std::string error;  ///< non-empty = malformed
+  ProtocolErrorCode code = ProtocolErrorCode::kNone;
+};
+
+/// Parses one line (no trailing newline; one trailing '\r' is stripped
+/// for CRLF clients).  Total: every byte sequence produces either an
+/// ignorable line, a clean parse, or a structured error.
+ParsedLine parse_serve_line(std::string_view text,
+                            const ProtocolLimits& limits);
+
+/// Splits a byte stream into protocol lines with bounded buffering —
+/// the incremental half of the parser, used by the socket transport.
+/// Bytes are fed in arbitrary chunks; complete lines come out.  A line
+/// longer than `max_line_bytes` is reported once as oversized and then
+/// discarded through the next newline without ever buffering more than
+/// the limit (a hostile client cannot grow the buffer).
+class LineSplitter {
+ public:
+  explicit LineSplitter(std::size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  /// Appends @p chunk. Calls @p on_line(line, oversized) for each
+  /// completed line, in order.  `oversized` lines arrive truncated
+  /// (first max_line_bytes bytes) and must be answered with an error.
+  template <typename OnLine>
+  void feed(std::string_view chunk, OnLine&& on_line) {
+    for (const char c : chunk) {
+      if (discarding_) {
+        if (c == '\n') discarding_ = false;
+        continue;
+      }
+      if (c == '\n') {
+        on_line(std::string_view(buffer_), overflowed_);
+        buffer_.clear();
+        overflowed_ = false;
+        continue;
+      }
+      if (buffer_.size() >= max_line_bytes_) {
+        // Report the truncated prefix once, then drop to the newline.
+        on_line(std::string_view(buffer_), true);
+        buffer_.clear();
+        overflowed_ = false;
+        discarding_ = true;
+        continue;
+      }
+      buffer_.push_back(c);
+    }
+  }
+
+  /// End of stream: hands over a final unterminated line, if any (the
+  /// "truncated final line" case — processed like a complete line,
+  /// matching what std::getline does for the istream harness).
+  template <typename OnLine>
+  void finish(OnLine&& on_line) {
+    if (!buffer_.empty()) {
+      on_line(std::string_view(buffer_), overflowed_);
+      buffer_.clear();
+    }
+    overflowed_ = false;
+    discarding_ = false;
+  }
+
+  bool has_partial() const noexcept { return !buffer_.empty() || discarding_; }
+
+ private:
+  std::size_t max_line_bytes_;
+  std::string buffer_;
+  bool overflowed_ = false;   ///< current line already hit the limit
+  bool discarding_ = false;   ///< skipping to the next newline
+};
+
+}  // namespace sda::exp

@@ -1,0 +1,39 @@
+// FNV-1a 64-bit hashing, shared by the state fingerprints and the
+// journal record checksums.  Same constants as metrics::Tracer's event
+// fingerprint, exposed as free functions so non-trace state (admission
+// ledgers, journal payloads) can hash without owning a Tracer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace sda::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// Mixes @p len raw bytes into hash @p h.
+inline void fnv1a_mix(std::uint64_t& h, const void* data,
+                      std::size_t len) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+}
+
+/// Mixes a trivially-copyable value's object representation into @p h.
+template <typename T>
+inline void fnv1a_mix_value(std::uint64_t& h, const T& value) noexcept {
+  fnv1a_mix(h, &value, sizeof value);
+}
+
+/// One-shot hash of a byte string.
+inline std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = kFnvOffsetBasis;
+  fnv1a_mix(h, s.data(), s.size());
+  return h;
+}
+
+}  // namespace sda::util

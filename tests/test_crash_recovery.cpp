@@ -1,0 +1,235 @@
+// Crash-safety proof for the write-ahead decision journal: a child
+// process serves a deterministic stream (journal fsync'd per record),
+// the parent SIGKILLs it at randomized line offsets, and replaying the
+// survivor journal must land on the exact fingerprint a clean run has
+// after the same accepted-line prefix.  Three properties per crash:
+//
+//   durability — every line the child finished (and thus could have
+//     acknowledged) is in the journal;
+//   prefix integrity — the journal is exactly a prefix of the accepted
+//     lines, torn tail dropped, nothing reordered or invented;
+//   bit-identical recovery — replay reproduces state_fingerprint().
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/exp/journal.hpp"
+#include "src/exp/serve.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sda;
+
+exp::ServeOptions session_options() {
+  exp::ServeOptions o;
+  o.admission.node_count = 2;
+  o.admission.queue_capacity = 3;
+  return o;
+}
+
+/// The stream under test: valid subs (some of which park and resolve),
+/// dones (whole-run and per-leaf), plus a few deliberate errors that
+/// must never reach the journal.
+std::vector<std::string> build_stream() {
+  std::vector<std::string> lines;
+  double at = 0.0;
+  for (int wave = 0; wave < 8; ++wave) {
+    const int base = wave * 10;
+    for (int i = 1; i <= 4; ++i) {
+      at += 0.25;
+      const std::string tree = (i % 2 == 0)
+                                   ? "tree=[a@0:1/1 || b@1:2/2]"
+                                   : "tree=a@0:2/2";
+      lines.push_back("sub id=" + std::to_string(base + i) +
+                      " at=" + std::to_string(at) + " deadline=" +
+                      std::to_string(3.0 + i) + " " + tree);
+    }
+    at += 0.5;
+    lines.push_back("done id=" + std::to_string(base + 1) +
+                    " at=" + std::to_string(at));
+    lines.push_back("done id=" + std::to_string(base + 2) +
+                    " at=" + std::to_string(at) + " leaf=0");
+    // Deliberate errors: answered, never journaled.
+    lines.push_back("done id=99999 at=" + std::to_string(at));
+    lines.push_back("sub id=1 at=bogus");
+  }
+  return lines;
+}
+
+void feed(exp::ServeSession& session, const std::string& line) {
+  std::vector<exp::ServeSession::Reply> replies;
+  session.handle_line(line, replies);
+}
+
+TEST(CrashRecovery, SigkillAtRandomOffsetsReplaysBitIdentically) {
+  const std::vector<std::string> stream = build_stream();
+  ASSERT_GE(stream.size(), 40u);
+
+  // Pilot run: learn which lines a clean serve accepts (journals).
+  const std::string ref_path =
+      "sda_test_crash_ref_" + std::to_string(::getpid()) + ".wal";
+  std::remove(ref_path.c_str());
+  {
+    exp::ServeOptions o = session_options();
+    o.journal_path = ref_path;
+    o.journal_flush_every = 1;
+    exp::ServeSession pilot(o);
+    std::string diag;
+    ASSERT_TRUE(pilot.open_journal(&diag)) << diag;
+    for (const std::string& line : stream) feed(pilot, line);
+    EXPECT_GT(pilot.result().errors, 0u);  // the deliberate garbage
+  }  // writer closes (flushes) on destruction; no checkpoint
+  const exp::JournalReadResult ref = exp::read_journal(ref_path);
+  ASSERT_TRUE(ref.ok) << ref.diagnostic;
+  ASSERT_FALSE(ref.truncated);
+  std::vector<std::string> accepted;
+  for (const exp::JournalRecord& r : ref.records) accepted.push_back(r.payload);
+  ASSERT_GT(accepted.size(), 20u);
+  ASSERT_LT(accepted.size(), stream.size());  // errors were filtered
+
+  // Reference fingerprints: state after each accepted-line prefix.
+  std::vector<std::uint64_t> fingerprints;
+  {
+    exp::ServeSession reference(session_options());
+    fingerprints.push_back(reference.state_fingerprint());
+    for (const std::string& line : accepted) {
+      feed(reference, line);
+      fingerprints.push_back(reference.state_fingerprint());
+    }
+  }
+  // Accepted-count after the first k *stream* lines — the durability
+  // floor for a kill that lands once k lines are acknowledged.
+  std::vector<std::size_t> accepted_after(stream.size() + 1, 0);
+  {
+    std::set<std::string> journaled(accepted.begin(), accepted.end());
+    std::size_t count = 0;
+    for (std::size_t k = 0; k < stream.size(); ++k) {
+      if (journaled.count(stream[k]) != 0) ++count;
+      accepted_after[k + 1] = count;
+    }
+    ASSERT_EQ(count, accepted.size());
+  }
+
+  // >=10 randomized kill offsets (seeded: reruns chase the same kills),
+  // plus the two edges.
+  util::Rng rng(0xC4A54);
+  std::vector<std::size_t> offsets = {1, stream.size() - 2};
+  while (offsets.size() < 12) {
+    offsets.push_back(static_cast<std::size_t>(rng.uniform_int(
+        2, static_cast<std::int64_t>(stream.size()) - 3)));
+  }
+
+  const std::string crash_path =
+      "sda_test_crash_child_" + std::to_string(::getpid()) + ".wal";
+  for (const std::size_t offset : offsets) {
+    SCOPED_TRACE("kill offset " + std::to_string(offset));
+    std::remove(crash_path.c_str());
+
+    int progress[2];
+    ASSERT_EQ(::pipe(progress), 0);
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      // Child: serve the stream line by line, fsync-per-record, one
+      // progress byte per handled line.  Never reaches finish() unless
+      // the parent is too slow to shoot — both are valid crash shapes.
+      if (::close(progress[0]) != 0) { /* child side */ }
+      exp::ServeOptions o = session_options();
+      o.journal_path = crash_path;
+      o.journal_flush_every = 1;
+      exp::ServeSession child(o);
+      std::string diag;
+      if (!child.open_journal(&diag)) _exit(2);
+      for (const std::string& line : stream) {
+        feed(child, line);
+        const char byte = '.';
+        if (::write(progress[1], &byte, 1) != 1) _exit(3);
+      }
+      _exit(0);
+    }
+    if (::close(progress[1]) != 0) { /* parent side */ }
+    std::size_t handled = 0;
+    char byte = 0;
+    while (handled < offset && ::read(progress[0], &byte, 1) == 1) ++handled;
+    ASSERT_EQ(handled, offset);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    if (::close(progress[0]) != 0) { /* drained */ }
+
+    // Recover: replay-only session over whatever the journal holds.
+    exp::ServeOptions recover = session_options();
+    recover.journal_path = crash_path;
+    recover.journal_replay_only = true;
+    exp::ServeSession recovered(recover);
+    std::string diag;
+    ASSERT_TRUE(recovered.open_journal(&diag)) << diag;
+    const std::uint64_t replayed = recovered.result().replayed;
+
+    // Prefix integrity: the journal is a prefix of the accepted lines.
+    const exp::JournalReadResult survivor = exp::read_journal(crash_path);
+    ASSERT_TRUE(survivor.ok) << survivor.diagnostic;
+    ASSERT_EQ(survivor.records.size(), replayed);
+    ASSERT_LE(replayed, accepted.size());
+    for (std::size_t i = 0; i < survivor.records.size(); ++i) {
+      ASSERT_EQ(survivor.records[i].payload, accepted[i]) << "record " << i;
+    }
+    // Durability: everything acknowledged before the kill is present.
+    EXPECT_GE(replayed, accepted_after[offset]);
+    // Replay of valid lines is silent (no errors) …
+    EXPECT_EQ(recovered.result().errors, 0u);
+    // … and bit-identical: the recovered state fingerprint equals the
+    // clean run's fingerprint after the same prefix.
+    EXPECT_EQ(recovered.state_fingerprint(), fingerprints[replayed]);
+  }
+  std::remove(crash_path.c_str());
+  std::remove(ref_path.c_str());
+}
+
+TEST(CrashRecovery, RecoveredSessionContinuesServingAndJournaling) {
+  // After a crash and replay, the same journal keeps growing and a
+  // second recovery sees the union — the restart loop compounds.
+  const std::string path =
+      "sda_test_crash_resume_" + std::to_string(::getpid()) + ".wal";
+  std::remove(path.c_str());
+  exp::ServeOptions o = session_options();
+  o.journal_path = path;
+  o.journal_flush_every = 1;
+  {
+    exp::ServeSession first(o);
+    std::string diag;
+    ASSERT_TRUE(first.open_journal(&diag)) << diag;
+    feed(first, "sub id=1 at=0 deadline=5 tree=a@0:1/1");
+  }
+  std::uint64_t fp_mid = 0;
+  {
+    exp::ServeSession second(o);
+    std::string diag;
+    ASSERT_TRUE(second.open_journal(&diag)) << diag;
+    EXPECT_EQ(second.result().replayed, 1u);
+    feed(second, "sub id=2 at=1 deadline=5 tree=b@1:1/1");
+    feed(second, "done id=1 at=2");
+    fp_mid = second.state_fingerprint();
+  }
+  {
+    exp::ServeOptions replay = o;
+    replay.journal_replay_only = true;
+    exp::ServeSession third(replay);
+    std::string diag;
+    ASSERT_TRUE(third.open_journal(&diag)) << diag;
+    EXPECT_EQ(third.result().replayed, 3u);
+    EXPECT_EQ(third.state_fingerprint(), fp_mid);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// The serve-mode wire parser: totality (every byte sequence yields an
+// ignorable line, a clean parse, or a structured error), the hardening
+// limits, and the incremental LineSplitter's bounded buffering.
+#include "src/exp/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+using namespace sda;
+using exp::LineSplitter;
+using exp::ParsedLine;
+using exp::ProtocolErrorCode;
+using exp::ProtocolLimits;
+using exp::parse_serve_line;
+
+ParsedLine parse(const std::string& text) {
+  return parse_serve_line(text, ProtocolLimits{});
+}
+
+TEST(ParseServeLine, CleanSubParsesEveryField) {
+  const ParsedLine l =
+      parse("sub id=42 at=1.5 deadline=3 tree=[a@0:2/2 || b@1:1/1]");
+  EXPECT_EQ(l.code, ProtocolErrorCode::kNone);
+  EXPECT_EQ(l.verb, "sub");
+  EXPECT_TRUE(l.has_id);
+  EXPECT_EQ(l.id, 42u);
+  EXPECT_TRUE(l.has_at);
+  EXPECT_DOUBLE_EQ(l.at, 1.5);
+  EXPECT_TRUE(l.has_deadline);
+  EXPECT_DOUBLE_EQ(l.deadline, 3.0);
+  EXPECT_TRUE(l.has_tree);
+  // tree= swallows to end of line, spaces and all.
+  EXPECT_EQ(l.tree, "[a@0:2/2 || b@1:1/1]");
+}
+
+TEST(ParseServeLine, DoneWithOptionalFields) {
+  const ParsedLine l = parse("done id=7 at=9 leaf=2");
+  EXPECT_EQ(l.code, ProtocolErrorCode::kNone);
+  EXPECT_EQ(l.verb, "done");
+  EXPECT_EQ(l.id, 7u);
+  EXPECT_TRUE(l.has_leaf);
+  EXPECT_EQ(l.leaf, 2u);
+}
+
+TEST(ParseServeLine, CommentsBlanksAndCrlfAreHandled) {
+  EXPECT_TRUE(parse("").ignorable);
+  EXPECT_TRUE(parse("# a comment").ignorable);
+  EXPECT_TRUE(parse("\r").ignorable);  // CRLF blank line
+  const ParsedLine l = parse("done id=1\r");
+  EXPECT_EQ(l.code, ProtocolErrorCode::kNone);
+  EXPECT_EQ(l.id, 1u);
+}
+
+TEST(ParseServeLine, EmbeddedNulIsAParseError) {
+  const std::string text = std::string("sub id=1\0at=0", 13);
+  const ParsedLine l = parse(text);
+  EXPECT_EQ(l.code, ProtocolErrorCode::kParse);
+  EXPECT_NE(l.error.find("NUL"), std::string::npos);
+}
+
+TEST(ParseServeLine, OversizedLineHitsTheLimit) {
+  ProtocolLimits limits;
+  limits.max_line_bytes = 32;
+  const ParsedLine l =
+      parse_serve_line("sub id=1 at=0 deadline=5 tree=" + std::string(64, 'a'),
+                       limits);
+  EXPECT_EQ(l.code, ProtocolErrorCode::kLimit);
+}
+
+TEST(ParseServeLine, OversizedTreeAndValueHitTheirLimits) {
+  ProtocolLimits limits;
+  limits.max_tree_bytes = 16;
+  EXPECT_EQ(parse_serve_line("sub id=1 tree=" + std::string(17, 'a'), limits)
+                .code,
+            ProtocolErrorCode::kLimit);
+  EXPECT_EQ(parse("sub id=" + std::string(65, '1')).code,
+            ProtocolErrorCode::kLimit);
+}
+
+TEST(ParseServeLine, TooManyFieldsHitsTheLimit) {
+  ProtocolLimits limits;
+  limits.max_fields = 3;
+  EXPECT_EQ(
+      parse_serve_line("sub id=1 at=0 deadline=1 leaf=0", limits).code,
+      ProtocolErrorCode::kLimit);
+}
+
+TEST(ParseServeLine, NumbersAreStrict) {
+  // Trailing junk, empty values, and non-finite floats all fail — the
+  // old stoull/stod path accepted the first two silently.
+  EXPECT_EQ(parse("sub id=12abc").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=-1").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=1 at=nan").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=1 at=inf").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=1 at=0 deadline=nan").code,
+            ProtocolErrorCode::kParse);
+}
+
+TEST(ParseServeLine, MalformedTokensAndDuplicateKeys) {
+  EXPECT_EQ(parse("sub id").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub =5").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=1 id=2").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub id=1 bogus=3").code, ProtocolErrorCode::kParse);
+  EXPECT_EQ(parse("sub at=1 at=2").code, ProtocolErrorCode::kParse);
+  // tree= swallows the rest of the line, so a "second" tree key is just
+  // payload — not a duplicate.
+  const ParsedLine l = parse("sub id=1 tree=a tree=b");
+  EXPECT_EQ(l.code, ProtocolErrorCode::kNone);
+  EXPECT_EQ(l.tree, "a tree=b");
+}
+
+TEST(ParseServeLine, ErrorLinesStillReportTheIdWhenItParsedFirst) {
+  // The session uses this to address the error reply to the right run.
+  const ParsedLine l = parse("sub id=9 at=bad");
+  EXPECT_EQ(l.code, ProtocolErrorCode::kParse);
+  EXPECT_TRUE(l.has_id);
+  EXPECT_EQ(l.id, 9u);
+}
+
+TEST(ParseServeLine, NeverThrowsOnArbitraryBytes) {
+  // A quick totality sweep over hostile shapes; the fuzz test
+  // (test_serve_fuzz.cpp) does this at scale through the session.
+  const std::vector<std::string> hostile = {
+      "=", "==", "sub =", "sub ==x", "\t\t\t", "sub\ttree==",
+      std::string(3, '\0'), "done leaf=4294967296", "sub id=18446744073709551616",
+      "sub tree=", "# \xff\xfe\xfd", "\xff\xfe sub id=1",
+  };
+  for (const std::string& text : hostile) {
+    const ParsedLine l = parse(text);
+    // Either ignorable or a structured error/clean parse — no throw.
+    EXPECT_TRUE(l.ignorable || !l.error.empty() ||
+                l.code == ProtocolErrorCode::kNone)
+        << "input: " << text;
+  }
+}
+
+// --- LineSplitter ---------------------------------------------------------
+
+struct Collected {
+  std::string line;
+  bool oversized = false;
+};
+
+std::vector<Collected> feed_chunks(LineSplitter& splitter,
+                                   const std::vector<std::string>& chunks,
+                                   bool finish = true) {
+  std::vector<Collected> out;
+  const auto on_line = [&](std::string_view line, bool oversized) {
+    out.push_back({std::string(line), oversized});
+  };
+  for (const std::string& chunk : chunks) splitter.feed(chunk, on_line);
+  if (finish) splitter.finish(on_line);
+  return out;
+}
+
+TEST(LineSplitter, ReassemblesLinesAcrossArbitraryChunks) {
+  LineSplitter s(64);
+  const auto lines =
+      feed_chunks(s, {"sub id=", "1 at=0\ndone", " id=1\n", "sub id=2"});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].line, "sub id=1 at=0");
+  EXPECT_EQ(lines[1].line, "done id=1");
+  // The truncated final line is handed over by finish() — the same
+  // semantics std::getline gives the istream harness.
+  EXPECT_EQ(lines[2].line, "sub id=2");
+  EXPECT_FALSE(lines[2].oversized);
+}
+
+TEST(LineSplitter, OversizedLineIsTruncatedOnceThenDiscarded) {
+  LineSplitter s(8);
+  const auto lines =
+      feed_chunks(s, {std::string(30, 'x'), std::string(30, 'y'), "\nok\n"});
+  // One truncated report for the whole oversized run, then 'ok'.
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(lines[0].oversized);
+  EXPECT_EQ(lines[0].line, std::string(8, 'x'));  // never buffers past cap
+  EXPECT_FALSE(lines[1].oversized);
+  EXPECT_EQ(lines[1].line, "ok");
+}
+
+TEST(LineSplitter, HasPartialTracksUnfinishedLines) {
+  LineSplitter s(64);
+  const auto on_line = [](std::string_view, bool) {};
+  EXPECT_FALSE(s.has_partial());
+  s.feed("half a li", on_line);
+  EXPECT_TRUE(s.has_partial());
+  s.feed("ne\n", on_line);
+  EXPECT_FALSE(s.has_partial());
+  // Discard mode (inside an oversized line) also counts as partial.
+  s.feed(std::string(100, 'z'), on_line);
+  EXPECT_TRUE(s.has_partial());
+  s.feed("\n", on_line);
+  EXPECT_FALSE(s.has_partial());
+}
+
+TEST(LineSplitter, EmptyLinesAreDelivered) {
+  LineSplitter s(64);
+  const auto lines = feed_chunks(s, {"\n\na\n"});
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0].line, "");
+  EXPECT_EQ(lines[1].line, "");
+  EXPECT_EQ(lines[2].line, "a");
+}
+
+}  // namespace

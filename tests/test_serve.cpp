@@ -2,8 +2,12 @@
 // submission, deterministic bytes, and plan-cache transparency.
 #include "src/exp/serve.hpp"
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -162,7 +166,12 @@ TEST(Serve, ProtocolErrorsGetErrorRecordsAndKeepTheStreamAlive) {
       "sub id=6 at=-1 deadline=5 tree=a@0:1/1\n";
   const auto [r, out] = run(input, options());
   EXPECT_EQ(r.errors, 5u);
-  EXPECT_EQ(count_substr(out, "\"decision\":\"error\""), 5u);
+  EXPECT_EQ(count_substr(out, "\"schema\":\"sda.error.v1\""), 5u);
+  // Each carries a machine-readable code alongside the reason.
+  EXPECT_EQ(count_substr(out, "\"code\":\"verb\""), 1u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"field\""), 2u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"tree\""), 1u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"clock\""), 1u);
   // The one well-formed submission still got a real decision.
   EXPECT_EQ(count_substr(out, "\"decision\":\"admit\""), 1u);
   EXPECT_NE(out.find("\"id\":5"), std::string::npos);
@@ -184,6 +193,161 @@ TEST(Serve, TimingSummaryReportsLatencyQuantiles) {
   EXPECT_EQ(r.decisions, 1u);
   EXPECT_NE(out.find("\"assign_latency_ns\""), std::string::npos);
   EXPECT_NE(out.find("\"admissions_per_sec\""), std::string::npos);
+}
+
+TEST(Serve, DoneForUnknownOrRetiredIdIsAnAnsweredError) {
+  // Never submitted, and submitted-then-retired: both get a structured
+  // unknown-id error instead of a silent no-op, and the summary counts
+  // them.
+  const std::string input =
+      "done id=99 at=0\n"
+      "sub id=1 at=1 deadline=5 tree=a@0:1/1\n"
+      "done id=1 at=2\n"
+      "done id=1 at=3\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"unknown-id\""), 2u);
+  EXPECT_NE(out.find("\"id\":99"), std::string::npos);
+  EXPECT_NE(out.find("already-retired"), std::string::npos);
+  EXPECT_NE(out.find("\"errors\":2"), std::string::npos);
+}
+
+TEST(Serve, DuplicateInFlightIdIsRejected) {
+  const std::string input =
+      "sub id=1 at=0 deadline=5 tree=a@0:1/1\n"
+      "sub id=1 at=1 deadline=5 tree=a@0:1/1\n"
+      "done id=1 at=2\n"
+      "sub id=1 at=3 deadline=5 tree=a@0:1/1\n";  // retired: reusable
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"duplicate-id\""), 1u);
+  EXPECT_EQ(r.submissions, 2u);
+  EXPECT_EQ(r.decisions, 2u);
+}
+
+TEST(Serve, ErroneousLinesDoNotAdvanceTheClock) {
+  // A malformed line carrying a huge at= must leave the stream clock
+  // alone — otherwise garbage could wedge every later submission behind
+  // a clock it never legitimately reached (and the journal, which skips
+  // error lines, could not reproduce the state).
+  const std::string input =
+      "sub id=1 at=1000000 deadline=bogus tree=a@0:1/1\n"
+      "sub id=2 at=1 deadline=5 tree=a@0:1/1\n";
+  const auto [r, out] = run(input, options());
+  EXPECT_EQ(r.errors, 1u);
+  EXPECT_EQ(r.decisions, 1u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"clock\""), 0u);
+  EXPECT_NE(out.find("\"id\":2"), std::string::npos);
+}
+
+TEST(Serve, OversizedAndNulLinesAreAnsweredNotFatal) {
+  exp::ServeOptions o = options();
+  o.limits.max_line_bytes = 128;
+  std::string input = "sub id=1 at=0 deadline=5 tree=";
+  input.append(256, 'a');
+  input += "\n";
+  input += std::string("sub id=2\0at=0\n", 14);
+  input += "sub id=3 at=0 deadline=5 tree=a@0:1/1\n";
+  const auto [r, out] = run(input, o);
+  EXPECT_EQ(r.errors, 2u);
+  EXPECT_EQ(count_substr(out, "\"code\":\"limit\""), 1u);
+  EXPECT_EQ(count_substr(out, "\"reason\":\"embedded NUL byte\""), 1u);
+  // The stream survives and the clean submission decides.
+  EXPECT_EQ(r.decisions, 1u);
+  EXPECT_NE(out.find("\"id\":3"), std::string::npos);
+}
+
+TEST(Serve, PartialDoneRetiresOneLeafReservation) {
+  // Two-leaf run; retiring one leaf must free enough ledger room for a
+  // same-node submission that a whole-run reservation would block.
+  exp::ServeOptions o = options();
+  o.admission.node_count = 2;
+  const std::string input =
+      "sub id=1 at=0 deadline=8 tree=[a@0:4/4 || b@1:4/4]\n"
+      "done id=1 at=1 leaf=0\n"
+      "sub id=2 at=2 deadline=8 tree=a@0:4/4\n";
+  const auto [r, out] = run(input, o);
+  EXPECT_EQ(r.errors, 0u);
+  EXPECT_EQ(r.decisions, 2u);
+  // The run stays live after the partial done: a whole-run done works.
+  const auto [r2, out2] = run(input + "done id=1 at=3\n", o);
+  EXPECT_EQ(r2.errors, 0u);
+}
+
+TEST(Serve, RetryHintsAnnotateShedAndBackpressure) {
+  exp::ServeOptions o = options();
+  o.retry_hints = true;
+  // Queue capacity 1 and an overloaded node: the third submission gets
+  // backpressure, which must now carry a retry_after hint.
+  const std::string input =
+      "sub id=1 at=0 deadline=5 tree=a@0:4/4\n"
+      "sub id=2 at=0 deadline=5 tree=a@0:4/4\n"
+      "sub id=3 at=0 deadline=5 tree=a@0:4/4\n";
+  const auto [r, out] = run(input, o);
+  EXPECT_EQ(count_substr(out, "\"decision\":\"backpressure\""), 1u);
+  EXPECT_GE(count_substr(out, "\"retry_after\":"), 1u);
+  // Admits never carry the hint.
+  for (const std::string& line : lines(out)) {
+    if (line.find("\"decision\":\"admit\"") != std::string::npos) {
+      EXPECT_EQ(line.find("retry_after"), std::string::npos);
+    }
+  }
+  // Hints are deterministic: same stream, same bytes.
+  const auto [r2, out2] = run(input, o);
+  EXPECT_EQ(out, out2);
+}
+
+TEST(Serve, JournalReplayReproducesTheFingerprint) {
+  const std::string path =
+      "sda_test_serve_journal_" + std::to_string(::getpid()) + ".wal";
+  std::remove(path.c_str());
+  const std::string input =
+      "sub id=1 at=0 deadline=5 tree=a@0:2/2\n"
+      "sub id=2 at=1 deadline=5 tree=b@1:2/2\n"
+      "bogus line\n"
+      "done id=1 at=2\n"
+      "sub id=3 at=3 deadline=5 tree=a@0:2/2\n";
+  exp::ServeOptions o = options();
+  o.journal_path = path;
+
+  // First process: run the stream, snapshot the fingerprint pre-drain.
+  exp::ServeSession first(o);
+  std::string diag;
+  ASSERT_TRUE(first.open_journal(&diag)) << diag;
+  std::vector<exp::ServeSession::Reply> replies;
+  std::istringstream in(input);
+  std::string text;
+  while (std::getline(in, text)) first.handle_line(text, replies);
+  const std::uint64_t fp = first.state_fingerprint();
+  first.finish(replies);
+
+  // Second process: replay-only recovery must land on the same
+  // fingerprint without seeing the original stream.
+  exp::ServeOptions replay = o;
+  replay.journal_replay_only = true;
+  exp::ServeSession second(replay);
+  ASSERT_TRUE(second.open_journal(&diag)) << diag;
+  EXPECT_EQ(second.state_fingerprint(), fp);
+  EXPECT_FALSE(second.replay_truncated());
+  // Only state-changing lines were journaled: 3 subs + 1 done, not the
+  // bogus line (and the checkpoint is skipped on replay).
+  EXPECT_EQ(second.result().replayed, 4u);
+  EXPECT_EQ(second.result().errors, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Serve, JournalSummaryBlockReportsRecordsAndFingerprint) {
+  const std::string path =
+      "sda_test_serve_journal2_" + std::to_string(::getpid()) + ".wal";
+  std::remove(path.c_str());
+  exp::ServeOptions o = options();
+  o.journal_path = path;
+  std::istringstream in("sub id=1 at=0 deadline=5 tree=a@0:1/1\n");
+  std::ostringstream out;
+  exp::serve_stream(in, out, o);
+  EXPECT_NE(out.str().find("\"journal\":{\"records\":"), std::string::npos);
+  EXPECT_NE(out.str().find("\"fingerprint\":\""), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

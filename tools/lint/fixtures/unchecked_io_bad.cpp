@@ -1,0 +1,14 @@
+// UNCHECKED_IO bad fixture: POSIX IO calls whose results vanish.
+#include <unistd.h>
+
+void journal_append(int fd, const char* data, unsigned long len) {
+  ::write(fd, data, len);  // finding 1: short write silently dropped
+  ::fsync(fd);             // finding 2: "durable" in name only
+}
+
+void drain(int fd, char* buf) {
+  ::read(fd, buf, 64);     // finding 3: EOF/EINTR indistinguishable
+  int x = 0;
+  x = 1; ::write(fd, buf, 1);  // finding 4: statement after ';'
+  (void)x;
+}

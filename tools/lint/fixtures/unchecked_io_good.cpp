@@ -1,0 +1,32 @@
+// UNCHECKED_IO good fixture: every result consumed, or the discard is
+// spelled out.
+#include <cerrno>
+#include <unistd.h>
+
+bool write_all(int fd, const char* data, unsigned long len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);  // assigned
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    len -= static_cast<unsigned long>(n);
+  }
+  return true;
+}
+
+bool sync_file(int fd) {
+  if (::fsync(fd) != 0) return false;  // compared
+  return true;
+}
+
+long read_some(int fd, char* buf) {
+  return ::read(fd, buf, 64);  // returned
+}
+
+void wake(int fd) {
+  (void)::write(fd, "x", 1);  // deliberate discard, spelled out
+  // sda-lint: allow(UNCHECKED_IO)
+  ::fsync(fd);  // suppressed: best-effort flush on shutdown
+}

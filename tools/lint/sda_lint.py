@@ -36,6 +36,13 @@ rules encode contracts the compiler cannot see:
                       an unchecked push turns overload into unbounded
                       memory growth.  Check .size() against a capacity
                       first, or carry an allow() naming the bound.
+  UNCHECKED_IO        A ::read/::write/::fsync call in statement position,
+                      its return value discarded.  Short writes and EINTR
+                      are normal on sockets and files, and the journal's
+                      durability promise is only as good as its checked
+                      fsync.  Consume the result (assign, compare, or
+                      wrap in a helper); a deliberate discard must be
+                      spelled (void)::write(...) or carry an allow().
 
 Suppression: append `// sda-lint: allow(RULE)` on the offending line or
 the line directly above it.  Findings print as `file:line: RULE message`
@@ -413,12 +420,37 @@ def rule_unbounded_queue(rel, lines, findings):
             "pushing) or carry an allow() naming the bound"))
 
 
+UNCHECKED_IO_RE = re.compile(r"(?:^|;)\s*::(read|write|fsync)\s*\(")
+
+
+def rule_unchecked_io(rel, lines, findings):
+    """Flags ::read/::write/::fsync whose result is thrown away.
+
+    Statement position (start of line or right after ';') means nothing
+    consumes the return value.  Checked forms — `const ssize_t n =
+    ::write(...)`, `if (::fsync(fd) != 0)`, `return ::read(...)`,
+    `(void)::write(...)` — all put tokens before the call and never
+    match.
+    """
+    for idx, ln in enumerate(lines):
+        m = UNCHECKED_IO_RE.search(ln.code)
+        if not m:
+            continue
+        if suppressed(lines, idx, "UNCHECKED_IO"):
+            continue
+        findings.append(Finding(
+            rel, idx + 1, "UNCHECKED_IO",
+            f"::{m.group(1)}() return value discarded; short writes/EINTR "
+            "are normal — check the result, or spell a deliberate discard "
+            "as (void)::" + m.group(1) + "(...)"))
+
+
 # --- driver ---------------------------------------------------------------
 
 RULES_HELP = [
     "RNG_SOURCE", "STD_FUNCTION", "NAKED_NEW", "FLOAT_EQ", "ENDL",
     "PRAGMA_ONCE", "UNORDERED_ITER", "ASSERT_SIDE_EFFECT",
-    "UNBOUNDED_QUEUE",
+    "UNBOUNDED_QUEUE", "UNCHECKED_IO",
 ]
 
 
@@ -437,6 +469,7 @@ def scan_file(root, path, lines, unordered_names, local_names, only_rules):
         "ASSERT_SIDE_EFFECT": lambda: rule_assert_side_effect(
             rel, lines, findings),
         "UNBOUNDED_QUEUE": lambda: rule_unbounded_queue(rel, lines, findings),
+        "UNCHECKED_IO": lambda: rule_unchecked_io(rel, lines, findings),
     }
     for rule in RULES_HELP:
         if only_rules and rule not in only_rules:

@@ -40,6 +40,8 @@ CASES = [
     ("assert_side_effect_good.cpp", "ASSERT_SIDE_EFFECT", 0),
     ("unbounded_queue_bad.cpp", "UNBOUNDED_QUEUE", 3),
     ("unbounded_queue_good.cpp", "UNBOUNDED_QUEUE", 0),
+    ("unchecked_io_bad.cpp", "UNCHECKED_IO", 4),
+    ("unchecked_io_good.cpp", "UNCHECKED_IO", 0),
 ]
 
 

@@ -16,17 +16,25 @@
 // A third mode turns the batch tool into a long-running admission
 // service (EXPERIMENTS.md "Serve mode"):
 //
-//   sda_run --serve [--input <path>] [--timing] [key=value ...]
+//   sda_run --serve [--input <path>] [--listen <addr>] [--timing]
+//           [--journal <path>] [key=value ...]
 //
 // reads newline-delimited `sub`/`done` lines from stdin (or a file/FIFO
-// via --input), gates them through the feasibility-based admission
-// controller configured by the admission_* keys, and emits one
-// `sda.admit.v1` JSON-lines decision per submission.
+// via --input, or TCP/unix clients via --listen), gates them through
+// the feasibility-based admission controller configured by the
+// admission_* keys, and emits one `sda.admit.v1` JSON-lines decision
+// per submission.  With --journal the accepted lines are written ahead
+// to an sda.journal.v1 file and replayed on restart (crash recovery);
+// --recover-check replays a journal read-only and reports the
+// reconstructed state fingerprint (sda.recover.v1).  A --listen server
+// drains gracefully on SIGTERM/SIGINT: stops accepting, finishes
+// buffered requests, checkpoints the journal, and prints the summary.
 //
 // Replications run sequentially through exp::run_once with the exact seed
 // schedule of exp::run_experiment (replication_seed), so the determinism
 // fingerprints printed here are byte-identical to the library path — with
 // or without exporters attached, since exporting is strictly post-hoc.
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -39,8 +47,10 @@
 #include "src/core/strategy.hpp"
 #include "src/exp/config.hpp"
 #include "src/exp/json_export.hpp"
+#include "src/exp/net.hpp"
 #include "src/exp/runner.hpp"
 #include "src/exp/serve.hpp"
+#include "src/metrics/json_writer.hpp"
 #include "src/metrics/percentile.hpp"
 #include "src/metrics/report.hpp"
 #include "src/metrics/task_class.hpp"
@@ -68,6 +78,18 @@ int usage(const char* argv0, int code) {
       "  --serve            admission-service mode: read sub/done lines\n"
       "                     from stdin, write sda.admit.v1 decisions\n"
       "  --input <path>     serve mode: read from a file or FIFO instead\n"
+      "  --listen <addr>    serve mode: accept clients on host:port (port 0\n"
+      "                     = ephemeral, reported in an sda.listen.v1 line)\n"
+      "                     or unix:/path; SIGTERM drains gracefully\n"
+      "  --journal <path>   serve mode: write-ahead sda.journal.v1 log of\n"
+      "                     accepted lines; replayed on restart (recovery)\n"
+      "  --journal-flush-every <n>  records per fsync batch (default 32)\n"
+      "  --recover-check <path>     replay a journal read-only and print\n"
+      "                     the reconstructed state (sda.recover.v1)\n"
+      "  --decision-deadline-us <n> serve mode: decisions slower than this\n"
+      "                     trip the overload machine into shedding\n"
+      "  --retry-hints      serve mode: attach retry_after to shed and\n"
+      "                     backpressure decisions\n"
       "  --timing           serve mode: measure per-decision latency and\n"
       "                     report P50/P90/P99 + admissions/sec (the\n"
       "                     summary bytes become nondeterministic)\n"
@@ -155,6 +177,88 @@ void print_summary(const exp::ExperimentConfig& config,
   std::printf("\n");
 }
 
+// The running --listen server, for the signal handlers.  request_stop
+// is async-signal-safe (one write to the self-pipe).
+exp::net::ServeServer* g_server = nullptr;
+
+extern "C" void handle_drain_signal(int) {
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+/// --recover-check: replay @p path read-only and print what the journal
+/// reconstructs.  Exit code 0 when the journal was readable.
+int recover_check(const std::string& path, exp::ServeOptions opts) {
+  const exp::JournalReadResult raw = exp::read_journal(path);
+  opts.journal_path = path;
+  opts.journal_replay_only = true;
+  exp::ServeSession session(opts);
+  std::string diag;
+  if (!session.open_journal(&diag)) {
+    std::fprintf(stderr, "%s\n", diag.c_str());
+    return 66;
+  }
+  char fp_hex[17];
+  std::snprintf(fp_hex, sizeof fp_hex, "%016llx",
+                static_cast<unsigned long long>(session.state_fingerprint()));
+  metrics::JsonWriter w(std::cout);
+  w.begin_object()
+      .kv("schema", "sda.recover.v1")
+      .kv("journal", path)
+      .kv("ok", raw.ok)
+      .kv("replayed", session.result().replayed)
+      .kv("truncated", session.replay_truncated());
+  if (!session.replay_diagnostic().empty()) {
+    w.kv("diagnostic", session.replay_diagnostic());
+  } else if (!raw.ok) {
+    w.kv("diagnostic", raw.diagnostic);
+  }
+  w.kv("fingerprint", fp_hex)
+      .kv("state", core::to_string(session.controller().state()))
+      .kv("pressure", session.controller().pressure())
+      .kv("queue_depth",
+          static_cast<std::uint64_t>(session.controller().queue_depth()))
+      .kv("ledger",
+          static_cast<std::uint64_t>(session.controller().ledger_size()))
+      .end_object();
+  std::cout << "\n";
+  return raw.ok ? 0 : 66;
+}
+
+/// --listen: run the socket front door until a drain signal arrives.
+int serve_listen(const std::string& listen_arg, const exp::ServeOptions& opts) {
+  exp::net::ServerOptions server_opts;
+  std::string error;
+  if (!exp::net::parse_listen_spec(listen_arg, &server_opts.listen, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 64;
+  }
+  server_opts.max_line_bytes = opts.limits.max_line_bytes;
+  exp::ServeSession session(opts);
+  if (!session.open_journal(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 66;
+  }
+  exp::net::ServeServer server(session, server_opts);
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 66;
+  }
+  g_server = &server;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof sa);
+  sa.sa_handler = handle_drain_signal;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+  // Dead clients surface as EPIPE on write, not a fatal signal.
+  signal(SIGPIPE, SIG_IGN);
+
+  std::cout << server.banner() << "\n";
+  std::cout.flush();
+  const int rc = server.run(std::cout);
+  g_server = nullptr;
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -164,6 +268,12 @@ int main(int argc, char** argv) {
   std::string json_path;
   std::string trace_path;
   std::string input_path;
+  std::string listen_arg;
+  std::string journal_path;
+  std::string recover_path;
+  std::size_t journal_flush_every = 32;
+  std::uint64_t decision_deadline_us = 0;
+  bool retry_hints = false;
   bool list_keys = false;
   bool list_strategies = false;
   bool validate_only = false;
@@ -189,6 +299,23 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (arg == "--input") {
       input_path = flag_value("--input");
+    } else if (arg == "--listen") {
+      listen_arg = flag_value("--listen");
+      serve = true;  // --listen implies serve mode
+    } else if (arg == "--journal") {
+      journal_path = flag_value("--journal");
+    } else if (arg == "--journal-flush-every") {
+      journal_flush_every =
+          static_cast<std::size_t>(std::strtoull(
+              flag_value("--journal-flush-every"), nullptr, 10));
+      if (journal_flush_every == 0) journal_flush_every = 1;
+    } else if (arg == "--recover-check") {
+      recover_path = flag_value("--recover-check");
+    } else if (arg == "--decision-deadline-us") {
+      decision_deadline_us = std::strtoull(
+          flag_value("--decision-deadline-us"), nullptr, 10);
+    } else if (arg == "--retry-hints") {
+      retry_hints = true;
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--list-keys") {
@@ -239,7 +366,7 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (serve) {
+  if (serve || !recover_path.empty()) {
     exp::ServeOptions opts;
     try {
       opts.admission = config.admission_config();
@@ -248,6 +375,12 @@ int main(int argc, char** argv) {
       return 64;
     }
     opts.measure_latency = timing;
+    opts.journal_path = journal_path;
+    opts.journal_flush_every = journal_flush_every;
+    opts.decision_deadline_ns = decision_deadline_us * 1000;
+    opts.retry_hints = retry_hints;
+    if (!recover_path.empty()) return recover_check(recover_path, opts);
+    if (!listen_arg.empty()) return serve_listen(listen_arg, opts);
     std::ifstream input_file;
     std::istream* in = &std::cin;
     if (!input_path.empty()) {
