@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <sstream>
 
 #include "src/util/fnv.hpp"
 
@@ -35,6 +36,19 @@ bool write_all(int fd, const char* data, std::size_t len) {
   return true;
 }
 
+/// fsyncs the directory containing @p path so a freshly created file's
+/// directory entry survives a crash (standard WAL-create hygiene).
+/// Best effort: some filesystems refuse directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : slash == 0 ? "/" : path.substr(0, slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) return;
+  if (::fsync(dfd) != 0) { /* best effort */ }
+  if (::close(dfd) != 0) { /* nothing to salvage */ }
+}
+
 }  // namespace
 
 JournalReadResult read_journal(const std::string& path) {
@@ -44,15 +58,35 @@ JournalReadResult read_journal(const std::string& path) {
     result.diagnostic = "cannot open " + path;
     return result;
   }
-  std::string line;
-  if (!std::getline(in, line) || line != kJournalHeader) {
+  std::string data;
+  {
+    std::ostringstream raw;
+    raw << in.rdbuf();
+    data = std::move(raw).str();
+  }
+  const std::string_view header = kJournalHeader;
+  if (data.size() < header.size() ||
+      data.compare(0, header.size(), header) != 0 ||
+      (data.size() > header.size() && data[header.size()] != '\n')) {
     result.diagnostic = "missing sda.journal.v1 header";
     return result;
   }
   result.ok = true;
+  if (data.size() == header.size()) {
+    // The header itself lost its '\n' to a torn create.
+    result.valid_bytes = data.size();
+    result.unterminated_tail = true;
+    return result;
+  }
+  std::size_t pos = header.size() + 1;
+  result.valid_bytes = pos;
   std::uint64_t record_no = 0;
-  while (std::getline(in, line)) {
+  while (pos < data.size()) {
     ++record_no;
+    const std::size_t nl = data.find('\n', pos);
+    const bool terminated = nl != std::string::npos;
+    const std::string_view line(data.data() + pos,
+                                (terminated ? nl : data.size()) - pos);
     const auto torn = [&](const char* why) {
       result.truncated = true;
       result.diagnostic = "record " + std::to_string(record_no) + ": " + why;
@@ -90,8 +124,7 @@ JournalReadResult read_journal(const std::string& path) {
         break;
       }
     }
-    const std::string_view payload =
-        std::string_view(line).substr(len_end + 1);
+    const std::string_view payload = line.substr(len_end + 1);
     if (payload.size() != len) {
       torn("length mismatch (torn write)");
       break;
@@ -101,9 +134,17 @@ JournalReadResult read_journal(const std::string& path) {
       break;
     }
     result.records.push_back(JournalRecord{line[0], std::string(payload)});
+    if (!terminated) {
+      // The payload survived intact; only the record's '\n' was torn
+      // off.  The record counts, but an appender must restore the
+      // newline before the next record.
+      result.valid_bytes = data.size();
+      result.unterminated_tail = true;
+      break;
+    }
+    pos = nl + 1;
+    result.valid_bytes = pos;
   }
-  // A final line without '\n' is only surfaced by getline when it has
-  // content, and the length/crc checks above already reject it.
   return result;
 }
 
@@ -133,13 +174,50 @@ bool JournalWriter::open(const std::string& path, const Config& config,
       if (::close(fd) != 0) { /* nothing left to salvage */ }
       return false;
     }
+    // The records are only as durable as the file's directory entry.
+    fsync_parent_dir(path);
   } else {
-    // Appending to an existing journal: it must be one of ours.
-    std::ifstream check(path, std::ios::binary);
-    std::string first;
-    if (!std::getline(check, first) || first != kJournalHeader) {
+    // Appending to an existing journal: it must be one of ours, and a
+    // previous crash may have torn its tail.  Drop the torn bytes so
+    // the first new record starts on a record boundary — appending
+    // after half a line would glue onto it, fail the checksum there on
+    // the next recovery, and silently discard everything after it.
+    const JournalReadResult scan = read_journal(path);
+    if (!scan.ok) {
       if (error != nullptr) {
         *error = path + " exists but is not an sda.journal.v1 file";
+      }
+      if (::close(fd) != 0) { /* nothing left to salvage */ }
+      return false;
+    }
+    bool repaired = false;
+    if (scan.valid_bytes < static_cast<std::uint64_t>(size)) {
+      if (::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) != 0) {
+        if (error != nullptr) {
+          *error = "cannot drop torn journal tail: " +
+                   std::string(std::strerror(errno));
+        }
+        if (::close(fd) != 0) { /* nothing left to salvage */ }
+        return false;
+      }
+      repaired = true;
+    }
+    if (scan.unterminated_tail) {
+      // The final record is valid but lost its '\n'; restore it.
+      if (!write_all(fd, "\n", 1)) {
+        if (error != nullptr) {
+          *error = "cannot terminate journal tail: " +
+                   std::string(std::strerror(errno));
+        }
+        if (::close(fd) != 0) { /* nothing left to salvage */ }
+        return false;
+      }
+      repaired = true;
+    }
+    if (repaired && ::fsync(fd) != 0) {
+      if (error != nullptr) {
+        *error = "cannot sync repaired journal: " +
+                 std::string(std::strerror(errno));
       }
       if (::close(fd) != 0) { /* nothing left to salvage */ }
       return false;

@@ -20,7 +20,9 @@
 // The checksum covers the payload bytes; `len` is the payload length.
 // A crash can only truncate the final record, and any torn tail fails
 // the length or checksum test, so recovery replays the longest valid
-// prefix and reports where (and why) it stopped.  Writes are batched:
+// prefix and reports where (and why) it stopped.  A restarted writer
+// truncates that torn tail before appending, so a crash-restart-crash
+// sequence replays its records instead of losing them to a glued line.  Writes are batched:
 // records buffer in user space and are written + fsync'd every
 // `flush_every` records or when `flush_interval` elapses (the socket
 // event loop calls maybe_flush on its timer tick), and always on
@@ -48,6 +50,16 @@ struct JournalReadResult {
   bool ok = false;                     ///< file opened and header matched
   std::vector<JournalRecord> records;  ///< longest valid prefix
   bool truncated = false;              ///< a torn/corrupt tail was dropped
+  /// Byte length of the longest valid prefix.  Everything past this
+  /// offset is torn: an appender truncates to it first so the next
+  /// record starts on a record boundary instead of gluing onto half a
+  /// line (which would fail the checksum there on the following
+  /// recovery and silently drop every record after it).
+  std::uint64_t valid_bytes = 0;
+  /// The valid prefix ends in a record whose trailing '\n' was lost to
+  /// a torn write: the record itself is good (length and checksum
+  /// pass), but an appender must restore the newline before writing.
+  bool unterminated_tail = false;
   std::string diagnostic;              ///< why reading stopped, if it did
 };
 
@@ -71,7 +83,10 @@ class JournalWriter {
   JournalWriter& operator=(const JournalWriter&) = delete;
 
   /// Opens @p path for appending, writing the header if the file is
-  /// new/empty.  An existing file must start with the v1 header.
+  /// new/empty (and fsyncing the parent directory so the file itself
+  /// survives a crash).  An existing file must be an sda.journal.v1
+  /// journal; any torn tail left by a previous crash is truncated back
+  /// to the last record boundary before appending.
   /// Returns false (with @p error set) on open/header mismatch.
   bool open(const std::string& path, const Config& config,
             std::string* error);

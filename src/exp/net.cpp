@@ -270,6 +270,15 @@ bool ServeServer::start(std::string* error) {
     }
     bound_port_ = ntohs(bound.sin_port);
   }
+  if (options_.sndbuf_bytes > 0) {
+    // Accepted sockets inherit the listener's buffer size, bounding
+    // kernel-side buffering per client.
+    const int size = options_.sndbuf_bytes;
+    if (::setsockopt(listen_fd_, SOL_SOCKET, SO_SNDBUF, &size,
+                     sizeof size) != 0) {
+      return fail("setsockopt(SO_SNDBUF)");
+    }
+  }
   if (!set_nonblocking(listen_fd_) || !set_cloexec(listen_fd_)) {
     return fail("fcntl(listener)");
   }
@@ -335,6 +344,7 @@ void ServeServer::accept_clients() {
 }
 
 void ServeServer::send_to(Connection& conn, std::string_view bytes) {
+  if (conn.doomed) return;  // evicted; the close is pending reap
   conn.outbox.append(bytes.data(), bytes.size());
   // Opportunistic immediate write keeps the common case buffer-free.
   while (conn.sent < conn.outbox.size()) {
@@ -354,8 +364,13 @@ void ServeServer::send_to(Connection& conn, std::string_view bytes) {
   }
   if (conn.outbox.size() - conn.sent > options_.max_write_buffer) {
     // Slow-client backpressure: the peer is not reading its decisions.
+    // Only mark it — this runs inside a LineSplitter callback stack
+    // (feed_line -> route_replies), where destroying the Connection
+    // would free the splitter whose feed() loop is still executing.
+    // reap_doomed() performs the close once the stack unwinds.
     ++stats_.evicted_slow;
-    close_connection(conn.fd);
+    conn.doomed = true;
+    doomed_fds_.push_back(conn.fd);
     return;
   }
   if (!poller_.update(conn.fd, /*want_write=*/true)) { /* next tick */ }
@@ -386,18 +401,27 @@ void ServeServer::route_replies(
     Connection* origin, const std::vector<ServeSession::Reply>& replies) {
   for (const ServeSession::Reply& reply : replies) {
     if (reply.kind == ServeSession::ReplyKind::kSummary) continue;
-    int target_fd = origin != nullptr ? origin->fd : -1;
+    int target_fd = -1;
     if (reply.kind == ServeSession::ReplyKind::kDecision && reply.has_id) {
+      // Decisions deliver only over the id's registered route.  No
+      // route — the sub was recovered by journal replay (routes are not
+      // rebuilt across restarts) or its owner's route was dropped —
+      // means orphaned: never fall back to whichever connection
+      // happened to trigger the pump.
       const auto route = id_routes_.find(reply.id);
-      if (route != id_routes_.end()) {
-        target_fd = route->second;
-        // A decision is final: the route has served its purpose.
-        id_routes_.erase(route);
+      if (route == id_routes_.end()) {
+        ++stats_.orphaned_replies;
+        continue;
       }
+      target_fd = route->second;
+      // A decision is final: the route has served its purpose.
+      id_routes_.erase(route);
+    } else if (origin != nullptr) {
+      target_fd = origin->fd;
     }
     const auto it =
         target_fd >= 0 ? connections_.find(target_fd) : connections_.end();
-    if (it == connections_.end()) {
+    if (it == connections_.end() || it->second.doomed) {
       ++stats_.orphaned_replies;
       continue;
     }
@@ -415,7 +439,9 @@ void ServeServer::feed_line(Connection& conn, std::string_view line,
   bool registered_here = false;
   std::uint64_t sub_id = 0;
   if (!oversized) {
-    const ParsedLine peek = parse_serve_line(line, ProtocolLimits{});
+    // Peek with the session's own limits: a stricter default here would
+    // reject lines the session accepts, losing their decision routes.
+    const ParsedLine peek = parse_serve_line(line, session_.limits());
     if (peek.verb == "sub" && peek.has_id &&
         id_routes_.find(peek.id) == id_routes_.end()) {
       id_routes_.emplace(peek.id, conn.fd);
@@ -472,27 +498,31 @@ void ServeServer::handle_readable(Connection& conn) {
       // Peer closed: a final unterminated line still counts (matching
       // the istream harness's getline semantics), then flush replies.
       conn.splitter.finish([&](std::string_view line, bool oversized) {
-        feed_line(conn, line, oversized);
+        if (!conn.doomed) feed_line(conn, line, oversized);
       });
-      const auto it = connections_.find(fd);
-      if (it != connections_.end()) {
-        if (it->second.outbox.empty()) {
-          close_connection(fd);
-        } else {
-          it->second.draining = true;  // flush pending replies first
-        }
+      const bool evicted = conn.doomed;
+      reap_doomed();
+      if (evicted) return;  // the reap destroyed conn
+      if (conn.outbox.empty()) {
+        close_connection(fd);
+      } else {
+        conn.draining = true;  // flush pending replies first
       }
       return;
     }
     conn.last_activity_ms = steady_ms();
     const bool had_partial = conn.splitter.has_partial();
+    // feed_line can doom connections (slow-client backpressure) but
+    // never destroys one while the splitter's feed loop runs — the
+    // splitter lives inside the Connection.  A doomed peer's remaining
+    // lines are dropped; the close happens after the stack unwinds.
     conn.splitter.feed(std::string_view(buf, static_cast<std::size_t>(n)),
                        [&](std::string_view line, bool oversized) {
-                         feed_line(conn, line, oversized);
+                         if (!conn.doomed) feed_line(conn, line, oversized);
                        });
-    // feed_line can evict (slow client); re-check before touching state.
-    const auto it = connections_.find(fd);
-    if (it == connections_.end()) return;
+    const bool evicted = conn.doomed;
+    reap_doomed();
+    if (evicted) return;  // the reap destroyed conn
     if (conn.splitter.has_partial()) {
       if (!had_partial || conn.partial_since_ms == 0) {
         conn.partial_since_ms = conn.last_activity_ms;
@@ -511,6 +541,14 @@ void ServeServer::close_connection(int fd) {
   connections_.erase(it);
   // Routes pointing at this client stay: later decisions for its
   // submissions surface as orphaned_replies, which is the honest count.
+}
+
+void ServeServer::reap_doomed() {
+  while (!doomed_fds_.empty()) {
+    const int fd = doomed_fds_.back();
+    doomed_fds_.pop_back();
+    close_connection(fd);
+  }
 }
 
 void ServeServer::enforce_timeouts(std::uint64_t now_ms) {
@@ -546,6 +584,7 @@ void ServeServer::drain(std::ostream& out) {
   std::vector<ServeSession::Reply> replies;
   session_.finish(replies, &stats_);
   route_replies(nullptr, replies);
+  reap_doomed();  // routing can evict; don't wait on a dead outbox
   for (const ServeSession::Reply& reply : replies) {
     if (reply.kind == ServeSession::ReplyKind::kSummary) out << reply.line;
   }

@@ -64,6 +64,11 @@ struct ServerOptions {
   int request_timeout_ms = 5'000;  ///< an unfinished line this old
   int tick_ms = 50;                ///< event-loop timer granularity
   int drain_timeout_ms = 1'000;    ///< write-flush budget at shutdown
+  /// SO_SNDBUF for the listener (inherited by accepted sockets);
+  /// 0 = kernel default.  Bounds per-client kernel-side buffering so
+  /// slow-client backpressure trips on the user-space outbox instead
+  /// of hiding inside a large socket buffer.
+  int sndbuf_bytes = 0;
 };
 
 /// Minimal readiness-API shim: epoll where available, poll otherwise.
@@ -105,6 +110,12 @@ struct Connection {
   std::uint64_t last_activity_ms = 0;
   std::uint64_t partial_since_ms = 0;  ///< first byte of an unfinished line
   bool draining = false;       ///< flush outbox, then close
+  /// Evicted while reply routing ran inside this (or another)
+  /// connection's LineSplitter callback stack.  Destroying a Connection
+  /// there would free the splitter whose feed() loop is still running,
+  /// so eviction only marks; reap_doomed() closes once the stack
+  /// unwinds.  A doomed connection accepts no further lines or replies.
+  bool doomed = false;
 };
 
 class ServeServer {
@@ -145,6 +156,8 @@ class ServeServer {
                      const std::vector<ServeSession::Reply>& replies);
   void send_to(Connection& conn, std::string_view bytes);
   void close_connection(int fd);
+  /// Closes every connection marked doomed during a callback stack.
+  void reap_doomed();
   void enforce_timeouts(std::uint64_t now_ms);
   void drain(std::ostream& out);
 
@@ -158,6 +171,7 @@ class ServeServer {
   bool stop_requested_ = false;
   std::map<int, Connection> connections_;       ///< fd -> state
   std::map<std::uint64_t, int> id_routes_;      ///< run id -> owning fd
+  std::vector<int> doomed_fds_;                 ///< evicted, close pending
   ServeNetStats stats_;
 };
 

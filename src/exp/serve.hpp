@@ -148,6 +148,11 @@ class ServeSession {
   /// counters.  Replaying a journal reproduces it exactly.
   std::uint64_t state_fingerprint() const;
 
+  /// The limits this session parses with.  Transports that pre-parse
+  /// lines (the socket server's decision-route peek) must use these,
+  /// not defaults, so peek and session never diverge.
+  const ProtocolLimits& limits() const noexcept { return options_.limits; }
+
   bool replay_truncated() const noexcept { return replay_truncated_; }
   const std::string& replay_diagnostic() const noexcept {
     return replay_diagnostic_;

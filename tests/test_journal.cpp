@@ -187,6 +187,68 @@ TEST(Journal, ExplicitFlushAndCloseDrainTheBuffer) {
   EXPECT_EQ(read_journal(tmp.path()).records.size(), 2u);
 }
 
+TEST(Journal, ReopenAfterTornTailTruncatesBeforeAppending) {
+  // Crash-restart-crash: the first crash tears the tail mid-record and
+  // the restarted writer appends.  Without truncating back to the last
+  // record boundary, the new record glues onto the half line, the next
+  // recovery fails its checksum there, and every record of the second
+  // life is silently dropped.
+  TempJournal tmp("reopen_torn");
+  {
+    JournalWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(tmp.path(), JournalWriter::Config{}, &error)) << error;
+    ASSERT_TRUE(w.append_event("sub id=1 at=0 deadline=5 tree=a@0:1/1"));
+    ASSERT_TRUE(w.append_event("sub id=2 at=1 deadline=5 tree=b@1:1/1"));
+    w.close();
+  }
+  const std::string intact = slurp(tmp.path());
+  spill(tmp.path(), intact.substr(0, intact.size() - 5));  // tear record 2
+  {
+    JournalWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(tmp.path(), JournalWriter::Config{}, &error)) << error;
+    ASSERT_TRUE(w.append_event("done id=1 at=2"));
+    w.close();
+  }
+  const JournalReadResult r = read_journal(tmp.path());
+  ASSERT_TRUE(r.ok) << r.diagnostic;
+  EXPECT_FALSE(r.truncated) << r.diagnostic;
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].payload, "sub id=1 at=0 deadline=5 tree=a@0:1/1");
+  EXPECT_EQ(r.records[1].payload, "done id=1 at=2");
+}
+
+TEST(Journal, ReopenAfterLostFinalNewlineKeepsRecordAndSuccessors) {
+  // Losing only the trailing '\n' leaves a record valid (payload and
+  // checksum intact); a reopening writer must restore the newline so
+  // its own first record starts a fresh line instead of gluing on.
+  TempJournal tmp("reopen_nonl");
+  {
+    JournalWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(tmp.path(), JournalWriter::Config{}, &error)) << error;
+    ASSERT_TRUE(w.append_event("sub id=1 at=0 deadline=5 tree=a@0:1/1"));
+    w.close();
+  }
+  const std::string intact = slurp(tmp.path());
+  ASSERT_EQ(intact.back(), '\n');
+  spill(tmp.path(), intact.substr(0, intact.size() - 1));
+  {
+    JournalWriter w;
+    std::string error;
+    ASSERT_TRUE(w.open(tmp.path(), JournalWriter::Config{}, &error)) << error;
+    ASSERT_TRUE(w.append_event("done id=1 at=1"));
+    w.close();
+  }
+  const JournalReadResult r = read_journal(tmp.path());
+  ASSERT_TRUE(r.ok) << r.diagnostic;
+  EXPECT_FALSE(r.truncated) << r.diagnostic;
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].payload, "sub id=1 at=0 deadline=5 tree=a@0:1/1");
+  EXPECT_EQ(r.records[1].payload, "done id=1 at=1");
+}
+
 TEST(Journal, ReopenAppendsAfterExistingRecords) {
   TempJournal tmp("reopen");
   {

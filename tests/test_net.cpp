@@ -8,11 +8,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <csignal>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -77,9 +80,16 @@ class Loop {
 /// Blocking loopback client with a receive timeout and line framing.
 class Client {
  public:
-  explicit Client(std::uint16_t port) {
+  explicit Client(std::uint16_t port, int rcvbuf = 0) {
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) return;
+    if (rcvbuf > 0) {
+      // Must be set before connect() to bound the advertised window.
+      if (::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf,
+                       sizeof rcvbuf) != 0) {
+        /* larger window; the slow-client test gets less deterministic */
+      }
+    }
     timeval tv{};
     tv.tv_sec = 10;
     if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv) != 0) {
@@ -156,6 +166,20 @@ class Client {
 
   void shutdown_write() {
     if (::shutdown(fd_, SHUT_WR) != 0) { /* peer may have closed first */ }
+  }
+
+  /// Blocks until the peer hangs up (FIN or RST) WITHOUT reading any
+  /// pending replies — backpressure tests need the pipe to stay full.
+  bool wait_peer_close(int timeout_ms = 10'000) {
+    pollfd p{};
+    p.fd = fd_;
+    p.events = POLLRDHUP;
+    for (;;) {
+      const int n = ::poll(&p, 1, timeout_ms);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;  // timeout or poll error
+      return (p.revents & (POLLRDHUP | POLLERR | POLLHUP)) != 0;
+    }
   }
 
  private:
@@ -451,6 +475,99 @@ TEST(ServeServerLoop, PollBackendServesEndToEnd) {
               std::string::npos);
   }
   ASSERT_EQ(::unsetenv("SDA_NET_POLL"), 0);
+}
+
+TEST(ServeServerLoop, SlowClientIsEvictedMidPipelineWithoutCorruption) {
+  // A client that pipelines thousands of lines without ever reading its
+  // replies overflows the bounded write buffer *inside* a single
+  // splitter feed.  Eviction must be deferred until the feed loop
+  // unwinds — destroying the connection there frees the LineSplitter
+  // whose feed() is still executing (ASan guards the regression) —
+  // and the server must keep serving everyone else.
+  ::signal(SIGPIPE, SIG_IGN);  // our own writes may race the eviction
+  ServerOptions no = ephemeral_tcp();
+  no.max_write_buffer = 4 * 1024;
+  no.sndbuf_bytes = 4 * 1024;  // small kernel buffer: backpressure fast
+  Loop loop(serve_options(), no);
+  ASSERT_TRUE(loop.start());
+  Client slow(loop.server().bound_port(), /*rcvbuf=*/4 * 1024);
+  ASSERT_TRUE(slow.connected());
+  std::string burst;
+  for (int i = 0; i < 4000; ++i) burst += "done id=55 at=1\n";
+  slow.send_raw(burst);  // may fail part-way once the server hangs up
+  // Never read the replies — the pent-up outbox IS the trigger.  The
+  // eviction surfaces as a hangup (RST, since the server discards our
+  // still-queued input when it closes).
+  EXPECT_TRUE(slow.wait_peer_close());
+  // The server survived the mid-feed eviction and still serves.
+  Client fine(loop.server().bound_port());
+  ASSERT_TRUE(fine.connected());
+  ASSERT_TRUE(fine.send_line("sub id=1 at=1 deadline=5 tree=a@0:1/1"));
+  EXPECT_NE(fine.read_line().find("\"id\":1"), std::string::npos);
+  loop.stop();
+  EXPECT_EQ(loop.server().stats().evicted_slow, 1u);
+}
+
+TEST(ServeServerLoop, ReplayRecoveredDecisionIsOrphanedNotMisrouted) {
+  // Submissions recovered by journal replay have no connection route in
+  // the new process.  When another client's `done` pumps such a parked
+  // sub to a decision, that decision must surface as orphaned — not be
+  // delivered to the client that happened to trigger the pump.
+  const std::string wal =
+      "sda_test_net_replay_" + std::to_string(::getpid()) + ".wal";
+  std::remove(wal.c_str());
+  ServeOptions so = serve_options();
+  so.journal_path = wal;
+  {
+    // First life: id=1 admitted, id=2 parked; die without a drain.
+    ServeSession session(so);
+    std::string error;
+    ASSERT_TRUE(session.open_journal(&error)) << error;
+    std::vector<ServeSession::Reply> replies;
+    session.handle_line("sub id=1 at=0 deadline=5 tree=a@0:4/4", replies);
+    session.handle_line("sub id=2 at=1 deadline=9 tree=a@0:4/4", replies);
+  }
+  Loop loop(so, ephemeral_tcp());
+  ASSERT_TRUE(loop.start());
+  EXPECT_EQ(loop.session().result().replayed, 2u);
+  Client c(loop.server().bound_port());
+  ASSERT_TRUE(c.connected());
+  ASSERT_TRUE(c.send_line("done id=1 at=2"));  // resolves parked id=2
+  // c must NOT receive id=2's decision; the next thing it sees is the
+  // error reply to its own probe.
+  ASSERT_TRUE(c.send_line("done id=99 at=3"));
+  const std::string next = c.read_line();
+  EXPECT_NE(next.find("\"id\":99"), std::string::npos)
+      << "misrouted replayed decision: " << next;
+  loop.stop();
+  EXPECT_EQ(loop.server().stats().orphaned_replies, 1u);
+  std::remove(wal.c_str());
+}
+
+TEST(ServeServerLoop, RoutePeekHonorsTheSessionsProtocolLimits) {
+  // A session configured with generous limits must still route
+  // decisions for lines that *default* limits would reject: the
+  // transport's route peek has to parse with the session's limits.
+  // 100 KiB of leading zeros keeps the id's value tiny while pushing
+  // the line past the default 64 KiB bound.
+  ServeOptions so = serve_options();
+  so.limits.max_line_bytes = 256 * 1024;
+  so.limits.max_value_bytes = 200 * 1024;
+  ServerOptions no = ephemeral_tcp();
+  no.max_line_bytes = 256 * 1024;
+  Loop loop(so, no);
+  ASSERT_TRUE(loop.start());
+  Client client(loop.server().bound_port());
+  ASSERT_TRUE(client.connected());
+  const std::string padded_id = std::string(100 * 1024, '0') + "7";
+  ASSERT_TRUE(client.send_line("sub id=" + padded_id +
+                               " at=0 deadline=5 tree=a@0:1/1"));
+  const std::string decision = client.read_line();
+  EXPECT_NE(decision.find("\"schema\":\"sda.admit.v1\""), std::string::npos)
+      << decision;
+  EXPECT_NE(decision.find("\"id\":7"), std::string::npos) << decision;
+  loop.stop();
+  EXPECT_EQ(loop.server().stats().orphaned_replies, 0u);
 }
 
 TEST(ServeServerLoop, ConnectionCapRejectsTheOverflowClient) {
