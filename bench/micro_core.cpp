@@ -26,6 +26,7 @@
 #include "src/exp/runner.hpp"
 #include "src/sched/edf.hpp"
 #include "src/sim/engine.hpp"
+#include "src/sim/fabric.hpp"
 #include "src/task/notation.hpp"
 #include "src/util/rng.hpp"
 
@@ -408,6 +409,62 @@ void BM_WholeReplication(benchmark::State& state) {
   state.SetLabel("5000 simulated time units, baseline system");
 }
 BENCHMARK(BM_WholeReplication);
+
+// One large replication on the time-window fabric at 1/2/4/8 shards.  A
+// scale-out scenario (DESIGN.md §4c): many nodes, almost-all-local work
+// (messages only for the global fraction), and a nonzero control-plane
+// latency so the conservative window amortizes barrier cost over many
+// events.  The /1 run is the same model on one worker — the speedup
+// claim is /8 vs /1 at equal net_latency.  (On a single-core host the
+// sharded runs measure protocol overhead, not speedup; compare shard
+// counts only on a machine with >= 8 cores.)
+void BM_WholeReplicationSharded(benchmark::State& state) {
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.k = 1024;
+  c.n_min = c.n_max = 8;
+  c.frac_local = 0.95;
+  c.net_latency = 0.5;
+  c.sim_time = 100.0;
+  c.shards = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    const exp::RunResult r = exp::run_once(c, 42);
+    events = r.events_fired;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel("k=1024 frac_local=0.95 net_latency=0.5, 100 time units");
+  state.counters["events"] = static_cast<double>(events);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_WholeReplicationSharded)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+// The fabric's per-message cost in isolation: one shard-pair outbox,
+// ring-sized batches and spill-sized batches.
+void BM_CrossShardQueuePushDrain(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  sim::CrossShardQueue q;
+  std::vector<sim::Message> out;
+  out.reserve(static_cast<std::size_t>(batch));
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      sim::Message m;
+      m.deliver_at = static_cast<double>(i);
+      m.dst_lane = i;
+      m.fn = [] {};
+      q.push(std::move(m));
+    }
+    out.clear();
+    q.drain(out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_CrossShardQueuePushDrain)->Arg(64)->Arg(256)->Arg(4096);
 
 }  // namespace
 

@@ -69,8 +69,10 @@ echo "admission overload soak passed"
 # --- ThreadSanitizer pass: pool + determinism tests -----------------------
 # ASan and TSan cannot share a build, so the tsan preset gets its own
 # binary dir.  The test preset filters to the tests that exercise
-# cross-thread execution; running the whole suite under TSan would only
-# re-run single-threaded code at 10x slowdown.
+# cross-thread execution (test_thread_pool, test_runner, test_net, and
+# test_pdes — the sharded time-window fabric, whose barrier/outbox
+# protocol is exactly what TSan exists to vet); running the whole suite
+# under TSan would only re-run single-threaded code at 10x slowdown.
 cmake --preset tsan
 cmake --build --preset tsan -j "$(nproc)"
 

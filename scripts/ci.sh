@@ -12,12 +12,15 @@
 #      --trace, then: every JSON line parses, schemas are sda.run.v1 /
 #      sda.report.v1, the trace declares one track per node, and the
 #      fingerprints in the report match a second exporter-free run.
-#   5. sda_run --serve smoke — a scripted submission stream through the
+#   5. sharded PDES smoke — the same baseline run at shards=1 and
+#      shards=4 must report identical replication fingerprints (the
+#      conservative time-window fabric's bit-identity contract).
+#   6. sda_run --serve smoke — a scripted submission stream through the
 #      admission front door: every line parses as JSON, N submissions get
 #      exactly N sda.admit.v1 decisions plus one summary, `done` lines for
 #      already-retired ids get structured sda.error.v1 replies, and a
 #      rerun is byte-identical (decision determinism).
-#   6. socket front door — spawn `--serve --listen 127.0.0.1:0 --journal`,
+#   7. socket front door — spawn `--serve --listen 127.0.0.1:0 --journal`,
 #      submit over TCP, SIGTERM drain, then verify the drain summary's
 #      journal fingerprint against an offline `--recover-check` replay;
 #      finally a TSan build/run of the multi-client server test.
@@ -26,20 +29,20 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== [1/6] configure + build ==="
+echo "=== [1/7] configure + build ==="
 cmake -B "$BUILD" -S . > /dev/null
 cmake --build "$BUILD" -j "$(nproc)"
 
 echo ""
-echo "=== [2/6] ctest ==="
+echo "=== [2/7] ctest ==="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
 echo ""
-echo "=== [3/6] static analysis ==="
+echo "=== [3/7] static analysis ==="
 scripts/check_static.sh "$BUILD"
 
 echo ""
-echo "=== [4/6] sda_run smoke + schema check ==="
+echo "=== [4/7] sda_run smoke + schema check ==="
 SMOKE_DIR=$(mktemp -d /tmp/sda_ci.XXXXXX)
 trap 'rm -f "$SMOKE_DIR"/*; rmdir "$SMOKE_DIR"' EXIT
 
@@ -91,7 +94,27 @@ print("smoke ok: schemas valid, 6+1 trace tracks, fingerprints identical "
 PY
 
 echo ""
-echo "=== [5/6] sda_run --serve smoke + schema check ==="
+echo "=== [5/7] sharded PDES smoke: shards=4 fingerprint == shards=1 ==="
+# The conservative time-window fabric (DESIGN.md 4c) must reproduce the
+# serial engine bit for bit: same seeds, same trace fingerprints, at any
+# shard count.  shards=1 is the untouched serial path; shards=4 runs the
+# same replications across four worker threads.
+"$BUILD/tools/sda_run" sim_time=5000 reps=2 shards=1 \
+  > "$SMOKE_DIR/serial.txt"
+"$BUILD/tools/sda_run" sim_time=5000 reps=2 shards=4 \
+  > "$SMOKE_DIR/sharded.txt"
+SERIAL_FP=$(grep -o "fingerprints:.*" "$SMOKE_DIR/serial.txt")
+SHARDED_FP=$(grep -o "fingerprints:.*" "$SMOKE_DIR/sharded.txt")
+if [[ -z "$SERIAL_FP" || "$SERIAL_FP" != "$SHARDED_FP" ]]; then
+  echo "FAIL: sharded fingerprints diverge from serial" >&2
+  echo "  shards=1: $SERIAL_FP" >&2
+  echo "  shards=4: $SHARDED_FP" >&2
+  exit 1
+fi
+echo "sharded smoke ok: shards=4 reproduces shards=1 ($SERIAL_FP)"
+
+echo ""
+echo "=== [6/7] sda_run --serve smoke + schema check ==="
 N_SUBS=40
 {
   echo "# ci serve smoke: repeated shapes, a burst, and completions"
@@ -164,7 +187,7 @@ print(f"serve smoke ok: {n_subs} submissions -> {n_subs} decisions "
 PY
 
 echo ""
-echo "=== [6/6] socket front door: TCP smoke, SIGTERM drain, replay check ==="
+echo "=== [7/7] socket front door: TCP smoke, SIGTERM drain, replay check ==="
 "$BUILD/tools/sda_run" --serve --listen 127.0.0.1:0 \
   --journal "$SMOKE_DIR/ci.wal" --journal-flush-every 1 \
   > "$SMOKE_DIR/socket_out.jsonl" &

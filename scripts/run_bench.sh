@@ -8,9 +8,10 @@
 # Usage: scripts/run_bench.sh [--check] [output.json]   (default: BENCH_core.json)
 #
 #   --check   overhead guard: before overwriting the output file, compare
-#             the fresh BM_EventQueuePushPop / BM_WholeReplication numbers
-#             against the committed baseline and fail when items/sec
-#             regressed by more than SDA_BENCH_TOLERANCE (default 2%).
+#             the fresh BM_EventQueuePushPop / BM_ProcessManagerSubmitDrain
+#             / BM_WholeReplication numbers against the committed baseline
+#             and fail when items/sec regressed by more than
+#             SDA_BENCH_TOLERANCE (default 2%).
 #             Also a correctness gate: fails when the quick scorecard has
 #             more failed checks than the committed baseline records, so
 #             a reproduction regression cannot hide behind a green build.
@@ -86,10 +87,14 @@ with open(os.environ["BASELINE"]) as f:
     base = json.load(f).get("micro_core", {})
 tolerance = float(os.environ["TOLERANCE"]) / 100.0
 
-# The two hot paths telemetry must not slow down: the event queue's
-# push/pop cycle and a whole end-to-end replication.
+# The hot paths telemetry must not slow down: the event queue's push/pop
+# cycle, the process manager's submit/dispatch/drain cycle (the control
+# lane is the sharded fabric's Amdahl bottleneck), and a whole end-to-end
+# replication.
 guarded = [n for n in base
-           if n.startswith("BM_EventQueuePushPop") or n == "BM_WholeReplication"]
+           if n.startswith("BM_EventQueuePushPop")
+           or n == "BM_ProcessManagerSubmitDrain"
+           or n == "BM_WholeReplication"]
 failed = False
 for name in sorted(guarded):
     old = base[name].get("items_per_second")

@@ -13,14 +13,40 @@ using task::TaskPtr;
 using task::TaskState;
 using task::TreeNode;
 
-ProcessManager::ProcessManager(sim::Engine& engine,
-                               std::vector<sched::Node*> nodes, Config config)
-    : engine_(engine), nodes_(std::move(nodes)), config_(std::move(config)) {
-  if (!config_.psp) throw std::invalid_argument("ProcessManager: PSP strategy required");
-  if (!config_.ssp) throw std::invalid_argument("ProcessManager: SSP strategy required");
+DirectNodePort::DirectNodePort(std::vector<sched::Node*> nodes)
+    : nodes_(std::move(nodes)) {
   for (const auto* n : nodes_) {
     if (n == nullptr) throw std::invalid_argument("ProcessManager: null node");
   }
+}
+
+bool DirectNodePort::is_up(int node) const {
+  return nodes_[static_cast<std::size_t>(node)]->is_up();
+}
+
+void DirectNodePort::submit(int node, const task::TaskPtr& t) {
+  nodes_[static_cast<std::size_t>(node)]->submit(t);
+}
+
+void DirectNodePort::abort(int node, const task::SimpleTask& t) {
+  nodes_[static_cast<std::size_t>(node)]->abort(t);
+}
+
+ProcessManager::ProcessManager(sim::Engine& engine,
+                               std::vector<sched::Node*> nodes, Config config)
+    : engine_(engine),
+      owned_port_(std::make_unique<DirectNodePort>(std::move(nodes))),
+      port_(owned_port_.get()),
+      config_(std::move(config)) {
+  if (!config_.psp) throw std::invalid_argument("ProcessManager: PSP strategy required");
+  if (!config_.ssp) throw std::invalid_argument("ProcessManager: SSP strategy required");
+}
+
+ProcessManager::ProcessManager(sim::Engine& engine, NodePort& port,
+                               Config config)
+    : engine_(engine), port_(&port), config_(std::move(config)) {
+  if (!config_.psp) throw std::invalid_argument("ProcessManager: PSP strategy required");
+  if (!config_.ssp) throw std::invalid_argument("ProcessManager: SSP strategy required");
 }
 
 ProcessManager::Run* ProcessManager::find_run(std::uint64_t run_id) {
@@ -43,12 +69,11 @@ std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
     throw std::invalid_argument("ProcessManager::submit: " + why);
   }
   for (const TreeNode* leaf : task::leaves(*tree)) {
-    if (leaf->exec_node < 0 ||
-        leaf->exec_node >= static_cast<int>(nodes_.size())) {
+    if (leaf->exec_node < 0 || leaf->exec_node >= node_count()) {
       throw std::out_of_range("ProcessManager::submit: leaf bound to node " +
                               std::to_string(leaf->exec_node) +
                               " but the system has " +
-                              std::to_string(nodes_.size()) + " nodes");
+                              std::to_string(node_count()) + " nodes");
     }
   }
 
@@ -138,7 +163,7 @@ void ProcessManager::dispatch_leaf(Run& run, const TreeNode& leaf,
   t->non_abortable = config_.mark_subtasks_non_abortable;
   run.live[&leaf] = t;
   run.leaf_of[t->id] = &leaf;
-  nodes_[static_cast<std::size_t>(leaf.exec_node)]->submit(std::move(t));
+  port_->submit(leaf.exec_node, t);
 }
 
 void ProcessManager::handle_completion(const TaskPtr& t) {
@@ -181,7 +206,7 @@ void ProcessManager::handle_local_abort(const TaskPtr& t) {
   t->attrs.arrival = engine_.now();
   t->attrs.virtual_deadline = t->attrs.real_deadline;
   t->non_abortable = true;
-  nodes_[static_cast<std::size_t>(t->exec_node)]->submit(t);
+  port_->submit(t->exec_node, t);
 }
 
 void ProcessManager::child_done(Run& run, const TreeNode& child) {
@@ -267,7 +292,7 @@ void ProcessManager::terminate_run(Run& run, bool shed) {
   for (const TaskPtr& t : victims) {
     // A task waiting out a retry backoff or already killed by a fault is
     // not at any node; abort() is a no-op for it.
-    nodes_[static_cast<std::size_t>(t->exec_node)]->abort(*t);
+    port_->abort(t->exec_node, *t);
     if (!task::is_terminal(t->state)) {
       t->state = TaskState::kAborted;
       t->finished_at = engine_.now();
@@ -323,12 +348,38 @@ void ProcessManager::handle_failure(const TaskPtr& t) {
   }
 }
 
+void ProcessManager::handle_remote(const task::SimpleTask& snapshot,
+                                   RemoteSubtaskEvent ev) {
+  if (snapshot.kind != task::TaskKind::kSubtask) return;
+  Run* run = find_run(snapshot.owner_run);
+  if (run == nullptr) return;  // run ended while the message was in flight
+  auto leaf_it = run->leaf_of.find(snapshot.id);
+  if (leaf_it == run->leaf_of.end()) return;
+  auto live_it = run->live.find(leaf_it->second);
+  if (live_it == run->live.end()) return;
+  // Keep the manager's copy alive across the handler (which may erase the
+  // run) and refresh it from the node's snapshot — the same field values
+  // the serial path sees on its shared object.
+  const TaskPtr t = live_it->second;
+  *t = snapshot;
+  switch (ev) {
+    case RemoteSubtaskEvent::kCompleted:
+      handle_completion(t);
+      break;
+    case RemoteSubtaskEvent::kLocalAbort:
+      handle_local_abort(t);
+      break;
+    case RemoteSubtaskEvent::kFailed:
+      handle_failure(t);
+      break;
+  }
+}
+
 void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
                                     const TaskPtr& t) {
   const RecoveryPolicy& rp = config_.recovery;
   int target = t->exec_node;
-  if (rp.failover &&
-      !nodes_[static_cast<std::size_t>(target)]->is_up()) {
+  if (rp.failover && !port_->is_up(target)) {
     target = failover_target(target);
     if (target != t->exec_node) ++failovers_;
   }
@@ -340,7 +391,7 @@ void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
   t->exec_node = target;
   // Node::submit resets `remaining` to the full demand: the failed
   // attempt's work is lost.
-  nodes_[static_cast<std::size_t>(target)]->submit(t);
+  port_->submit(target, t);
 }
 
 sim::Time ProcessManager::recompute_deadline(const Run& run,
@@ -400,14 +451,14 @@ sim::Time ProcessManager::remaining_path_pex(const Run& run,
 }
 
 int ProcessManager::failover_target(int origin) const {
-  const int total = static_cast<int>(nodes_.size());
+  const int total = node_count();
   const int compute =
       config_.compute_node_count < 0 ? total : config_.compute_node_count;
   const int base = origin < compute ? 0 : compute;
   const int pool = origin < compute ? compute : total - compute;
   for (int j = 1; j < pool; ++j) {
     const int candidate = base + (origin - base + j) % pool;
-    if (nodes_[static_cast<std::size_t>(candidate)]->is_up()) {
+    if (port_->is_up(candidate)) {
       return candidate;
     }
   }

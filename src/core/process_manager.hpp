@@ -89,6 +89,49 @@ struct GlobalTaskRecord {
   bool shed = false;      ///< dropped by the recovery policy (subset of aborted)
 };
 
+/// The process manager's window onto the execution nodes.  The serial
+/// runner uses DirectNodePort — synchronous calls into sched::Node,
+/// exactly the original single-engine behavior.  The sharded runner
+/// (exp/runner_sharded) substitutes a port that clones the task and
+/// ships each call as a cross-lane fabric message, so the PM never
+/// touches node-owned state from another shard.
+class NodePort {
+ public:
+  virtual ~NodePort() = default;
+  /// Number of execution nodes (compute + link).
+  virtual int count() const = 0;
+  /// Is @p node accepting work (i.e. not inside a crash outage)?
+  virtual bool is_up(int node) const = 0;
+  /// Hands a subtask to @p node's scheduler.
+  virtual void submit(int node, const task::TaskPtr& t) = 0;
+  /// Aborts a queued-or-running task; a no-op when the node no longer
+  /// holds it (already completed, failed, or never delivered).
+  virtual void abort(int node, const task::SimpleTask& t) = 0;
+};
+
+/// Synchronous port sharing task objects with the nodes (serial path).
+class DirectNodePort final : public NodePort {
+ public:
+  explicit DirectNodePort(std::vector<sched::Node*> nodes);
+  int count() const override {
+    return static_cast<int>(nodes_.size());
+  }
+  bool is_up(int node) const override;
+  void submit(int node, const task::TaskPtr& t) override;
+  void abort(int node, const task::SimpleTask& t) override;
+
+ private:
+  std::vector<sched::Node*> nodes_;
+};
+
+/// Terminal node-side outcome of a subtask, reported back to the process
+/// manager by the sharded runner as a value snapshot (see handle_remote).
+enum class RemoteSubtaskEvent {
+  kCompleted,
+  kLocalAbort,
+  kFailed,
+};
+
 class ProcessManager {
  public:
   struct Config {
@@ -123,9 +166,14 @@ class ProcessManager {
 
   /// @p nodes is indexed by TreeNode::exec_node; the runner wires each
   /// node's completion/abort handlers to handle_completion /
-  /// handle_local_abort for subtask-kind tasks.
+  /// handle_local_abort for subtask-kind tasks.  Wraps the nodes in an
+  /// owned DirectNodePort (the serial path).
   ProcessManager(sim::Engine& engine, std::vector<sched::Node*> nodes,
                  Config config);
+
+  /// Port-based constructor: all node interaction goes through @p port
+  /// (which must outlive the manager).  Used by the sharded runner.
+  ProcessManager(sim::Engine& engine, NodePort& port, Config config);
 
   ProcessManager(const ProcessManager&) = delete;
   ProcessManager& operator=(const ProcessManager&) = delete;
@@ -149,6 +197,14 @@ class ProcessManager {
   /// Node fault callback for subtask-kind tasks (crash or transient
   /// failure): applies the RecoveryPolicy — retry, fail over, or shed.
   void handle_failure(const task::TaskPtr& t);
+
+  /// Sharded-runner entry point: a node lane reported a terminal subtask
+  /// outcome as a value snapshot.  Copies the snapshot over the manager's
+  /// own task object (keyed by snapshot.id) and runs the matching
+  /// handle_* path; silently drops snapshots for runs or subtasks the
+  /// manager no longer tracks (the run ended while the message was in
+  /// flight — legitimate under message latency).
+  void handle_remote(const task::SimpleTask& snapshot, RemoteSubtaskEvent ev);
 
   const Config& config() const noexcept { return config_; }
 
@@ -225,8 +281,14 @@ class ProcessManager {
   /// none is up.
   int failover_target(int origin) const;
 
+  /// Node count via the port (nodes_.size() before the port refactor).
+  int node_count() const { return port_->count(); }
+
   sim::Engine& engine_;
-  std::vector<sched::Node*> nodes_;
+  /// Set when constructed from raw nodes (serial path); port_ points at
+  /// it.  The port-based constructor leaves it empty.
+  std::unique_ptr<NodePort> owned_port_;
+  NodePort* port_ = nullptr;
   Config config_;
 
   std::unordered_map<std::uint64_t, Run> runs_;

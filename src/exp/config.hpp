@@ -183,6 +183,22 @@ struct ExperimentConfig {
            msg_loss_rate > 0.0 || msg_extra_delay_mean > 0.0;
   }
 
+  // --- parallel execution (conservative time-window PDES) ------------------
+  /// Worker shards one replication is partitioned across (node i -> shard
+  /// i mod shards; the process manager, global source and admission gate
+  /// run on shard 0's extra control lane).  1 = the serial engine,
+  /// byte-for-byte.  Requires 1 <= shards <= k + link_count.  Run
+  /// fingerprints are bit-identical at any shard count; see DESIGN.md §4c.
+  int shards = 1;
+  /// Modeled control-plane message latency between the process manager
+  /// and the nodes (dispatch, completion/abort/failure notifications) —
+  /// also the PDES lookahead bound.  0 keeps the paper's instantaneous
+  /// control plane: with shards=1 that is the serial path, with shards>1
+  /// the window degrades to per-timestamp rounds (slower, never wrong).
+  /// Any value > 0 changes the *model* (notifications arrive late), so
+  /// compare fingerprints only across equal net_latency.
+  double net_latency = 0.0;
+
   // --- run control ----------------------------------------------------------
   double sim_time = 200000.0;   ///< simulated time units per replication
   double warmup_fraction = 0.05;

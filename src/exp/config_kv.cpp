@@ -270,6 +270,9 @@ const std::vector<Field>& fields() {
       SDA_KV_INT(admission_plan_cache_capacity),
       SDA_KV_DOUBLE(global_burst_factor),
       SDA_KV_DOUBLE(global_burst_cycle),
+      // --- parallel execution ---------------------------------------------
+      SDA_KV_INT(shards),
+      SDA_KV_DOUBLE(net_latency),
       // --- run control ----------------------------------------------------
       SDA_KV_DOUBLE(sim_time),
       SDA_KV_DOUBLE(warmup_fraction),

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/exp/runner_detail.hpp"
 #include "src/exp/validate.hpp"
 
 #include "src/core/strategy.hpp"
@@ -21,27 +22,8 @@
 
 namespace sda::exp {
 
-namespace {
-/// Task-id space partitioning: local sources and the process manager must
-/// hand out ids that never collide (node-side bookkeeping is keyed by id).
-constexpr std::uint64_t local_id_base(int node_index) {
-  return (static_cast<std::uint64_t>(node_index) + 1) << 40;
-}
-}  // namespace
-
-namespace {
-metrics::TraceEvent to_trace_event(sched::Node::Event e) {
-  switch (e) {
-    case sched::Node::Event::kSubmitted: return metrics::TraceEvent::kSubmitted;
-    case sched::Node::Event::kStarted: return metrics::TraceEvent::kStarted;
-    case sched::Node::Event::kPreempted: return metrics::TraceEvent::kPreempted;
-    case sched::Node::Event::kCompleted: return metrics::TraceEvent::kCompleted;
-    case sched::Node::Event::kAborted: return metrics::TraceEvent::kAborted;
-    case sched::Node::Event::kFailed: return metrics::TraceEvent::kFailed;
-  }
-  return metrics::TraceEvent::kSubmitted;
-}
-}  // namespace
+using detail::local_id_base;
+using detail::to_trace_event;
 
 RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
                    metrics::Tracer* tracer) {
@@ -49,6 +31,13 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
   // the system is assembled (callers going through run_experiment have
   // already paid this, but run_once is a public entry point of its own).
   config.validate_or_throw();
+
+  // Sharded (or latency-modeling) runs go through the time-window fabric;
+  // the default shards=1, net_latency=0 keeps this original synchronous
+  // single-engine path untouched.
+  if (detail::message_mode(config)) {
+    return detail::run_once_sharded(config, seed, tracer);
+  }
 
   sim::Engine engine;
   util::Rng master(seed);
@@ -327,7 +316,7 @@ metrics::Report run_experiment(const ExperimentConfig& config,
   const std::size_t reps = static_cast<std::size_t>(config.replications);
   std::vector<metrics::Collector> collectors(reps);
   std::vector<std::uint64_t> fps(fingerprints != nullptr ? reps : 0);
-  pool.parallel_for(reps, [&](std::size_t rep) {
+  auto one_rep = [&](std::size_t rep) {
     const std::uint64_t seed =
         replication_seed(config.seed, static_cast<int>(rep));
     if (fingerprints != nullptr) {
@@ -338,7 +327,15 @@ metrics::Report run_experiment(const ExperimentConfig& config,
     } else {
       collectors[rep] = std::move(run_once(config, seed).collector);
     }
-  });
+  };
+  if (detail::message_mode(config)) {
+    // A sharded replication already spawns `shards` worker threads; fanning
+    // replications over the pool on top of that would oversubscribe every
+    // core.  Replication order is the fold order either way.
+    for (std::size_t rep = 0; rep < reps; ++rep) one_rep(rep);
+  } else {
+    pool.parallel_for(reps, one_rep);
+  }
   if (fingerprints != nullptr) *fingerprints = std::move(fps);
   metrics::Report report;
   for (const metrics::Collector& c : collectors) report.add_replication(c);

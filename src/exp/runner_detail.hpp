@@ -1,0 +1,48 @@
+// Shared plumbing between the serial runner (runner.cpp) and the sharded
+// PDES runner (runner_sharded.cpp).  Both build the same system from the
+// same ExperimentConfig with the same RNG split order; keeping the
+// id-space and trace-event maps in one place is what keeps their
+// fingerprints comparable.
+#pragma once
+
+#include <cstdint>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/trace.hpp"
+#include "src/sched/node.hpp"
+
+namespace sda::exp::detail {
+
+/// Task-id space partitioning: local sources and the process manager must
+/// hand out ids that never collide (node-side bookkeeping is keyed by id).
+constexpr std::uint64_t local_id_base(int node_index) {
+  return (static_cast<std::uint64_t>(node_index) + 1) << 40;
+}
+
+inline metrics::TraceEvent to_trace_event(sched::Node::Event e) {
+  switch (e) {
+    case sched::Node::Event::kSubmitted: return metrics::TraceEvent::kSubmitted;
+    case sched::Node::Event::kStarted: return metrics::TraceEvent::kStarted;
+    case sched::Node::Event::kPreempted: return metrics::TraceEvent::kPreempted;
+    case sched::Node::Event::kCompleted: return metrics::TraceEvent::kCompleted;
+    case sched::Node::Event::kAborted: return metrics::TraceEvent::kAborted;
+    case sched::Node::Event::kFailed: return metrics::TraceEvent::kFailed;
+  }
+  return metrics::TraceEvent::kSubmitted;
+}
+
+/// True when the run must go through the message fabric: more than one
+/// shard, or a modeled control-plane latency (which changes delivery
+/// times even on a single shard).  shards == 1 && net_latency == 0 keeps
+/// the original synchronous single-engine path, byte for byte.
+inline bool message_mode(const ExperimentConfig& c) noexcept {
+  return c.shards > 1 || c.net_latency > 0.0;
+}
+
+/// One replication on the conservative time-window fabric (DESIGN.md §4c).
+/// Same contract as run_once; the config has already been validated.
+RunResult run_once_sharded(const ExperimentConfig& config, std::uint64_t seed,
+                           metrics::Tracer* tracer);
+
+}  // namespace sda::exp::detail

@@ -1,5 +1,6 @@
 #include "src/exp/validate.hpp"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -137,6 +138,23 @@ std::vector<std::string> validate(const ExperimentConfig& c) {
     if (c.global_kind != GlobalKind::kParallel) {
       bad("admission=1 currently supports global_kind=parallel only");
     }
+  }
+
+  // --- parallel execution ----------------------------------------------------
+  if (c.shards < 1) bad("shards must be >= 1");
+  const int total_nodes = c.k + (c.global_kind == GlobalKind::kGraph
+                                     ? std::max(c.link_count, 0)
+                                     : 0);
+  if (c.shards > total_nodes) {
+    bad("shards must not exceed the node count (k" +
+        std::string(c.global_kind == GlobalKind::kGraph ? " + link_count" : "") +
+        " = " + std::to_string(total_nodes) + ")");
+  }
+  if (c.net_latency < 0.0) bad("net_latency must be >= 0");
+  if (c.shards > 1 && c.placement == "least-queued") {
+    // Least-queued placement reads live node queue depths from the control
+    // lane, which other shards own; only the serial engine can do that.
+    bad("placement=least-queued requires shards=1 (reads live node state)");
   }
 
   // --- run control -------------------------------------------------------------

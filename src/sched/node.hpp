@@ -15,6 +15,15 @@
 // (link jitter).  With no hook installed and no crashes scheduled, the
 // node's behavior — including its event and RNG footprint — is exactly
 // the fail-free model.
+//
+// Lane affinity (sharded execution, DESIGN.md §4c): a Node is not
+// thread-safe and never needs to be.  Under the time-window fabric, node
+// i plus everything that touches it synchronously — its engine events,
+// local source, fault hooks, abort timers, handlers — lives on lane i,
+// which is owned by exactly one shard thread.  Cross-lane parties (the
+// process manager) interact with a node only through fabric messages
+// executed on its lane, and observe its status only through the static
+// NodeStatusBoard, never by calling into the node from another shard.
 #pragma once
 
 #include <cstdint>

@@ -64,6 +64,13 @@ std::uint64_t Engine::run() {
   return fired_now;
 }
 
+Engine::Fired Engine::pop_next() {
+  EventQueue::Popped p = queue_.pop_slot();
+  now_ = p.time;
+  ++fired_;
+  return Fired{p.time, std::move(p.fn), p.slot};
+}
+
 bool Engine::step() {
   if (queue_.empty()) return false;
   auto [t, fn] = queue_.pop();

@@ -45,6 +45,31 @@ class Engine {
   /// Fires exactly one event if any is pending. Returns true if one fired.
   bool step();
 
+  /// Time of the earliest pending event. Requires events_pending() > 0.
+  Time next_time() const { return queue_.peek_time(); }
+
+  /// A popped-but-not-yet-invoked event: the sharded fabric (sim::Fabric)
+  /// pops events itself so it can consult a slot-keyed side table before
+  /// running the callback.  `slot` matches EventQueue::slot_of on the
+  /// handle at() returned while the event was pending.
+  struct Fired {
+    Time time;
+    EventFn fn;
+    std::uint32_t slot;
+  };
+
+  /// Removes the earliest event, advances the clock to it, and counts it
+  /// as fired; the caller invokes `fn`.  Requires events_pending() > 0.
+  Fired pop_next();
+
+  /// Advances the clock without firing events (forward-only; earlier
+  /// times are ignored).  Used by the fabric to land every shard's clock
+  /// on the window horizon so time-based per-node statistics agree with
+  /// the serial engine.
+  void set_now(Time t) noexcept {
+    if (t > now_) now_ = t;
+  }
+
   /// Requests run()/run_until() to return after the current event.
   void stop() noexcept { stopped_ = true; }
 

@@ -194,6 +194,11 @@ Time EventQueue::peek_time() const {
 }
 
 std::pair<Time, EventFn> EventQueue::pop() {
+  Popped p = pop_slot();
+  return {p.time, std::move(p.fn)};
+}
+
+EventQueue::Popped EventQueue::pop_slot() {
   if (live_ == 0) throw std::logic_error("EventQueue::pop on empty queue");
   const HeapEntry top = heap_.front();
   if (oracle::enabled() && top.time < last_pop_time_) {
@@ -218,7 +223,7 @@ std::pair<Time, EventFn> EventQueue::pop() {
     last_pop_time_ = std::numeric_limits<Time>::lowest();
   }
   if (oracle::enabled()) oracle_after_mutation();
-  return {top.time, std::move(fn)};
+  return Popped{top.time, std::move(fn), s};
 }
 
 }  // namespace sda::sim

@@ -85,6 +85,24 @@ class EventQueue {
   /// Requires !empty().
   std::pair<Time, EventFn> pop();
 
+  /// pop() result carrying the pool slot the event occupied.  The slot is
+  /// recycled by the time this returns, so it is useful only as a key into
+  /// caller-side side tables populated at push time (see sim::Fabric).
+  struct Popped {
+    Time time;
+    EventFn fn;
+    std::uint32_t slot;
+  };
+
+  /// Like pop(), but also reports the slot index of the popped event.
+  Popped pop_slot();
+
+  /// Slot index a live handle from push() occupies — the side-table key
+  /// matching Popped::slot.  Meaningful only while the event is pending.
+  static constexpr std::uint32_t slot_of(EventId id) noexcept {
+    return static_cast<std::uint32_t>(id.value & 0xffffffffu) - 1;
+  }
+
   /// SDA_VALIDATE oracle: full structural self-check — heap order over
   /// the entry array, live-count bookkeeping against slot keys, and a
   /// live root after skim.  O(n); aborts with a structured dump on any

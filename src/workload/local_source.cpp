@@ -45,13 +45,21 @@ void LocalSource::arrival() {
       if (victim->state == task::TaskState::kQueued ||
           victim->state == task::TaskState::kRunning) {
         node_.abort(*victim);
-        collector_.record_simple(*victim);
+        record_abort(*victim);
       }
     });
   }
 
   node_.submit(std::move(t));
   engine_.in(arrivals_.next(rng_), [this] { arrival(); });
+}
+
+void LocalSource::record_abort(const task::SimpleTask& t) {
+  if (record_hook_) {
+    record_hook_(t);
+  } else {
+    collector_.record_simple(t);
+  }
 }
 
 }  // namespace sda::workload

@@ -18,6 +18,7 @@
 #include "src/sched/node.hpp"
 #include "src/sim/engine.hpp"
 #include "src/util/rng.hpp"
+#include "src/util/unique_fn.hpp"
 #include "src/workload/arrivals.hpp"
 #include "src/workload/exec_dist.hpp"
 
@@ -52,10 +53,18 @@ class LocalSource {
   /// Schedules the first arrival. No tasks are generated before start().
   void start();
 
+  /// Redirects the PM-timer abort records away from the constructor's
+  /// collector (sharded mode: the collector lives on the control lane, so
+  /// the hook defers the record through the fabric instead).
+  void set_record_hook(util::UniqueFn<void(const task::SimpleTask&)> hook) {
+    record_hook_ = std::move(hook);
+  }
+
   std::uint64_t generated() const noexcept { return generated_; }
 
  private:
   void arrival();
+  void record_abort(const task::SimpleTask& t);
 
   sim::Engine& engine_;
   sched::Node& node_;
@@ -63,6 +72,7 @@ class LocalSource {
   util::Rng rng_;
   Config config_;
   InterarrivalSampler arrivals_;
+  util::UniqueFn<void(const task::SimpleTask&)> record_hook_;
   std::uint64_t generated_ = 0;
 };
 

@@ -93,6 +93,8 @@ TEST(ConfigKv, RoundTripEveryFieldNonDefault) {
   c.admission_plan_cache_capacity = 128;
   c.global_burst_factor = 4.0;
   c.global_burst_cycle = 99.0;
+  c.shards = 3;
+  c.net_latency = 0.25;
   c.sim_time = 12345.6789;
   c.warmup_fraction = 0.1;
   c.replications = 7;
@@ -199,6 +201,32 @@ TEST(ConfigValidate, RunOnceRejectsInvalidConfigs) {
   c.node_speeds = {1.0, 2.0};  // wrong length for k=6
   EXPECT_THROW(exp::run_once(c, 1), std::invalid_argument);
   EXPECT_THROW(c.validate_or_throw(), std::invalid_argument);
+}
+
+TEST(ConfigValidate, ShardBoundsAreChecked) {
+  ExperimentConfig c = exp::baseline_config();
+  c.shards = 0;
+  EXPECT_FALSE(c.validate().empty());
+  c.shards = c.k + 1;  // more shards than lanes to put them on
+  EXPECT_FALSE(c.validate().empty());
+  c.shards = c.k;
+  EXPECT_TRUE(c.validate().empty());
+  c.net_latency = -0.5;
+  EXPECT_FALSE(c.validate().empty());
+  c.net_latency = 0.0;
+  c.placement = "least-queued";  // reads live node state across shards
+  EXPECT_FALSE(c.validate().empty());
+  c.shards = 1;
+  EXPECT_TRUE(c.validate().empty());
+}
+
+TEST(ConfigValidate, GraphShardsMayUseLinkLanes) {
+  ExperimentConfig c = exp::graph_config();
+  c.link_count = 2;
+  c.shards = c.k + 2;  // compute lanes + link lanes
+  EXPECT_TRUE(c.validate().empty());
+  c.shards = c.k + 3;
+  EXPECT_FALSE(c.validate().empty());
 }
 
 TEST(ConfigValidate, SetThenValidateCatchesCrossFieldInconsistency) {
