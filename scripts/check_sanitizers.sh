@@ -14,6 +14,14 @@ cd "$(dirname "$0")/.."
 # Static layer first: cheapest gate, no build required.
 scripts/check_static.sh build-asan
 
+# Compile-time race analysis before the run-time one: when clang++ is
+# present, -Wthread-safety vets the lock annotations the TSan pass below
+# then checks dynamically; rc 77 = no clang on this host, skip.
+rc=0; scripts/check_thread_safety.sh || rc=$?
+if [[ "$rc" -ne 0 && "$rc" -ne 77 ]]; then
+  exit "$rc"
+fi
+
 cmake --preset asan-ubsan
 cmake --build --preset asan-ubsan -j "$(nproc)"
 

@@ -7,20 +7,25 @@
 # Stages (all must pass; the script stops at the first failure):
 #   1. cmake configure + build (warnings on, full target set)
 #   2. ctest — unit tests, sda-lint, and the SDA_VALIDATE oracle re-runs
-#   3. scripts/check_static.sh — sda-lint selftest + clang-tidy (if found)
-#   4. sda_run smoke — Table-1 baseline at a short horizon with --json and
+#   3. scripts/check_static.sh — sda-lint + sda-analyze semantic pass,
+#      their fixture selftests, the suppression audit, and clang-tidy
+#      (when installed)
+#   4. scripts/check_thread_safety.sh — Clang -Wthread-safety over the
+#      annotated tree plus the negative-compile fixtures; skips cleanly
+#      on hosts without clang++ (the annotations are no-ops there)
+#   5. sda_run smoke — Table-1 baseline at a short horizon with --json and
 #      --trace, then: every JSON line parses, schemas are sda.run.v1 /
 #      sda.report.v1, the trace declares one track per node, and the
 #      fingerprints in the report match a second exporter-free run.
-#   5. sharded PDES smoke — the same baseline run at shards=1 and
+#   6. sharded PDES smoke — the same baseline run at shards=1 and
 #      shards=4 must report identical replication fingerprints (the
 #      conservative time-window fabric's bit-identity contract).
-#   6. sda_run --serve smoke — a scripted submission stream through the
+#   7. sda_run --serve smoke — a scripted submission stream through the
 #      admission front door: every line parses as JSON, N submissions get
 #      exactly N sda.admit.v1 decisions plus one summary, `done` lines for
 #      already-retired ids get structured sda.error.v1 replies, and a
 #      rerun is byte-identical (decision determinism).
-#   7. socket front door — spawn `--serve --listen 127.0.0.1:0 --journal`,
+#   8. socket front door — spawn `--serve --listen 127.0.0.1:0 --journal`,
 #      submit over TCP, SIGTERM drain, then verify the drain summary's
 #      journal fingerprint against an offline `--recover-check` replay;
 #      finally a TSan build/run of the multi-client server test.
@@ -29,20 +34,27 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD="${1:-build}"
 
-echo "=== [1/7] configure + build ==="
+echo "=== [1/8] configure + build ==="
 cmake -B "$BUILD" -S . > /dev/null
 cmake --build "$BUILD" -j "$(nproc)"
 
 echo ""
-echo "=== [2/7] ctest ==="
+echo "=== [2/8] ctest ==="
 ctest --test-dir "$BUILD" --output-on-failure -j "$(nproc)"
 
 echo ""
-echo "=== [3/7] static analysis ==="
+echo "=== [3/8] static analysis ==="
 scripts/check_static.sh "$BUILD"
 
 echo ""
-echo "=== [4/7] sda_run smoke + schema check ==="
+echo "=== [4/8] thread-safety analysis ==="
+rc=0; scripts/check_thread_safety.sh || rc=$?
+if [ "$rc" -ne 0 ] && [ "$rc" -ne 77 ]; then
+  exit "$rc"
+fi
+
+echo ""
+echo "=== [5/8] sda_run smoke + schema check ==="
 SMOKE_DIR=$(mktemp -d /tmp/sda_ci.XXXXXX)
 trap 'rm -f "$SMOKE_DIR"/*; rmdir "$SMOKE_DIR"' EXIT
 
@@ -94,7 +106,7 @@ print("smoke ok: schemas valid, 6+1 trace tracks, fingerprints identical "
 PY
 
 echo ""
-echo "=== [5/7] sharded PDES smoke: shards=4 fingerprint == shards=1 ==="
+echo "=== [6/8] sharded PDES smoke: shards=4 fingerprint == shards=1 ==="
 # The conservative time-window fabric (DESIGN.md 4c) must reproduce the
 # serial engine bit for bit: same seeds, same trace fingerprints, at any
 # shard count.  shards=1 is the untouched serial path; shards=4 runs the
@@ -114,7 +126,7 @@ fi
 echo "sharded smoke ok: shards=4 reproduces shards=1 ($SERIAL_FP)"
 
 echo ""
-echo "=== [6/7] sda_run --serve smoke + schema check ==="
+echo "=== [7/8] sda_run --serve smoke + schema check ==="
 N_SUBS=40
 {
   echo "# ci serve smoke: repeated shapes, a burst, and completions"
@@ -187,7 +199,7 @@ print(f"serve smoke ok: {n_subs} submissions -> {n_subs} decisions "
 PY
 
 echo ""
-echo "=== [7/7] socket front door: TCP smoke, SIGTERM drain, replay check ==="
+echo "=== [8/8] socket front door: TCP smoke, SIGTERM drain, replay check ==="
 "$BUILD/tools/sda_run" --serve --listen 127.0.0.1:0 \
   --journal "$SMOKE_DIR/ci.wal" --journal-flush-every 1 \
   > "$SMOKE_DIR/socket_out.jsonl" &

@@ -168,12 +168,14 @@ AdmissionController::AdmissionController(AdmissionConfig config)
 }
 
 std::size_t AdmissionController::ledger_size() const noexcept {
+  util::RoleGuard own(owner_);
   std::size_t total = 0;
   for (const auto& ledger : ledgers_) total += ledger.size();
   return total;
 }
 
 PlanCache::Stats AdmissionController::cache_stats() const noexcept {
+  util::RoleGuard own(owner_);
   return cache_ ? cache_->stats() : PlanCache::Stats{};
 }
 
@@ -409,6 +411,7 @@ AdmissionOutcome shed_outcome(OverloadState state, double pressure,
 AdmissionOutcome AdmissionController::decide(const task::TreeNode& tree,
                                              double now, double deadline,
                                              std::uint64_t ticket) {
+  util::RoleGuard own(owner_);
   ++stats_.submitted;
   refresh(now);
   AdmissionOutcome out =
@@ -421,6 +424,7 @@ AdmissionOutcome AdmissionController::decide(const task::TreeNode& tree,
 
 AdmissionController::SubmitResult AdmissionController::submit(
     task::TreePtr tree, double now, double deadline, std::uint64_t ticket) {
+  util::RoleGuard own(owner_);
   ++stats_.submitted;
   refresh(now);
   SubmitResult result;
@@ -452,6 +456,7 @@ AdmissionController::SubmitResult AdmissionController::submit(
 
 std::vector<std::pair<std::uint64_t, AdmissionOutcome>>
 AdmissionController::pump(double now) {
+  util::RoleGuard own(owner_);
   std::vector<std::pair<std::uint64_t, AdmissionOutcome>> resolved;
   if (queue_.empty()) return resolved;
   refresh(now);
@@ -474,6 +479,7 @@ AdmissionController::pump(double now) {
 
 std::vector<std::pair<std::uint64_t, AdmissionOutcome>>
 AdmissionController::flush(double now) {
+  util::RoleGuard own(owner_);
   std::vector<std::pair<std::uint64_t, AdmissionOutcome>> resolved;
   if (queue_.empty()) return resolved;
   refresh(now);
@@ -499,6 +505,7 @@ AdmissionController::flush(double now) {
 }
 
 void AdmissionController::on_finished(std::uint64_t ticket) {
+  util::RoleGuard own(owner_);
   for (auto& ledger : ledgers_) {
     std::erase_if(ledger,
                   [ticket](const LedgerJob& j) { return j.ticket == ticket; });
@@ -507,6 +514,7 @@ void AdmissionController::on_finished(std::uint64_t ticket) {
 
 std::size_t AdmissionController::on_leaf_finished(std::uint64_t ticket,
                                                   std::uint32_t leaf) {
+  util::RoleGuard own(owner_);
   std::size_t removed = 0;
   for (auto& ledger : ledgers_) {
     removed += std::erase_if(ledger, [ticket, leaf](const LedgerJob& j) {
@@ -517,6 +525,7 @@ std::size_t AdmissionController::on_leaf_finished(std::uint64_t ticket,
 }
 
 void AdmissionController::trip_shedding() {
+  util::RoleGuard own(owner_);
   // Raise the smoothed pressure to the entry threshold: the state flips
   // now, and the ordinary EWMA decay in refresh() walks it back out
   // through the same hysteresis exits as a load-driven trip.
@@ -528,6 +537,7 @@ void AdmissionController::trip_shedding() {
 }
 
 std::uint64_t AdmissionController::fingerprint() const {
+  util::RoleGuard own(owner_);
   std::uint64_t h = util::kFnvOffsetBasis;
   util::fnv1a_mix_value(h, static_cast<std::uint32_t>(state_));
   util::fnv1a_mix_value(h, pressure_);

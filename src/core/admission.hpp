@@ -35,6 +35,8 @@
 #include "src/core/plan_cache.hpp"
 #include "src/core/strategy.hpp"
 #include "src/task/tree.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace sda::core {
 
@@ -218,11 +220,23 @@ class AdmissionController {
   /// journal-replay crash tests assert.
   std::uint64_t fingerprint() const;
 
-  OverloadState state() const noexcept { return state_; }
-  double pressure() const noexcept { return pressure_; }
-  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  OverloadState state() const noexcept {
+    util::RoleGuard own(owner_);
+    return state_;
+  }
+  double pressure() const noexcept {
+    util::RoleGuard own(owner_);
+    return pressure_;
+  }
+  std::size_t queue_depth() const noexcept {
+    util::RoleGuard own(owner_);
+    return queue_.size();
+  }
   std::size_t ledger_size() const noexcept;
-  const AdmissionStats& stats() const noexcept { return stats_; }
+  const AdmissionStats& stats() const noexcept {
+    util::RoleGuard own(owner_);
+    return stats_;
+  }
   PlanCache::Stats cache_stats() const noexcept;
   const AdmissionConfig& config() const noexcept { return config_; }
 
@@ -235,32 +249,47 @@ class AdmissionController {
 
   /// Expires dead ledger entries, refreshes pressure, and applies the
   /// hysteresis transitions.
-  void refresh(double now);
-  double raw_pressure() const;
+  void refresh(double now) SDA_REQUIRES(owner_);
+  double raw_pressure() const SDA_REQUIRES(owner_);
 
   /// State-dependent admission attempt (no queueing, no pressure
   /// refresh).  On success the candidate's jobs are in the ledger.
   AdmissionOutcome try_admit(const task::TreeNode& tree, double now,
-                             double deadline, std::uint64_t ticket);
+                             double deadline, std::uint64_t ticket)
+      SDA_REQUIRES(owner_);
   /// Runs the configured test battery with the candidate jobs merged
   /// into their nodes' ledgers.
   bool feasible_with(const std::vector<LedgerJob>& candidate,
-                     const std::vector<int>& sites, double now) const;
+                     const std::vector<int>& sites, double now) const
+      SDA_REQUIRES(owner_);
   /// Builds the candidate's per-leaf jobs from the (cached) plan.
   void plan_candidate(const task::TreeNode& tree, double now,
                       double deadline, std::uint64_t ticket,
                       std::vector<LedgerJob>& jobs, std::vector<int>& sites,
-                      std::vector<PlanEntry>& plan, bool* cache_hit);
+                      std::vector<PlanEntry>& plan, bool* cache_hit)
+      SDA_REQUIRES(owner_);
 
+  /// Single-owner role: the controller is driven by exactly one thread
+  /// (the simulation's control lane or the serve session).  The retry
+  /// queue, ledgers, and overload state are compile-time fenced to
+  /// owner-entered call paths — a second thread calling in is a
+  /// -Wthread-safety error, which is what makes the planned sharded
+  /// controllers (ROADMAP item 2) an explicit design change rather than
+  /// an accidental race.
+  util::ThreadRole owner_;
   AdmissionConfig config_;
   std::unique_ptr<PspStrategy> psp_;
   std::unique_ptr<SspStrategy> ssp_;
-  std::unique_ptr<PlanCache> cache_;  ///< null when plan_cache is off
-  std::vector<std::vector<LedgerJob>> ledgers_;  ///< indexed by exec node
-  std::deque<Pending> queue_;
-  OverloadState state_ = OverloadState::kNormal;
-  double pressure_ = 0.0;
-  AdmissionStats stats_;
+  /// Null when plan_cache is off; pointee mutated on every planned
+  /// submission.
+  std::unique_ptr<PlanCache> cache_ SDA_GUARDED_BY(owner_)
+      SDA_PT_GUARDED_BY(owner_);
+  std::vector<std::vector<LedgerJob>> ledgers_
+      SDA_GUARDED_BY(owner_);  ///< indexed by exec node
+  std::deque<Pending> queue_ SDA_GUARDED_BY(owner_);
+  OverloadState state_ SDA_GUARDED_BY(owner_) = OverloadState::kNormal;
+  double pressure_ SDA_GUARDED_BY(owner_) = 0.0;
+  AdmissionStats stats_ SDA_GUARDED_BY(owner_);
 };
 
 }  // namespace sda::core

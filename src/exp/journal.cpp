@@ -152,7 +152,8 @@ JournalWriter::~JournalWriter() { close(); }
 
 bool JournalWriter::open(const std::string& path, const Config& config,
                          std::string* error) {
-  close();
+  util::RoleGuard own(owner_);
+  close_impl();
   config_ = config;
   failed_ = false;
   const int fd =
@@ -241,19 +242,26 @@ bool JournalWriter::append(char type, std::string_view payload,
   buffer_.push_back('\n');
   ++pending_;
   ++appended_;
-  if (force_flush || pending_ >= config_.flush_every) return flush();
+  if (force_flush || pending_ >= config_.flush_every) return flush_impl();
   return true;
 }
 
 bool JournalWriter::append_event(std::string_view line) {
+  util::RoleGuard own(owner_);
   return append('E', line, /*force_flush=*/false);
 }
 
 bool JournalWriter::append_checkpoint(std::string_view summary_json) {
+  util::RoleGuard own(owner_);
   return append('C', summary_json, /*force_flush=*/true);
 }
 
 bool JournalWriter::flush() {
+  util::RoleGuard own(owner_);
+  return flush_impl();
+}
+
+bool JournalWriter::flush_impl() {
   if (fd_ < 0 || failed_) return false;
   if (buffer_.empty()) return true;
   if (!write_all(fd_, buffer_.data(), buffer_.size()) || ::fsync(fd_) != 0) {
@@ -268,14 +276,20 @@ bool JournalWriter::flush() {
 }
 
 bool JournalWriter::maybe_flush(std::chrono::steady_clock::time_point now) {
+  util::RoleGuard own(owner_);
   if (pending_ == 0) return true;
   if (now - last_flush_ < config_.flush_interval) return true;
-  return flush();
+  return flush_impl();
 }
 
 void JournalWriter::close() {
+  util::RoleGuard own(owner_);
+  close_impl();
+}
+
+void JournalWriter::close_impl() {
   if (fd_ < 0) return;
-  if (!flush()) { /* sticky failure already counted in io_errors_ */ }
+  if (!flush_impl()) { /* sticky failure already counted in io_errors_ */ }
   if (::close(fd_) != 0) ++io_errors_;
   fd_ = -1;
 }

@@ -36,6 +36,9 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
+
 namespace sda::exp {
 
 inline constexpr const char* kJournalHeader = "sda.journal.v1";
@@ -91,7 +94,10 @@ class JournalWriter {
   bool open(const std::string& path, const Config& config,
             std::string* error);
 
-  bool is_open() const noexcept { return fd_ >= 0; }
+  bool is_open() const noexcept {
+    util::RoleGuard own(owner_);
+    return fd_ >= 0;
+  }
 
   /// Buffers one event record; flushes when the batch is full.
   /// Returns false once the underlying file has failed (the error is
@@ -112,20 +118,39 @@ class JournalWriter {
   /// Flushes and closes the fd.
   void close();
 
-  std::uint64_t records_appended() const noexcept { return appended_; }
-  std::uint64_t io_errors() const noexcept { return io_errors_; }
+  std::uint64_t records_appended() const noexcept {
+    util::RoleGuard own(owner_);
+    return appended_;
+  }
+  std::uint64_t io_errors() const noexcept {
+    util::RoleGuard own(owner_);
+    return io_errors_;
+  }
 
  private:
-  bool append(char type, std::string_view payload, bool force_flush);
+  bool append(char type, std::string_view payload, bool force_flush)
+      SDA_REQUIRES(owner_);
+  /// flush/close bodies shared by the public wrappers and internal
+  /// owner-held callers (append's batch boundary, open's reopen).
+  bool flush_impl() SDA_REQUIRES(owner_);
+  void close_impl() SDA_REQUIRES(owner_);
 
-  int fd_ = -1;
-  Config config_;
-  std::string buffer_;           ///< encoded records awaiting write
-  std::size_t pending_ = 0;      ///< records in buffer_
-  std::uint64_t appended_ = 0;   ///< records accepted (buffered or written)
-  std::uint64_t io_errors_ = 0;
-  bool failed_ = false;          ///< sticky after an unrecoverable error
-  std::chrono::steady_clock::time_point last_flush_{};
+  /// Single-owner role: one thread (the serve session driving it) owns
+  /// the writer; the buffer and counters below are compile-time fenced
+  /// to owner-entered call paths.
+  util::ThreadRole owner_;
+  int fd_ SDA_GUARDED_BY(owner_) = -1;
+  Config config_ SDA_GUARDED_BY(owner_);
+  /// Encoded records awaiting write.
+  std::string buffer_ SDA_GUARDED_BY(owner_);
+  /// Records in buffer_.
+  std::size_t pending_ SDA_GUARDED_BY(owner_) = 0;
+  /// Records accepted (buffered or written).
+  std::uint64_t appended_ SDA_GUARDED_BY(owner_) = 0;
+  std::uint64_t io_errors_ SDA_GUARDED_BY(owner_) = 0;
+  /// Sticky after an unrecoverable error.
+  bool failed_ SDA_GUARDED_BY(owner_) = false;
+  std::chrono::steady_clock::time_point last_flush_ SDA_GUARDED_BY(owner_){};
 };
 
 }  // namespace sda::exp

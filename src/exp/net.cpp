@@ -613,6 +613,9 @@ void ServeServer::drain(std::ostream& out) {
 }
 
 int ServeServer::run(std::ostream& out) {
+  // The calling thread owns the event loop from here until return;
+  // every handler below requires this role.
+  util::RoleGuard loop_owner(loop_);
   std::vector<Poller::Event> events;
   while (!stop_requested_) {
     if (!poller_.wait(options_.tick_ms, events)) return 1;

@@ -34,6 +34,8 @@
 
 #include "src/exp/protocol.hpp"
 #include "src/exp/serve.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace sda::exp::net {
 
@@ -138,28 +140,36 @@ class ServeServer {
 
   /// Runs the event loop until request_stop().  Drain output (the
   /// summary record) goes to @p out.  Returns 0 on a clean drain,
-  /// 1 on an unrecoverable loop error.
+  /// 1 on an unrecoverable loop error.  Assumes the loop_ role: the
+  /// calling thread becomes the event-loop owner for the duration.
   int run(std::ostream& out);
 
   /// Async-signal-safe stop: one byte down the self-pipe.  Safe to
-  /// call from a signal handler or another thread.
+  /// call from a signal handler or another thread — by annotation it
+  /// cannot touch any loop_-guarded state (the compiler rejects it).
   void request_stop();
 
-  const ServeNetStats& stats() const noexcept { return stats_; }
+  // Read by the owning thread after run() returns (tests, drain
+  // summary); no loop thread exists then to race with.
+  const ServeNetStats& stats() const noexcept SDA_NO_THREAD_SAFETY_ANALYSIS {
+    return stats_;
+  }
 
  private:
-  void accept_clients();
-  void handle_readable(Connection& conn);
-  void handle_writable(Connection& conn);
-  void feed_line(Connection& conn, std::string_view line, bool oversized);
+  void accept_clients() SDA_REQUIRES(loop_);
+  void handle_readable(Connection& conn) SDA_REQUIRES(loop_);
+  void handle_writable(Connection& conn) SDA_REQUIRES(loop_);
+  void feed_line(Connection& conn, std::string_view line, bool oversized)
+      SDA_REQUIRES(loop_);
   void route_replies(Connection* origin,
-                     const std::vector<ServeSession::Reply>& replies);
-  void send_to(Connection& conn, std::string_view bytes);
-  void close_connection(int fd);
+                     const std::vector<ServeSession::Reply>& replies)
+      SDA_REQUIRES(loop_);
+  void send_to(Connection& conn, std::string_view bytes) SDA_REQUIRES(loop_);
+  void close_connection(int fd) SDA_REQUIRES(loop_);
   /// Closes every connection marked doomed during a callback stack.
-  void reap_doomed();
-  void enforce_timeouts(std::uint64_t now_ms);
-  void drain(std::ostream& out);
+  void reap_doomed() SDA_REQUIRES(loop_);
+  void enforce_timeouts(std::uint64_t now_ms) SDA_REQUIRES(loop_);
+  void drain(std::ostream& out) SDA_REQUIRES(loop_);
 
   ServeSession& session_;
   ServerOptions options_;
@@ -168,11 +178,19 @@ class ServeServer {
   int stop_read_fd_ = -1;
   int stop_write_fd_ = -1;
   std::uint16_t bound_port_ = 0;
-  bool stop_requested_ = false;
-  std::map<int, Connection> connections_;       ///< fd -> state
-  std::map<std::uint64_t, int> id_routes_;      ///< run id -> owning fd
-  std::vector<int> doomed_fds_;                 ///< evicted, close pending
-  ServeNetStats stats_;
+  /// Event-loop ownership role: the connection table and everything
+  /// derived from it may only be touched from inside run()'s loop (or
+  /// after it has returned).  request_stop(), the only cross-thread
+  /// entry point, provably touches none of it.
+  util::ThreadRole loop_;
+  bool stop_requested_ SDA_GUARDED_BY(loop_) = false;
+  std::map<int, Connection> connections_
+      SDA_GUARDED_BY(loop_);  ///< fd -> state
+  std::map<std::uint64_t, int> id_routes_
+      SDA_GUARDED_BY(loop_);  ///< run id -> owning fd
+  std::vector<int> doomed_fds_
+      SDA_GUARDED_BY(loop_);  ///< evicted, close pending
+  ServeNetStats stats_ SDA_GUARDED_BY(loop_);
 };
 
 }  // namespace sda::exp::net

@@ -74,6 +74,7 @@ ServeSession::ServeSession(const ServeOptions& options)
     : options_(options), controller_(options.admission) {}
 
 bool ServeSession::open_journal(std::string* diag) {
+  util::RoleGuard own(owner_);
   if (options_.journal_path.empty()) return true;
   const JournalReadResult existing = read_journal(options_.journal_path);
   if (existing.ok) {
@@ -86,7 +87,7 @@ bool ServeSession::open_journal(std::string* diag) {
     std::vector<Reply> scratch;
     for (const JournalRecord& record : existing.records) {
       if (record.type != 'E') continue;
-      handle_line(record.payload, scratch);
+      handle_line_impl(record.payload, scratch);
       ++result_.replayed;
     }
     replaying_ = false;
@@ -159,6 +160,12 @@ void ServeSession::emit_resolved(
 
 void ServeSession::handle_line(std::string_view text,
                                std::vector<Reply>& replies) {
+  util::RoleGuard own(owner_);
+  handle_line_impl(text, replies);
+}
+
+void ServeSession::handle_line_impl(std::string_view text,
+                                    std::vector<Reply>& replies) {
   const ParsedLine line = parse_serve_line(text, options_.limits);
   if (line.ignorable) return;
   if (line.code != ProtocolErrorCode::kNone) {
@@ -280,12 +287,18 @@ void ServeSession::handle_line(std::string_view text,
 }
 
 void ServeSession::on_tick() {
+  util::RoleGuard own(owner_);
   if (journal_.is_open()) {
     if (!journal_.maybe_flush(Clock::now())) { /* counted in io_errors */ }
   }
 }
 
 std::uint64_t ServeSession::state_fingerprint() const {
+  util::RoleGuard own(owner_);
+  return fingerprint_impl();
+}
+
+std::uint64_t ServeSession::fingerprint_impl() const {
   // Covers exactly the journal-reproducible state: the controller (its
   // own fingerprint walks ledgers, queue, pressure, counters) plus the
   // session's id-routing sets.  Per-process observables (error counts,
@@ -300,11 +313,12 @@ std::uint64_t ServeSession::state_fingerprint() const {
 
 void ServeSession::finish(std::vector<Reply>& replies,
                           const ServeNetStats* net) {
+  util::RoleGuard own(owner_);
   // The fingerprint published in the summary describes the state after
   // every accepted line but *before* the drain flush below — exactly
   // what replaying the journal reproduces (--recover-check prints the
   // same value), since the flush itself is not a journaled input.
-  const std::uint64_t fp = state_fingerprint();
+  const std::uint64_t fp = fingerprint_impl();
   emit_resolved(replies, controller_.flush(now_));
 
   result_.stats = controller_.stats();

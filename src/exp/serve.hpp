@@ -47,6 +47,8 @@
 #include "src/core/admission.hpp"
 #include "src/exp/journal.hpp"
 #include "src/exp/protocol.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace sda::exp {
 
@@ -148,16 +150,30 @@ class ServeSession {
   /// counters.  Replaying a journal reproduces it exactly.
   std::uint64_t state_fingerprint() const;
 
+  // The session is single-owner: exactly one thread (the stream driver,
+  // the socket event loop, or the replay path) may call the methods
+  // above.  owner_ is the compile-time expression of that contract —
+  // every public entry point assumes it, every private helper and every
+  // piece of protocol state requires it, so a second thread reaching
+  // into the session shows up as a -Wthread-safety error, not a race.
+
   /// The limits this session parses with.  Transports that pre-parse
   /// lines (the socket server's decision-route peek) must use these,
   /// not defaults, so peek and session never diverge.
   const ProtocolLimits& limits() const noexcept { return options_.limits; }
 
-  bool replay_truncated() const noexcept { return replay_truncated_; }
+  bool replay_truncated() const noexcept {
+    util::RoleGuard own(owner_);
+    return replay_truncated_;
+  }
   const std::string& replay_diagnostic() const noexcept {
+    util::RoleGuard own(owner_);
     return replay_diagnostic_;
   }
-  const ServeResult& result() const noexcept { return result_; }
+  const ServeResult& result() const noexcept {
+    util::RoleGuard own(owner_);
+    return result_;
+  }
   const core::AdmissionController& controller() const noexcept {
     return controller_;
   }
@@ -166,29 +182,43 @@ class ServeSession {
   }
 
  private:
+  /// handle_line/state_fingerprint bodies, shared by the public wrappers
+  /// and owner-held internal callers (journal replay, finish).
+  void handle_line_impl(std::string_view text, std::vector<Reply>& replies)
+      SDA_REQUIRES(owner_);
+  std::uint64_t fingerprint_impl() const SDA_REQUIRES(owner_);
   void emit_decision(std::vector<Reply>& replies, std::uint64_t id,
-                     const core::AdmissionOutcome& outcome);
+                     const core::AdmissionOutcome& outcome)
+      SDA_REQUIRES(owner_);
   void emit_error(std::vector<Reply>& replies, ProtocolErrorCode code,
-                  bool has_id, std::uint64_t id, const std::string& message);
+                  bool has_id, std::uint64_t id, const std::string& message)
+      SDA_REQUIRES(owner_);
   void emit_resolved(
       std::vector<Reply>& replies,
       const std::vector<std::pair<std::uint64_t, core::AdmissionOutcome>>&
-          resolved);
-  void journal_line(std::string_view text);
+          resolved) SDA_REQUIRES(owner_);
+  void journal_line(std::string_view text) SDA_REQUIRES(owner_);
 
+  /// Single-owner role (see the class comment block above).
+  util::ThreadRole owner_;
   ServeOptions options_;
   core::AdmissionController controller_;
   JournalWriter journal_;
-  double now_ = 0.0;
-  bool replaying_ = false;  ///< suppress emission/journaling during replay
-  bool replay_truncated_ = false;    ///< journal had a torn tail
-  std::string replay_diagnostic_;    ///< where/why replay stopped
-  std::set<std::uint64_t> pending_;  ///< parked in the retry queue
-  std::set<std::uint64_t> live_;     ///< admitted, not yet done
-  ServeResult result_;
+  double now_ SDA_GUARDED_BY(owner_) = 0.0;
+  /// Suppress emission/journaling during replay.
+  bool replaying_ SDA_GUARDED_BY(owner_) = false;
+  /// Journal had a torn tail.
+  bool replay_truncated_ SDA_GUARDED_BY(owner_) = false;
+  /// Where/why replay stopped.
+  std::string replay_diagnostic_ SDA_GUARDED_BY(owner_);
+  /// Parked in the retry queue.
+  std::set<std::uint64_t> pending_ SDA_GUARDED_BY(owner_);
+  /// Admitted, not yet done.
+  std::set<std::uint64_t> live_ SDA_GUARDED_BY(owner_);
+  ServeResult result_ SDA_GUARDED_BY(owner_);
   // Latency accounting (only when measure_latency / decision deadline).
-  std::vector<double> latency_samples_ns_;
-  double busy_seconds_ = 0.0;
+  std::vector<double> latency_samples_ns_ SDA_GUARDED_BY(owner_);
+  double busy_seconds_ SDA_GUARDED_BY(owner_) = 0.0;
 };
 
 /// Runs the admission service over @p in until EOF, writing JSON lines

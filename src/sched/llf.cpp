@@ -4,8 +4,8 @@ namespace sda::sched {
 
 void LlfScheduler::push(TaskPtr t) {
   t->enqueue_seq = next_seq();
-  // Ready queue: one entry per live task, bounded upstream by the
-  // admission gate / workload horizon.  sda-lint: allow(UNBOUNDED_QUEUE)
+  // Ready queue: one entry per live task.
+  // sda-lint: allow(UNBOUNDED_QUEUE) bounded upstream by the admission gate / workload horizon
   queue_.push(std::move(t));
 }
 

@@ -18,8 +18,8 @@ EventId Engine::at(Time t, EventFn fn) {
   if (t < now_) {
     throw std::logic_error("Engine::at: scheduling into the past");
   }
-  // Pooled event heap: one entry per pending event, recycled on fire,
-  // bounded by live model objects.  sda-lint: allow(UNBOUNDED_QUEUE)
+  // Pooled event heap: one entry per pending event, recycled on fire.
+  // sda-lint: allow(UNBOUNDED_QUEUE) bounded by live model objects
   return queue_.push(t, std::move(fn));
 }
 

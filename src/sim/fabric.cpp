@@ -7,6 +7,7 @@
 #include <thread>
 #include <utility>
 
+// sda-analyze: allow(LAYERING) worker shards feed Collector sinks directly
 #include "src/metrics/collector.hpp"
 
 namespace sda::sim {
@@ -132,7 +133,10 @@ void Fabric::emit_global(int src_lane, const core::GlobalTaskRecord& rec) {
 
 void Fabric::run(Time horizon) {
   stop_flag_.store(false, std::memory_order_relaxed);
-  failure_ = nullptr;
+  {
+    util::LockGuard lock(failure_mu_);
+    failure_ = nullptr;
+  }
   Barrier sync(opt_.shards);
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(opt_.shards - 1));
@@ -146,11 +150,13 @@ void Fabric::run(Time horizon) {
 
   messages_posted_ = 0;
   for (const auto& sh : shards_) messages_posted_ += sh->posted;
-  if (failure_) {
-    std::exception_ptr e = failure_;
+  std::exception_ptr e;
+  {
+    util::LockGuard lock(failure_mu_);
+    e = failure_;
     failure_ = nullptr;
-    std::rethrow_exception(e);
   }
+  if (e) std::rethrow_exception(e);
   // Serial run_until semantics: the clock lands on the horizon even when
   // later events remain pending — per-node time-based statistics
   // (utilization, mean tasks in system) divide by this.
@@ -158,6 +164,9 @@ void Fabric::run(Time horizon) {
 }
 
 void Fabric::worker_loop(int shard, Time horizon, Barrier& sync) {
+  // Every shard thread assumes the window-phase capability for its whole
+  // window loop; the barrier protocol supplies the actual exclusion.
+  util::RoleGuard phase(window_phase_);
   Shard& sh = *shards_[static_cast<std::size_t>(shard)];
   const int S = opt_.shards;
   for (;;) {
@@ -189,7 +198,7 @@ void Fabric::worker_loop(int shard, Time horizon, Barrier& sync) {
       run_phase(sh, window_min, horizon);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(failure_mu_);
+        util::LockGuard lock(failure_mu_);
         if (!failure_) failure_ = std::current_exception();
       }
       stop_flag_.store(true, std::memory_order_relaxed);
@@ -201,7 +210,7 @@ void Fabric::worker_loop(int shard, Time horizon, Barrier& sync) {
       if (shard == 0) collect_records();
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(failure_mu_);
+        util::LockGuard lock(failure_mu_);
         if (!failure_) failure_ = std::current_exception();
       }
       stop_flag_.store(true, std::memory_order_relaxed);

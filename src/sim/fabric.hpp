@@ -61,14 +61,19 @@
 #include <cstdint>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <variant>
 #include <vector>
 
+// Engine's parallel twin: include-only payload-type dependency
+// (GlobalTaskRecord), see layering note above.
+// sda-analyze: allow(LAYERING) payload-type-only dependency of the engine twin
 #include "src/core/process_manager.hpp"  // GlobalTaskRecord
+// sda-analyze: allow(LAYERING) deferred TraceRecord payload, same note
 #include "src/metrics/trace.hpp"
 #include "src/sim/engine.hpp"
 #include "src/task/task.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace sda::metrics {
 class Collector;
@@ -131,7 +136,8 @@ class CrossShardQueue {
   /// Producer side (run phase).  Overflow beyond the ring capacity goes
   /// to a spill vector: correctness forbids dropping or blocking, so the
   /// bound covers the common case and bursts degrade to an allocation,
-  /// never a loss.  sda-lint: allow(UNBOUNDED_QUEUE)
+  /// never a loss.  sda-lint: allow(UNBOUNDED_QUEUE) spill is
+  /// correctness-required (dropping or blocking would deadlock a window)
   void push(Message m);
 
   /// Consumer side (post-barrier): appends every buffered message to
@@ -152,6 +158,13 @@ class CrossShardQueue {
 /// Static crash calendar consulted by the process manager instead of
 /// sched::Node::is_up(), which lives on another lane.  Filled from the
 /// fault plan before the run; identical information, lane-safe.
+///
+/// Concurrency contract: frozen before Fabric::run() starts.  reset()
+/// and add_outage() are setup-phase writes from the constructing
+/// thread; during the run every shard reads is_up() concurrently, which
+/// is safe only because nothing mutates.  This read-mostly freeze
+/// discipline has no mutex to hang a capability on; it is documented
+/// here and exercised under TSan (test_pdes) instead.
 class NodeStatusBoard {
  public:
   void reset(int node_count) {
@@ -224,13 +237,25 @@ class Fabric {
   /// Posts a cross-lane message from the event currently executing on
   /// @p src_lane's shard; @p fn runs on @p dst_lane's shard at
   /// now + latency.  Must be called from inside a fabric-run event.
-  void post(int src_lane, int dst_lane, EventFn fn);
+  ///
+  /// post()/emit_*() carry SDA_NO_THREAD_SAFETY_ANALYSIS: they are
+  /// entered from type-erased model callbacks (EventFn) fired inside the
+  /// run phase, where the calling shard does hold window_phase_, but the
+  /// capability cannot propagate through the std::move_only_function
+  /// boundary.  The phase-separation argument in the file comment is the
+  /// actual safety proof; TSan covers it dynamically.
+  void post(int src_lane, int dst_lane, EventFn fn)
+      SDA_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Defers a sink record from the event currently executing on
   /// @p src_lane's shard (replayed in deterministic order by shard 0).
-  void emit_trace(int src_lane, const metrics::TraceRecord& rec);
-  void emit_simple(int src_lane, const task::SimpleTask& t);
-  void emit_global(int src_lane, const core::GlobalTaskRecord& rec);
+  /// Same escape hatch as post(), same reason.
+  void emit_trace(int src_lane, const metrics::TraceRecord& rec)
+      SDA_NO_THREAD_SAFETY_ANALYSIS;
+  void emit_simple(int src_lane, const task::SimpleTask& t)
+      SDA_NO_THREAD_SAFETY_ANALYSIS;
+  void emit_global(int src_lane, const core::GlobalTaskRecord& rec)
+      SDA_NO_THREAD_SAFETY_ANALYSIS;
 
   /// Runs every shard to @p horizon (inclusive, like Engine::run_until)
   /// using the window protocol in the file comment.  Spawns shards-1
@@ -243,7 +268,11 @@ class Fabric {
   std::uint64_t events_fired() const noexcept;
   std::size_t events_pending() const noexcept;
   std::uint64_t messages_posted() const noexcept { return messages_posted_; }
-  std::uint64_t windows() const noexcept { return windows_; }
+  // Post-join single-threaded read of a phase-guarded counter: run() has
+  // returned, so no shard thread exists to race with.
+  std::uint64_t windows() const noexcept SDA_NO_THREAD_SAFETY_ANALYSIS {
+    return windows_;
+  }
 
  private:
   /// Per-shard state, padded so neighbouring shards' hot fields never
@@ -260,7 +289,8 @@ class Fabric {
     /// Fresh-root sequence for lane-local events.
     std::uint64_t next_root = 0;
     /// Deferred sink records produced this window.
-    std::vector<SinkRecord> records;  // sda-lint: allow(UNBOUNDED_QUEUE)
+    // sda-lint: allow(UNBOUNDED_QUEUE) bounded by one window's emissions
+    std::vector<SinkRecord> records;
     /// Scratch for the drain phase (kept to reuse capacity).
     std::vector<Message> inbound;
     /// Earliest pending time published at barrier A (+inf when idle).
@@ -268,7 +298,8 @@ class Fabric {
     std::uint64_t posted = 0;
   };
 
-  CrossShardQueue& outbox(int src_shard, int dst_shard) noexcept {
+  CrossShardQueue& outbox(int src_shard, int dst_shard) noexcept
+      SDA_REQUIRES(window_phase_) {
     return outboxes_[static_cast<std::size_t>(src_shard) *
                          static_cast<std::size_t>(opt_.shards) +
                      static_cast<std::size_t>(dst_shard)];
@@ -276,40 +307,52 @@ class Fabric {
 
   /// One worker's window loop (see file comment); `sync` is a
   /// std::barrier shared by all shards, passed type-erased to keep
-  /// <barrier> out of this header.
+  /// <barrier> out of this header.  Assumes window_phase_ for its whole
+  /// duration.
   struct Barrier;
   void worker_loop(int shard, Time horizon, Barrier& sync);
   /// Fires local events inside [T, window); returns on quiesce.
-  void run_phase(Shard& sh, Time window_min, Time horizon);
+  void run_phase(Shard& sh, Time window_min, Time horizon)
+      SDA_REQUIRES(window_phase_);
   /// Inserts inbound messages into @p sh's engine in deterministic order.
-  void drain_phase(int shard);
+  void drain_phase(int shard) SDA_REQUIRES(window_phase_);
   /// Shard 0: moves every shard's window records into the pending
   /// buffer.  Records are NOT replayed here — at zero lookahead one
   /// same-timestamp cascade spans several sub-rounds, so a record's
   /// final (time, path) position is only settled once the window clock
   /// has moved strictly past its timestamp.
-  void collect_records();
+  void collect_records() SDA_REQUIRES(window_phase_);
   /// Shard 0: sorts and replays every pending record with time < before
   /// into the collector/tracer; records at exactly `before` stay pending
   /// (their cascade may still be emitting).  Pass +inf to flush all.
-  void flush_records(Time before);
+  void flush_records(Time before) SDA_REQUIRES(window_phase_);
 
   Options opt_;
   std::vector<std::unique_ptr<Shard>> shards_;
-  std::vector<CrossShardQueue> outboxes_;  // [src * S + dst]
+  /// Fake capability for the window protocol: every shard thread assumes
+  /// it for the duration of worker_loop().  It does not provide mutual
+  /// exclusion (all shards hold it at once) — the barrier protocol's
+  /// phase separation does that; what the capability enforces at compile
+  /// time is that *no code outside the window protocol* can reach the
+  /// phase-guarded state below (outboxes, deferred records, the window
+  /// counter).
+  util::ThreadRole window_phase_;
+  std::vector<CrossShardQueue> outboxes_
+      SDA_GUARDED_BY(window_phase_);  // [src * S + dst]
   NodeStatusBoard status_;
   metrics::Collector* collector_ = nullptr;
   metrics::Tracer* tracer_ = nullptr;
   /// Records awaiting a settled order; bounded by the records emitted at
   /// the current time frontier (flushed as soon as the clock advances).
-  std::vector<SinkRecord> pending_records_;  // sda-lint: allow(UNBOUNDED_QUEUE)
+  // sda-lint: allow(UNBOUNDED_QUEUE) frontier-bounded, see comment
+  std::vector<SinkRecord> pending_records_ SDA_GUARDED_BY(window_phase_);
   std::uint64_t messages_posted_ = 0;
-  std::uint64_t windows_ = 0;
+  std::uint64_t windows_ SDA_GUARDED_BY(window_phase_) = 0;
   /// First model exception from any shard; every shard checks the flag
   /// at the next barrier and unwinds together (no thread left blocking).
   std::atomic<bool> stop_flag_{false};
-  std::mutex failure_mu_;
-  std::exception_ptr failure_;
+  util::Mutex failure_mu_;
+  std::exception_ptr failure_ SDA_GUARDED_BY(failure_mu_);
 };
 
 }  // namespace sda::sim

@@ -1,0 +1,129 @@
+// Annotated synchronization wrappers for Clang Thread Safety Analysis.
+//
+// std::mutex and friends carry no capability attributes, so code locking
+// them is invisible to -Wthread-safety.  These zero-overhead wrappers
+// (every method is an inline forward to the std:: primitive) restore the
+// annotations:
+//
+//   util::Mutex      — std::mutex as a CAPABILITY("mutex")
+//   util::LockGuard  — std::lock_guard-shaped SCOPED_CAPABILITY
+//   util::CondVar    — std::condition_variable over util::Mutex; wait()
+//                      REQUIRES the mutex, mirroring the std contract
+//   util::ThreadRole — a *fake* capability (no runtime state) naming a
+//                      thread that is the sole legal toucher of a set of
+//                      fields.  Single-owner subsystems (the serve event
+//                      loop, the journal writer, the admission
+//                      controller) guard their state with a role instead
+//                      of a mutex: the compiler then proves no method
+//                      reaches owner-only state without being on an
+//                      owner-entered path, at zero runtime cost.
+//   util::RoleGuard  — scoped assumption of a ThreadRole, used at the
+//                      public entry points of a single-owner class.
+//
+// Behavior is identical to the raw std:: primitives by construction; the
+// wrappers only add compile-time attributes (and empty inline calls for
+// the role pair, which any optimizer deletes).
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "src/util/thread_annotations.hpp"
+
+namespace sda::util {
+
+/// std::mutex with capability annotations.  Non-reentrant, like the
+/// underlying primitive.
+class SDA_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() SDA_ACQUIRE() { m_.lock(); }
+  void unlock() SDA_RELEASE() { m_.unlock(); }
+  bool try_lock() SDA_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex m_;
+};
+
+/// std::lock_guard over util::Mutex, visible to the analysis as a scoped
+/// capability.
+class SDA_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) SDA_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() SDA_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Condition variable bound to util::Mutex.  wait() REQUIRES the mutex —
+/// exactly the std::condition_variable contract, now compiler-checked.
+/// No predicate overload on purpose: the analysis treats lambdas as
+/// separate functions, so a predicate reading guarded fields would warn;
+/// callers write the explicit `while (!cond) cv.wait(mu);` loop instead,
+/// which the analysis follows naturally.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases @p mu, blocks, and reacquires @p mu before
+  /// returning.  Spurious wakeups possible, as with the std primitive.
+  void wait(Mutex& mu) SDA_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lk(mu.m_, std::adopt_lock);
+    cv_.wait(lk);
+    lk.release();  // still locked: ownership returns to the caller
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Fake capability naming a single owning thread.  assume()/release()
+/// are empty: the "lock" exists only in the type system.  Guarding
+/// fields with a role documents *and enforces* that only owner-entered
+/// call paths touch them — the compile-time version of "this class is
+/// single-threaded by contract".
+///
+/// Methods are const so const accessors of the owning class can assume
+/// the role; mutability of the guarded fields is what matters, not of
+/// the role object itself.
+class SDA_CAPABILITY("role") ThreadRole {
+ public:
+  ThreadRole() = default;
+  ThreadRole(const ThreadRole&) = delete;
+  ThreadRole& operator=(const ThreadRole&) = delete;
+
+  void assume() const SDA_ACQUIRE() {}
+  void release() const SDA_RELEASE() {}
+};
+
+/// Scoped role assumption for the public entry points of a single-owner
+/// class.  Compiles to nothing.
+class SDA_SCOPED_CAPABILITY RoleGuard {
+ public:
+  explicit RoleGuard(const ThreadRole& role) SDA_ACQUIRE(role)
+      : role_(role) {
+    role_.assume();
+  }
+  ~RoleGuard() SDA_RELEASE() { role_.release(); }
+
+  RoleGuard(const RoleGuard&) = delete;
+  RoleGuard& operator=(const RoleGuard&) = delete;
+
+ private:
+  const ThreadRole& role_;
+};
+
+}  // namespace sda::util

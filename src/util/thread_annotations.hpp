@@ -1,0 +1,81 @@
+// Clang Thread Safety Analysis attribute macros (SDA_-prefixed to avoid
+// collisions with other annotation headers).
+//
+// These expand to the __attribute__((...)) spellings understood by
+// -Wthread-safety on Clang and to nothing everywhere else, so annotated
+// code compiles unchanged under GCC/MSVC and gains compile-time lock
+// checking whenever a Clang toolchain is available (the `hardened`
+// preset turns the warnings into errors via SDA_THREAD_SAFETY=ON).
+//
+// The macro set mirrors the canonical list from the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html).  Conventions
+// for applying them — which fields get SDA_GUARDED_BY, when a fake
+// "thread role" capability is used instead of a mutex, and when
+// SDA_NO_THREAD_SAFETY_ANALYSIS is acceptable — live in DESIGN.md
+// ("Static analysis architecture").
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define SDA_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef SDA_THREAD_ANNOTATION_ATTRIBUTE
+#define SDA_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability (lockable resource).  The string names
+/// the capability kind in diagnostics ("mutex", "role").
+#define SDA_CAPABILITY(x) SDA_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (scoped lock / scoped role).
+#define SDA_SCOPED_CAPABILITY SDA_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Data member readable/writable only while holding capability @p x.
+#define SDA_GUARDED_BY(x) SDA_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by capability @p x.
+#define SDA_PT_GUARDED_BY(x) SDA_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Function precondition: the listed capabilities must be held by the
+/// caller (and are still held on return).
+#define SDA_REQUIRES(...) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities (must not be held before).
+#define SDA_ACQUIRE(...) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (must be held before).
+#define SDA_RELEASE(...) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Function attempts acquisition; the first argument is the return value
+/// that means "acquired".
+#define SDA_TRY_ACQUIRE(...) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Function precondition: the listed capabilities must NOT be held
+/// (deadlock prevention for non-reentrant locks).
+#define SDA_EXCLUDES(...) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Asserts (without acquiring) that a capability is held — for code
+/// reached only on paths where the lock is provably held but the
+/// analysis cannot see it.
+#define SDA_ASSERT_CAPABILITY(x) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Function returns a reference to the named capability (e.g. an
+/// accessor exposing an inner mutex).
+#define SDA_RETURN_CAPABILITY(x) \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function.  Every use must
+/// carry a comment explaining why the invariant holds anyway (see
+/// DESIGN.md for the sanctioned cases: type-erased callback entry
+/// points, post-join single-threaded reads).
+#define SDA_NO_THREAD_SAFETY_ANALYSIS \
+  SDA_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

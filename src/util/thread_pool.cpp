@@ -1,14 +1,13 @@
 #include "src/util/thread_pool.hpp"
 
-#include <atomic>
-#include <condition_variable>
 #include <deque>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/util/env.hpp"
+#include "src/util/mutex.hpp"
+#include "src/util/thread_annotations.hpp"
 
 namespace sda::util {
 
@@ -31,8 +30,11 @@ struct ThreadPool::Impl {
     /// Non-owning view of the caller's body; the caller blocks inside
     /// parallel_for until done == n, so the referent outlives the batch.
     FunctionRef<void(std::size_t)> body;
-    std::size_t done = 0;                 // guarded by Impl::m
-    std::exception_ptr error;             // first failure, guarded by Impl::m
+    // done/error are guarded by Impl::m.  (A nested struct cannot name
+    // the enclosing instance's member in SDA_GUARDED_BY; every access
+    // below happens inside functions that carry SDA_REQUIRES(m).)
+    std::size_t done = 0;
+    std::exception_ptr error;  // first failure
   };
 
   explicit Impl(unsigned total) : total_threads(total < 1 ? 1 : total) {
@@ -47,7 +49,7 @@ struct ThreadPool::Impl {
 
   ~Impl() {
     {
-      std::lock_guard<std::mutex> lk(m);
+      LockGuard lk(m);
       shutdown = true;
     }
     work_cv.notify_all();
@@ -56,8 +58,8 @@ struct ThreadPool::Impl {
 
   /// Pops from the participant's own queue (LIFO — freshest work, warm
   /// caches), else steals the oldest item from another queue (FIFO).
-  /// Requires Impl::m held.  Returns false when no work exists anywhere.
-  bool take(std::size_t self, std::size_t& out) {
+  /// Returns false when no work exists anywhere.
+  bool take(std::size_t self, std::size_t& out) SDA_REQUIRES(m) {
     if (!queues[self].empty()) {
       out = queues[self].back();
       queues[self].pop_back();
@@ -77,10 +79,10 @@ struct ThreadPool::Impl {
   }
 
   /// Executes one item and does the end-of-batch bookkeeping.
-  /// Called with @p lk held; returns with it held.
-  void run_one(std::unique_lock<std::mutex>& lk,
-               const std::shared_ptr<Batch>& batch, std::size_t index) {
-    lk.unlock();
+  /// Called with m held; drops it around the body, returns with it held.
+  void run_one(const std::shared_ptr<Batch>& batch, std::size_t index)
+      SDA_REQUIRES(m) {
+    m.unlock();
     std::exception_ptr err;
     t_inside_pool_body = true;
     try {
@@ -89,7 +91,7 @@ struct ThreadPool::Impl {
       err = std::current_exception();
     }
     t_inside_pool_body = false;
-    lk.lock();
+    m.lock();
     if (err && !batch->error) batch->error = err;
     if (++batch->done == batch->n) {
       current.reset();
@@ -97,23 +99,25 @@ struct ThreadPool::Impl {
     }
   }
 
-  void worker_loop(unsigned worker_index) {
+  void worker_loop(unsigned worker_index) SDA_EXCLUDES(m) {
     const std::size_t self = worker_index;  // queue slot
-    std::unique_lock<std::mutex> lk(m);
+    m.lock();
     for (;;) {
-      work_cv.wait(lk, [&] { return shutdown || (current && queued > 0); });
-      if (shutdown) return;
+      while (!(shutdown || (current && queued > 0))) work_cv.wait(m);
+      if (shutdown) break;
       const std::shared_ptr<Batch> batch = current;
       std::size_t index;
       while (batch->done < batch->n && take(self, index)) {
-        run_one(lk, batch, index);
+        run_one(batch, index);
       }
       // No work left for us; wait for the next batch (or more stolen-back
       // splits — seeding is the only producer, so "queued > 0" suffices).
     }
+    m.unlock();
   }
 
-  void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body) {
+  void parallel_for(std::size_t n, FunctionRef<void(std::size_t)> body)
+      SDA_EXCLUDES(m, callers_m) {
     if (n == 0) return;
     // Sequential modes: no workers, trivial batch, or a nested call from
     // inside a body (which must not wait on callers_m).
@@ -121,10 +125,10 @@ struct ThreadPool::Impl {
       for (std::size_t i = 0; i < n; ++i) body(i);
       return;
     }
-    std::lock_guard<std::mutex> serialize(callers_m);
+    LockGuard serialize(callers_m);
     auto batch = std::make_shared<Batch>(n, body);
     const std::size_t caller_slot = queues.size() - 1;
-    std::unique_lock<std::mutex> lk(m);
+    m.lock();
     // Seed every participant with a contiguous slice, caller included.
     // Own-queue LIFO then makes each participant chew through its slice
     // back-to-front while thieves take from the front — minimal overlap.
@@ -141,30 +145,30 @@ struct ThreadPool::Impl {
     std::size_t index;
     for (;;) {
       if (take(caller_slot, index)) {
-        run_one(lk, batch, index);
+        run_one(batch, index);
         continue;
       }
       if (batch->done == batch->n) break;
-      done_cv.wait(lk, [&] { return batch->done == batch->n || queued > 0; });
+      while (!(batch->done == batch->n || queued > 0)) done_cv.wait(m);
     }
     // current was reset by whoever finished the last item.
     const std::exception_ptr err = batch->error;
-    lk.unlock();
+    m.unlock();
     if (err) std::rethrow_exception(err);
   }
 
   const unsigned total_threads;
   std::vector<std::thread> threads;
 
-  std::mutex callers_m;  // serializes top-level parallel_for calls
+  Mutex callers_m;  // serializes top-level parallel_for calls
 
-  std::mutex m;  // guards everything below
-  std::condition_variable work_cv;  // workers sleep here
-  std::condition_variable done_cv;  // the caller sleeps here
-  std::vector<std::deque<std::size_t>> queues;
-  std::size_t queued = 0;  // items sitting in queues (not yet taken)
-  std::shared_ptr<Batch> current;
-  bool shutdown = false;
+  Mutex m;             // guards the batch state below
+  CondVar work_cv;     // workers sleep here
+  CondVar done_cv;     // the caller sleeps here
+  std::vector<std::deque<std::size_t>> queues SDA_GUARDED_BY(m);
+  std::size_t queued SDA_GUARDED_BY(m) = 0;  // items in queues, untaken
+  std::shared_ptr<Batch> current SDA_GUARDED_BY(m);
+  bool shutdown SDA_GUARDED_BY(m) = false;
 };
 
 ThreadPool::ThreadPool(unsigned threads)

@@ -22,6 +22,11 @@
 // inline on the caller in index order) and hardware_concurrency()
 // otherwise, so replication fan-out can never oversubscribe the host the
 // way the old thread-per-replication spawn did.
+//
+// Locking discipline is compiler-checked: the implementation uses the
+// annotated util::Mutex / util::CondVar wrappers (src/util/mutex.hpp),
+// so Clang's -Wthread-safety proves every access to the batch state
+// holds the pool mutex (see DESIGN.md, "Static analysis architecture").
 #pragma once
 
 #include <cstddef>

@@ -1,0 +1,62 @@
+// Positive control for the thread-safety negative-compile harness:
+// exercises every wrapper (Mutex, LockGuard, CondVar, ThreadRole,
+// RoleGuard) the *right* way.  This file MUST compile cleanly under
+// -Wthread-safety -Werror=thread-safety; if it does not, the harness is
+// rejecting correct code and the seeded-violation results are
+// meaningless.
+#include "src/util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void add(int delta) {
+    sda::util::LockGuard lk(mu_);
+    value_ += delta;
+    if (value_ > 0) cv_.notify_one();
+  }
+
+  int wait_positive() {
+    mu_.lock();
+    while (value_ <= 0) cv_.wait(mu_);
+    const int snapshot = value_;
+    mu_.unlock();
+    return snapshot;
+  }
+
+  int locked_read() SDA_REQUIRES(mu_) { return value_; }
+
+  int read_via_helper() {
+    sda::util::LockGuard lk(mu_);
+    return locked_read();
+  }
+
+ private:
+  sda::util::Mutex mu_;
+  sda::util::CondVar cv_;
+  int value_ SDA_GUARDED_BY(mu_) = 0;
+};
+
+class SingleOwner {
+ public:
+  void touch() {
+    sda::util::RoleGuard own(owner_);
+    bump();
+  }
+
+ private:
+  void bump() SDA_REQUIRES(owner_) { ++ticks_; }
+
+  sda::util::ThreadRole owner_;
+  long ticks_ SDA_GUARDED_BY(owner_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add(1);
+  SingleOwner s;
+  s.touch();
+  return c.wait_positive() + c.read_via_helper();
+}

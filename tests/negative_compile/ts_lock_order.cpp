@@ -1,0 +1,49 @@
+// Seeded violation: lock-order / exclusion mismatch.  Two shapes in one
+// fixture, both of which -Wthread-safety rejects:
+//
+//   1. re-acquiring a non-reentrant Mutex already held on this path
+//      (self-deadlock — the degenerate lock-order cycle), and
+//   2. calling a function annotated SDA_EXCLUDES(mu) while holding mu —
+//      the annotation-level contract the repo uses instead of
+//      ACQUIRED_BEFORE/AFTER (which needs -Wthread-safety-beta).
+//
+// This file MUST FAIL to compile under -Wthread-safety
+// -Werror=thread-safety (scripts/check_thread_safety.sh asserts it).
+#include "src/util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void audit() SDA_EXCLUDES(mu_) {
+    sda::util::LockGuard lk(mu_);
+    ++audits_;
+  }
+
+  // BAD (shape 2): calls audit(), which excludes mu_, with mu_ held.
+  void close() {
+    sda::util::LockGuard lk(mu_);
+    audit();
+  }
+
+  // BAD (shape 1): acquires mu_ twice on the same path.
+  void double_lock() {
+    mu_.lock();
+    mu_.lock();
+    mu_.unlock();
+    mu_.unlock();
+  }
+
+ private:
+  sda::util::Mutex mu_;
+  long audits_ SDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.close();
+  a.double_lock();
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Seeded violation: returning a mutable reference to a GUARDED_BY field
+// from a function that does not hold (or require) the guarding mutex —
+// the caller can then mutate the field lock-free forever.  This file
+// MUST FAIL to compile under -Wthread-safety -Werror=thread-safety
+// (scripts/check_thread_safety.sh asserts the failure).
+#include "src/util/mutex.hpp"
+
+namespace {
+
+class Table {
+ public:
+  // BAD: hands out a reference to guarded state with no lock held.
+  int& slot_escape() { return slot_; }
+
+ private:
+  sda::util::Mutex mu_;
+  int slot_ SDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Table t;
+  t.slot_escape() = 7;
+  return 0;
+}

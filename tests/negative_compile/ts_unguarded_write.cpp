@@ -1,0 +1,26 @@
+// Seeded violation: writing a GUARDED_BY field without holding its
+// mutex.  This file MUST FAIL to compile under
+// -Wthread-safety -Werror=thread-safety — it is the lock-free-field-write
+// shape the annotations exist to catch (scripts/check_thread_safety.sh
+// asserts the failure).
+#include "src/util/mutex.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  // BAD: mutates value_ with mu_ not held.
+  void add_racy(int delta) { value_ += delta; }
+
+ private:
+  sda::util::Mutex mu_;
+  int value_ SDA_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.add_racy(1);
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Fixture: the PR-6 slow-client-eviction use-after-free shape.  The
+// splitter's feed() runs the lambda synchronously while iterating the
+// connection's buffered bytes; the lambda reaches drop_connection(),
+// which erases the very map entry that owns the splitter mid-callback.
+// Expect exactly one CALLBACK_REENTRANT finding at the feed() call.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+
+namespace fixture {
+
+struct Splitter {
+  std::string buf;
+  template <typename Fn>
+  void feed(const char* data, std::size_t n, Fn&& fn) {
+    buf.append(data, n);
+    fn(buf);  // synchronous: caller state must stay alive
+  }
+};
+
+struct Connection {
+  int fd = -1;
+  Splitter splitter;
+};
+
+class Server {
+ public:
+  void handle_readable(Connection& conn, const char* data, std::size_t n);
+
+ private:
+  void on_line(Connection& conn, const std::string& line);
+  void drop_connection(int fd);
+
+  std::map<int, Connection> connections_;
+};
+
+void Server::handle_readable(Connection& conn, const char* data,
+                             std::size_t n) {
+  conn.splitter.feed(data, n, [&](const std::string& line) {
+    on_line(conn, line);
+  });
+}
+
+void Server::on_line(Connection& conn, const std::string& line) {
+  if (line.empty()) {
+    drop_connection(conn.fd);  // BAD: destroys conn under the callback
+  }
+}
+
+void Server::drop_connection(int fd) {
+  connections_.erase(fd);
+}
+
+}  // namespace fixture
+
+int callback_bad_fixture() {
+  fixture::Connection c;
+  return c.fd;
+}

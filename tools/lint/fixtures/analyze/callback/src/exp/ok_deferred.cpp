@@ -1,0 +1,64 @@
+// Fixture: the corrected shape — the callback only MARKS the connection
+// doomed; the erase happens in reap_doomed(), which the event loop calls
+// after the callback stack has unwound.  No findings expected.
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace fixture_ok {
+
+struct Splitter {
+  std::string buf;
+  template <typename Fn>
+  void feed(const char* data, std::size_t n, Fn&& fn) {
+    buf.append(data, n);
+    fn(buf);
+  }
+};
+
+struct Connection {
+  int fd = -1;
+  bool doomed = false;
+  Splitter splitter;
+};
+
+class Server {
+ public:
+  void handle_readable(Connection& conn, const char* data, std::size_t n);
+  void reap_doomed();
+
+ private:
+  void on_line(Connection& conn, const std::string& line);
+
+  std::map<int, Connection> connections_;
+  std::vector<int> doomed_fds_;
+};
+
+void Server::handle_readable(Connection& conn, const char* data,
+                             std::size_t n) {
+  conn.splitter.feed(data, n, [&](const std::string& line) {
+    on_line(conn, line);
+  });
+}
+
+void Server::on_line(Connection& conn, const std::string& line) {
+  if (line.empty()) {
+    conn.doomed = true;  // deferred: mark only, reap later
+    doomed_fds_.push_back(conn.fd);
+  }
+}
+
+void Server::reap_doomed() {
+  for (int fd : doomed_fds_) {
+    connections_.erase(fd);  // safe: no callback frames on the stack
+  }
+  doomed_fds_.clear();
+}
+
+}  // namespace fixture_ok
+
+int callback_ok_fixture() {
+  fixture_ok::Connection c;
+  return c.fd;
+}

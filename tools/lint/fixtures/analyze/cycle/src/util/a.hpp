@@ -1,0 +1,8 @@
+// Fixture: half of an include cycle (a.hpp -> b.hpp -> a.hpp).
+// Expect exactly one CYCLE finding for the pair.
+#pragma once
+#include "src/util/b.hpp"
+
+struct A {
+  int x = 0;
+};

@@ -1,0 +1,7 @@
+// Fixture: the other half of the a.hpp <-> b.hpp include cycle.
+#pragma once
+#include "src/util/a.hpp"
+
+struct B {
+  int y = 0;
+};

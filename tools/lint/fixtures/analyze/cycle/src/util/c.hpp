@@ -1,0 +1,7 @@
+// Fixture: an acyclic include on the side — must NOT be reported.
+#pragma once
+#include "src/util/a.hpp"
+
+struct C {
+  int z = 0;
+};

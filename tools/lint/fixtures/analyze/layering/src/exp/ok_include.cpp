@@ -1,0 +1,8 @@
+// Fixture: src/exp (rank 4) including downward is the normal direction;
+// no LAYERING findings expected here.
+#include "src/core/admission.hpp"
+#include "src/sched/edf.hpp"
+#include "src/sim/engine.hpp"
+#include "src/util/env.hpp"
+
+int exp_ok_include() { return 0; }

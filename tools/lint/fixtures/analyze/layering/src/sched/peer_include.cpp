@@ -1,0 +1,7 @@
+// Fixture: sched (rank 2) includes task/sim (rank 1) and util (rank 0)
+// — all downward, all clean.
+#include "src/sim/event_queue.hpp"
+#include "src/task/task.hpp"
+#include "src/util/rng.hpp"
+
+int sched_peer_include() { return 0; }

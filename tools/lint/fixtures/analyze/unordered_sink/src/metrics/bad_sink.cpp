@@ -1,0 +1,42 @@
+// Fixture: unordered iteration feeding a fingerprint sink.  Expect
+// exactly one UNORDERED_SINK finding (the fnv1a loop); the sorted-copy
+// fold and the sink-free loop must not fire.
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+inline std::uint64_t fnv1a(std::uint64_t h, std::uint64_t v) {
+  return (h ^ v) * 1099511628211ULL;
+}
+
+struct Board {
+  std::unordered_map<std::uint64_t, double> cells_;
+
+  std::uint64_t bad_fingerprint() const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const auto& kv : cells_) {
+      h = fnv1a(h, kv.first);  // BAD: unspecified order into the hash
+    }
+    return h;
+  }
+
+  std::uint64_t good_fingerprint() const {
+    std::vector<std::uint64_t> keys;
+    for (const auto& kv : cells_) {
+      keys.push_back(kv.first);  // fine: collect only, no sink in body
+    }
+    std::sort(keys.begin(), keys.end());
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::uint64_t k : keys) {
+      h = fnv1a(h, k);  // fine: keys is a sorted vector, not unordered
+    }
+    return h;
+  }
+};
+
+int unordered_sink_fixture() {
+  Board b;
+  return static_cast<int>(b.bad_fingerprint() ^ b.good_fingerprint());
+}

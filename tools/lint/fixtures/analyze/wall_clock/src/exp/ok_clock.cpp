@@ -1,0 +1,8 @@
+// Fixture: wall-clock use in src/exp is fine — the experiment harness
+// and transports legitimately time real I/O.  No findings expected.
+#include <chrono>
+
+double exp_ok_now() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

@@ -1,0 +1,19 @@
+// Fixture: wall-clock access inside the deterministic core.  Expect
+// exactly two WALL_CLOCK findings (steady_clock and clock_gettime); the
+// suppressed system_clock line carries a reason and must not fire.
+#include <chrono>
+#include <ctime>
+
+double sim_bad_now() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long sim_bad_posix_now() {
+  struct timespec ts;
+  clock_gettime(0, &ts);
+  return ts.tv_sec;
+}
+
+// sda-analyze: allow(WALL_CLOCK) fixture: suppressed with a reason
+long sim_suppressed_now() { return std::chrono::system_clock::now().time_since_epoch().count(); }

@@ -72,6 +72,13 @@ FLOAT_EQ_ALLOWED = ("src/util/feq.hpp",)
 
 ALLOW_RE = re.compile(r"sda-lint:\s*allow\(([A-Z_,\s]+)\)")
 
+# Every suppression pragma in the tree — sda-lint's and sda-analyze's —
+# with whatever text follows the closing paren.  `--audit-suppressions`
+# requires that text to be a non-empty justification: a suppression
+# without a reason is unreviewable and fails the audit.
+SUPPRESSION_RE = re.compile(
+    r"(sda-(?:lint|analyze)):\s*allow\(([A-Z_,\s]+)\)\s*(.*)")
+
 
 class Line:
     """One physical line with comments and string/char literals blanked."""
@@ -492,6 +499,37 @@ def gather(root, subdirs):
     return sorted(files)
 
 
+def audit_suppressions(root, files):
+    """Inventory every sda-lint/sda-analyze allow() pragma.  Returns the
+    inventory lines plus a Finding for each suppression with no reason."""
+    entries, findings = [], []
+    for path in files:
+        rel = relpath(path, root)
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as f:
+                raw_lines = f.read().split("\n")
+        except OSError as e:
+            print(f"{rel}:0: ERROR cannot read: {e}", file=sys.stderr)
+            continue
+        for idx, raw in enumerate(raw_lines):
+            for m in SUPPRESSION_RE.finditer(raw):
+                prefix, rules, reason = m.group(1), m.group(2), \
+                    m.group(3).strip()
+                for rule in rules.split(","):
+                    rule = rule.strip()
+                    if not rule:
+                        continue
+                    entries.append(
+                        f"{rel}:{idx + 1}: {prefix} {rule}: "
+                        f"{reason or '<no reason>'}")
+                    if not reason:
+                        findings.append(Finding(
+                            rel, idx + 1, rule,
+                            f"{prefix} suppression has no reason — add a "
+                            "justification after the closing paren"))
+    return entries, findings
+
+
 def main(argv=None):
     ap = argparse.ArgumentParser(
         description="Project linter for the SDA simulator "
@@ -504,6 +542,9 @@ def main(argv=None):
                          "directory containing this script's repo)")
     ap.add_argument("--rules", default=None,
                     help="comma-separated subset of rules to run")
+    ap.add_argument("--audit-suppressions", action="store_true",
+                    help="list every sda-lint/sda-analyze allow() pragma "
+                         "with its reason; fail if any has no reason")
     args = ap.parse_args(argv)
 
     root = args.root
@@ -525,9 +566,30 @@ def main(argv=None):
             return 2
 
     files = gather(root, subdirs)
+    if args.audit_suppressions and not args.paths:
+        # The audit also covers tools/ (the analyzer's allow() pragmas
+        # live anywhere in the tree); lint fixtures are excluded — they
+        # exercise the linter and suppress violations by design.
+        files = sorted(set(files) | {
+            f for f in gather(root, ["tools"])
+            if "tools/lint/" not in relpath(f, root)})
     if not files:
         print("sda-lint: no source files found", file=sys.stderr)
         return 2
+
+    if args.audit_suppressions:
+        entries, findings = audit_suppressions(root, files)
+        for line in entries:
+            print(line)
+        for f in findings:
+            print(f, file=sys.stderr)
+        if findings:
+            print(f"sda-lint: {len(findings)} reasonless suppression(s)",
+                  file=sys.stderr)
+            return 1
+        print(f"sda-lint: {len(entries)} suppression(s), all with reasons",
+              file=sys.stderr)
+        return 0
 
     # UNORDERED_ITER needs declarations from every scanned file first.
     all_lines = {}

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Selftest for sda_analyze: every rule gets a fixture mini-tree.
+
+Unlike the line-oriented sda_lint fixtures (one file per rule), the
+semantic analyzer's rules see program structure — layer placement in the
+path, the include graph, cross-file member declarations — so each case
+is a miniature repo under fixtures/analyze/<case>/src/... scanned with
+--root pointed at the case directory.  Every tree mixes the violation
+with clean and suppressed counterparts, so the expected counts also
+prove the rule does NOT overfire.  Run from anywhere:
+
+    python3 tools/lint/test_sda_analyze.py
+"""
+
+import contextlib
+import io
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, HERE)
+
+import sda_analyze  # noqa: E402
+
+FIXTURES = os.path.join(HERE, "fixtures", "analyze")
+
+# (case directory, rule, expected finding count, substring every finding
+#  must contain — anchors the finding to the intended site)
+CASES = [
+    ("layering", "LAYERING", 1, "src/sim/bad_include.cpp:5"),
+    ("cycle", "CYCLE", 1, "src/util/a.hpp -> src/util/b.hpp"),
+    ("wall_clock", "WALL_CLOCK", 2, "src/sim/bad_clock.cpp"),
+    ("ptr_key", "PTR_KEY_ORDER", 2, "src/core/bad_ptr_key.cpp"),
+    ("unordered_sink", "UNORDERED_SINK", 1, "src/metrics/bad_sink.cpp:19"),
+    ("callback", "CALLBACK_REENTRANT", 1, "src/exp/bad_reentrant.cpp:40"),
+]
+
+
+def run_case(case, rule):
+    """Runs the analyzer on one fixture tree with one rule enabled."""
+    root = os.path.join(FIXTURES, case)
+    out = io.StringIO()
+    err = io.StringIO()
+    with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+        code = sda_analyze.main(["src", "--root", root, "--rules", rule])
+    lines = [l for l in out.getvalue().splitlines() if l.strip()]
+    return code, lines
+
+
+def main():
+    failures = []
+    for case, rule, expected, anchor in CASES:
+        root = os.path.join(FIXTURES, case)
+        if not os.path.isdir(root):
+            failures.append(f"{case}: fixture tree missing")
+            continue
+        code, lines = run_case(case, rule)
+        wrong_rule = [l for l in lines if f" {rule} " not in l]
+        if wrong_rule:
+            failures.append(
+                f"{case}: off-rule findings under --rules={rule}: "
+                f"{wrong_rule}")
+        if len(lines) != expected:
+            failures.append(
+                f"{case}: expected {expected} {rule} finding(s), "
+                f"got {len(lines)}:\n  " + "\n  ".join(lines or ["<none>"]))
+        off_anchor = [l for l in lines if anchor not in l]
+        if lines and off_anchor:
+            failures.append(
+                f"{case}: finding(s) not anchored at '{anchor}': "
+                f"{off_anchor}")
+        expect_exit = 1 if expected else 0
+        if code != expect_exit:
+            failures.append(
+                f"{case}: expected exit {expect_exit}, got {code}")
+
+    # Every fixture tree must be quiet under the FULL rule set except for
+    # its own rule's expected findings — proves no cross-rule bleed
+    # (e.g. the callback fixture must not trip UNORDERED_SINK).
+    for case, rule, expected, _anchor in CASES:
+        root = os.path.join(FIXTURES, case)
+        if not os.path.isdir(root):
+            continue
+        out = io.StringIO()
+        err = io.StringIO()
+        with contextlib.redirect_stdout(out), contextlib.redirect_stderr(err):
+            sda_analyze.main(["src", "--root", root])
+        lines = [l for l in out.getvalue().splitlines() if l.strip()]
+        if len(lines) != expected:
+            failures.append(
+                f"{case}: full-rule-set scan expected {expected} "
+                f"finding(s), got {len(lines)}:\n  "
+                + "\n  ".join(lines or ["<none>"]))
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}")
+        print(f"test_sda_analyze: {len(failures)} failure(s)")
+        return 1
+    print(f"test_sda_analyze: all {len(CASES)} fixture trees passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
