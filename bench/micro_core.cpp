@@ -27,6 +27,7 @@
 #include "src/sched/edf.hpp"
 #include "src/sim/engine.hpp"
 #include "src/sim/fabric.hpp"
+#include "src/sim/timer_queue.hpp"
 #include "src/task/notation.hpp"
 #include "src/util/rng.hpp"
 
@@ -178,6 +179,41 @@ void BM_TreeCloneAndCriticalPath(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TreeCloneAndCriticalPath);
+
+void BM_ArenaCloneDrain(benchmark::State& state) {
+  // Pool churn at run frequency: clone a batch of trees (pooled TreeNode
+  // operator new), hold them live together, then drop them all (pooled
+  // delete).  Steady state must run entirely off recycled blocks.
+  const auto tree = task::parse_notation(
+      "[T1@0:1 [T2@1:1 || [T3@2:1 T4@3:1 T5@4:1]] [T6@5:1 || T7@0:1] T8@1:1]");
+  constexpr int kBatch = 64;
+  std::vector<task::TreePtr> held;
+  held.reserve(kBatch);
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) held.push_back(task::clone(*tree));
+    benchmark::DoNotOptimize(held.data());
+    held.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_ArenaCloneDrain);
+
+void BM_TimerWheelPushPop(benchmark::State& state) {
+  // The wheel backend under the same load as BM_EventQueuePushPop — the
+  // delta against the heap at equal batch size is the backend's win (or
+  // loss) in the heavy-traffic regime.
+  const int batch = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  const auto q = sim::make_timer_queue("wheel");
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      q->push(rng.uniform01(), [] {});
+    }
+    while (!q->empty()) benchmark::DoNotOptimize(q->pop());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_TimerWheelPushPop)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_ProcessManagerSubmitDrain(benchmark::State& state) {
   // Cost of the PM machinery itself: submit a 4-way parallel global to idle

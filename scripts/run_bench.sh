@@ -17,10 +17,16 @@
 #             a reproduction regression cannot hide behind a green build.
 #             Used by CI to catch telemetry that leaks into the hot paths
 #             (counters must stay passive O(1) increments).
+#             Also enforces an absolute submit-drain throughput floor
+#             (ROADMAP item 4): BM_ProcessManagerSubmitDrain must sustain
+#             at least SDA_SUBMIT_DRAIN_MIN items/s (default 600000 —
+#             far above the pre-arena ~430K so the raw-speed pass cannot
+#             silently regress, with headroom for slower CI hosts).
 #
 # Env: SDA_THREADS caps pool parallelism for the quick scorecard;
 #      SDA_SIM_TIME/SDA_REPS override the quick run length as usual;
-#      SDA_BENCH_TOLERANCE sets the --check regression threshold (percent).
+#      SDA_BENCH_TOLERANCE sets the --check regression threshold (percent);
+#      SDA_SUBMIT_DRAIN_MIN sets the submit-drain items/s floor.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -77,7 +83,8 @@ echo "quick scorecard: ${QUICK_MS} ms wall, ${QUICK_FAILURES} failed checks"
 if [[ "$CHECK" == 1 && -f "$OUT" ]]; then
   echo "== overhead guard (fresh vs $OUT) =="
   MICRO_JSON="$MICRO_JSON" BASELINE="$OUT" \
-  TOLERANCE="${SDA_BENCH_TOLERANCE:-2}" python3 - <<'PY'
+  TOLERANCE="${SDA_BENCH_TOLERANCE:-2}" \
+  SUBMIT_DRAIN_MIN="${SDA_SUBMIT_DRAIN_MIN:-600000}" python3 - <<'PY'
 import json, os, sys
 
 with open(os.environ["MICRO_JSON"]) as f:
@@ -121,6 +128,20 @@ if failed:
           "— rerun on a quiet machine or investigate", file=sys.stderr)
     sys.exit(1)
 print("overhead guard: within tolerance")
+
+# Absolute throughput floor on the PM control lane (ROADMAP item 4): the
+# arena/SoA/backend raw-speed pass must not be silently reverted.
+floor = float(os.environ["SUBMIT_DRAIN_MIN"])
+sd = fresh.get("BM_ProcessManagerSubmitDrain", {}).get("items_per_second")
+if sd is None:
+    print("submit-drain gate: BM_ProcessManagerSubmitDrain missing",
+          file=sys.stderr)
+    sys.exit(1)
+if sd < floor:
+    print(f"submit-drain gate: {sd:,.0f} items/s is below the "
+          f"{floor:,.0f} floor (SDA_SUBMIT_DRAIN_MIN)", file=sys.stderr)
+    sys.exit(1)
+print(f"submit-drain gate: {sd:,.0f} items/s (floor {floor:,.0f})")
 PY
 
   echo "== scorecard regression gate (fresh vs $OUT) =="

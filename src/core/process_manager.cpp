@@ -4,14 +4,23 @@
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "src/core/invariants.hpp"
 
 namespace sda::core {
 
+using task::FlatTree;
 using task::TaskPtr;
 using task::TaskState;
 using task::TreeNode;
+
+namespace {
+/// Retired Run objects kept around for reuse; beyond this they are freed.
+/// Sized for the live-run population of a loaded system, not its lifetime
+/// throughput — the pool exists to make the steady state allocation-free.
+constexpr std::size_t kRunPoolCap = 64;
+}  // namespace
 
 DirectNodePort::DirectNodePort(std::vector<sched::Node*> nodes)
     : nodes_(std::move(nodes)) {
@@ -32,6 +41,19 @@ void DirectNodePort::abort(int node, const task::SimpleTask& t) {
   nodes_[static_cast<std::size_t>(node)]->abort(t);
 }
 
+void ProcessManager::Run::arm(std::uint32_t n) {
+  assigned_deadline.assign(n, 0.0);
+  progress.assign(n, 0);
+  live.assign(n, nullptr);
+  leaf_retries.assign(n, 0);
+  retry_timers.assign(n, sim::EventId{});
+  live_count = 0;
+  retry_timer_count = 0;
+  resubmissions = 0;
+  retries = 0;
+  abort_timer = sim::EventId{};
+}
+
 ProcessManager::ProcessManager(sim::Engine& engine,
                                std::vector<sched::Node*> nodes, Config config)
     : engine_(engine),
@@ -50,15 +72,27 @@ ProcessManager::ProcessManager(sim::Engine& engine, NodePort& port,
 }
 
 ProcessManager::Run* ProcessManager::find_run(std::uint64_t run_id) {
+  if (cached_run_ != nullptr && cached_run_->id == run_id) return cached_run_;
   auto it = runs_.find(run_id);
-  return it == runs_.end() ? nullptr : &it->second;
+  if (it == runs_.end()) return nullptr;
+  cached_run_ = it->second.get();
+  return cached_run_;
 }
 
-void ProcessManager::index_parents(Run& run, const TreeNode& t) {
-  for (const auto& c : t.children) {
-    run.parent[c.get()] = &t;
-    index_parents(run, *c);
-  }
+std::unique_ptr<ProcessManager::Run> ProcessManager::acquire_run() {
+  if (run_pool_.empty()) return std::make_unique<Run>();
+  std::unique_ptr<Run> run = std::move(run_pool_.back());
+  run_pool_.pop_back();
+  return run;
+}
+
+void ProcessManager::recycle_run(std::unique_ptr<Run> run) {
+  if (run_pool_.size() >= kRunPoolCap) return;  // let it free
+  // Drop references now (tree node pool blocks, task objects); the vector
+  // capacities and the FlatTree arena are what the pool preserves.
+  run->tree.reset();
+  run->live.clear();
+  run_pool_.push_back(std::move(run));
 }
 
 std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
@@ -68,26 +102,34 @@ std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
   if (auto why = task::validate(*tree); !why.empty()) {
     throw std::invalid_argument("ProcessManager::submit: " + why);
   }
-  for (const TreeNode* leaf : task::leaves(*tree)) {
-    if (leaf->exec_node < 0 || leaf->exec_node >= node_count()) {
+
+  std::unique_ptr<Run> owned = acquire_run();
+  Run& run = *owned;
+  run.tree = std::move(tree);
+  run.flat.build(*run.tree);
+  for (std::uint32_t s = 0; s < run.flat.size(); ++s) {
+    if (!run.flat.is_leaf(s)) continue;
+    const int node = run.flat.node(s).exec_node;
+    if (node < 0 || node >= node_count()) {
+      // No state has changed yet (the id counter is untouched); the tree
+      // dies with `owned` exactly as it died with the old code's throw.
       throw std::out_of_range("ProcessManager::submit: leaf bound to node " +
-                              std::to_string(leaf->exec_node) +
-                              " but the system has " +
+                              std::to_string(node) + " but the system has " +
                               std::to_string(node_count()) + " nodes");
     }
   }
 
   const std::uint64_t id = next_run_id_++;
-  Run& run = runs_[id];
   run.id = id;
-  run.tree = std::move(tree);
   run.arrival = engine_.now();
   run.real_deadline = deadline;
   run.metrics_class = global_metrics_class;
   run.subtask_metrics_class = subtask_metrics_class;
-  run.total_work = task::total_ex(*run.tree);
-  run.subtask_count = task::leaf_count(*run.tree);
-  index_parents(run, *run.tree);
+  run.total_work = run.flat.total_ex();
+  run.subtask_count = run.flat.leaf_count();
+  run.arm(run.flat.size());
+  runs_.emplace(id, std::move(owned));
+  cached_run_ = &run;
   ++submitted_;
   if (on_submitted_) on_submitted_(id, deadline);
 
@@ -107,62 +149,70 @@ std::uint64_t ProcessManager::submit(task::TreePtr tree, sim::Time deadline,
   }
 
   // SDA(root, dl(T)).
-  dispatch(run, *run.tree, deadline);
+  dispatch(run, 0, deadline);
   return id;
 }
 
-void ProcessManager::dispatch(Run& run, const TreeNode& t, sim::Time deadline) {
-  CompositeState& st = run.state[&t];
-  st.assigned_deadline = deadline;
-  if (t.is_leaf()) {
-    dispatch_leaf(run, t, deadline);
+void ProcessManager::dispatch(Run& run, std::uint32_t slot,
+                              sim::Time deadline) {
+  run.assigned_deadline[slot] = deadline;
+  if (run.flat.is_leaf(slot)) {
+    dispatch_leaf(run, slot, deadline);
     return;
   }
-  if (t.is_serial()) {
-    st.next_stage = 0;
-    dispatch_serial_stage(run, t);
+  if (run.flat.is_serial(slot)) {
+    run.progress[slot] = 0;
+    dispatch_serial_stage(run, slot);
     return;
   }
   // Parallel: all branches are released now, each with its PSP deadline.
-  st.pending = static_cast<int>(t.children.size());
-  for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
-    const sim::Time branch_dl =
-        assign_branch_deadline(*config_.psp, t, i, engine_.now(), deadline);
+  const int n = static_cast<int>(run.flat.child_count(slot));
+  run.progress[slot] = n;
+  for (int i = 0; i < n; ++i) {
+    const sim::Time branch_dl = assign_branch_deadline(
+        *config_.psp, run.flat, slot, i, engine_.now(), deadline);
     if (invariants::enabled()) {
-      invariants::check_branch_assignment(
-          config_.psp->name(), deadline, engine_.now(), i,
-          static_cast<int>(t.children.size()), branch_dl);
+      invariants::check_branch_assignment(config_.psp->name(), deadline,
+                                          engine_.now(), i, n, branch_dl);
     }
-    dispatch(run, *t.children[i], branch_dl);
+    dispatch(run, run.flat.child(slot, static_cast<std::uint32_t>(i)),
+             branch_dl);
   }
 }
 
-void ProcessManager::dispatch_serial_stage(Run& run, const TreeNode& serial) {
-  const CompositeState& st = run.state[&serial];
-  const int i = st.next_stage;
-  assert(i < static_cast<int>(serial.children.size()));
-  const sim::Time stage_dl = assign_stage_deadline(
-      *config_.ssp, serial, i, engine_.now(), st.assigned_deadline);
+void ProcessManager::dispatch_serial_stage(Run& run,
+                                           std::uint32_t serial_slot) {
+  const int i = run.progress[serial_slot];
+  const int m = static_cast<int>(run.flat.child_count(serial_slot));
+  assert(i < m);
+  const sim::Time serial_deadline = run.assigned_deadline[serial_slot];
+  const sim::Time stage_dl =
+      assign_stage_deadline(*config_.ssp, run.flat, serial_slot, i,
+                            engine_.now(), serial_deadline, ssp_scratch_);
   if (invariants::enabled()) {
     sim::Time remaining = 0.0;
-    for (const sim::Time pex : stage_pex(serial, i)) remaining += pex;
-    invariants::check_stage_assignment(
-        config_.ssp->name(), st.assigned_deadline, engine_.now(), i,
-        static_cast<int>(serial.children.size()), remaining, stage_dl);
+    const sim::Time* slice = run.flat.child_cp_pex(serial_slot);
+    for (int j = i; j < m; ++j) remaining += slice[j];
+    invariants::check_stage_assignment(config_.ssp->name(), serial_deadline,
+                                       engine_.now(), i, m, remaining,
+                                       stage_dl);
   }
-  dispatch(run, *serial.children[i], stage_dl);
+  dispatch(run, run.flat.child(serial_slot, static_cast<std::uint32_t>(i)),
+           stage_dl);
 }
 
-void ProcessManager::dispatch_leaf(Run& run, const TreeNode& leaf,
+void ProcessManager::dispatch_leaf(Run& run, std::uint32_t leaf_slot,
                                    sim::Time deadline) {
+  const TreeNode& leaf = run.flat.node(leaf_slot);
   TaskPtr t = task::make_subtask(next_task_id_++, run.id, leaf.exec_node,
                                  engine_.now(), leaf.exec_time, leaf.pred_exec,
                                  run.real_deadline);
   t->attrs.virtual_deadline = deadline;
   t->metrics_class = run.subtask_metrics_class;
   t->non_abortable = config_.mark_subtasks_non_abortable;
-  run.live[&leaf] = t;
-  run.leaf_of[t->id] = &leaf;
+  t->leaf_slot = leaf_slot;
+  run.live[leaf_slot] = t;
+  ++run.live_count;
   port_->submit(leaf.exec_node, t);
 }
 
@@ -170,20 +220,20 @@ void ProcessManager::handle_completion(const TaskPtr& t) {
   if (t->kind != task::TaskKind::kSubtask) return;
   Run* run = find_run(t->owner_run);
   if (run == nullptr) return;  // run already finished/aborted
-  auto leaf_it = run->leaf_of.find(t->id);
-  if (leaf_it == run->leaf_of.end()) return;
-  const TreeNode* leaf = leaf_it->second;
-  run->leaf_of.erase(leaf_it);
-  run->live.erase(leaf);
+  TaskPtr* live = live_task(*run, t->leaf_slot, t->id);
+  if (live == nullptr) return;
+  const std::uint32_t leaf_slot = t->leaf_slot;
+  live->reset();
+  --run->live_count;
   if (on_subtask_) on_subtask_(*t);
-  child_done(*run, *leaf);
+  child_done(*run, leaf_slot);
 }
 
 void ProcessManager::handle_local_abort(const TaskPtr& t) {
   if (t->kind != task::TaskKind::kSubtask) return;
   Run* run = find_run(t->owner_run);
   if (run == nullptr) return;
-  if (run->leaf_of.count(t->id) == 0) return;
+  if (live_task(*run, t->leaf_slot, t->id) == nullptr) return;
 
   // Resubmission budget exhausted: abort the whole run instead of feeding
   // it more service it cannot convert into a timely completion.
@@ -209,25 +259,24 @@ void ProcessManager::handle_local_abort(const TaskPtr& t) {
   port_->submit(t->exec_node, t);
 }
 
-void ProcessManager::child_done(Run& run, const TreeNode& child) {
-  auto parent_it = run.parent.find(&child);
-  if (parent_it == run.parent.end()) {
+void ProcessManager::child_done(Run& run, std::uint32_t child_slot) {
+  const std::uint32_t p = run.flat.parent(child_slot);
+  if (p == FlatTree::kNoParent) {
     finish_run(run, /*aborted=*/false);
     return;
   }
-  const TreeNode& p = *parent_it->second;
-  CompositeState& st = run.state[&p];
-  if (p.is_serial()) {
-    ++st.next_stage;
-    if (st.next_stage < static_cast<int>(p.children.size())) {
+  if (run.flat.is_serial(p)) {
+    int& next = run.progress[p];
+    ++next;
+    if (next < static_cast<int>(run.flat.child_count(p))) {
       dispatch_serial_stage(run, p);
     } else {
       child_done(run, p);
     }
     return;
   }
-  assert(p.is_parallel());
-  if (--st.pending == 0) child_done(run, p);
+  assert(run.flat.is_parallel(p));
+  if (--run.progress[p] == 0) child_done(run, p);
 }
 
 void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
@@ -249,15 +298,17 @@ void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
   // abort timer nor any pending backoff-retry timer can outlive the run
   // and fire against recycled state.  A run shed by negative-slack
   // shedding while a leaf waits out its backoff reaches this via
-  // terminate_run, which is exactly the case the retry-timer map exists
+  // terminate_run, which is exactly the case the retry-timer slots exist
   // for.
   if (engine_.pending(run.abort_timer)) engine_.cancel(run.abort_timer);
   assert(!engine_.pending(run.abort_timer));
-  // sda-lint: allow(UNORDERED_ITER) cancellation is order-independent
-  for (const auto& [leaf, timer] : run.retry_timers) {
-    if (engine_.pending(timer)) engine_.cancel(timer);
+  if (run.retry_timer_count > 0) {
+    for (sim::EventId& timer : run.retry_timers) {
+      if (engine_.pending(timer)) engine_.cancel(timer);
+      timer = sim::EventId{};
+    }
+    run.retry_timer_count = 0;
   }
-  run.retry_timers.clear();
   if (shed) {
     ++shed_runs_;
     ++aborted_runs_;
@@ -266,9 +317,15 @@ void ProcessManager::finish_run(Run& run, bool aborted, bool shed) {
   } else {
     ++completed_runs_;
   }
-  // erase() destroys `run`; rec was copied out above, and on_global_ is a
-  // member of *this, so invoking it after the erase is safe.
-  runs_.erase(run.id);
+  // The extract destroys nothing (the Run moves into the pool); rec was
+  // copied out above and on_global_ is a member of *this, so invoking it
+  // after the run is retired is safe.
+  if (cached_run_ == &run) cached_run_ = nullptr;
+  auto it = runs_.find(run.id);
+  assert(it != runs_.end());
+  std::unique_ptr<Run> owned = std::move(it->second);
+  runs_.erase(it);
+  recycle_run(std::move(owned));
   if (on_global_) on_global_(rec);
 }
 
@@ -281,12 +338,14 @@ void ProcessManager::abort_run(std::uint64_t run_id) {
 void ProcessManager::terminate_run(Run& run, bool shed) {
   // Abort every live subtask at its node; each counts as a missed subtask.
   // Stages not yet dispatched are simply never dispatched.  Iterate in
-  // task-id order: `live` is keyed by heap pointers, whose order is not
-  // reproducible across processes.
+  // task-id order (== dispatch order), which slot order is not: serial
+  // stages dispatch as predecessors finish, interleaved across branches.
   std::vector<TaskPtr> victims;
-  victims.reserve(run.live.size());
-  // sda-lint: allow(UNORDERED_ITER) collected then sorted by id below
-  for (auto& [leaf, t] : run.live) victims.push_back(t);
+  victims.reserve(static_cast<std::size_t>(run.live_count));
+  for (TaskPtr& lt : run.live) {
+    if (lt) victims.push_back(std::move(lt));
+  }
+  run.live_count = 0;
   std::sort(victims.begin(), victims.end(),
             [](const TaskPtr& a, const TaskPtr& b) { return a->id < b->id; });
   for (const TaskPtr& t : victims) {
@@ -299,8 +358,6 @@ void ProcessManager::terminate_run(Run& run, bool shed) {
     }
     if (on_subtask_) on_subtask_(*t);
   }
-  run.live.clear();
-  run.leaf_of.clear();
   finish_run(run, /*aborted=*/true, shed);
 }
 
@@ -308,9 +365,8 @@ void ProcessManager::handle_failure(const TaskPtr& t) {
   if (t->kind != task::TaskKind::kSubtask) return;
   Run* run = find_run(t->owner_run);
   if (run == nullptr) return;
-  auto leaf_it = run->leaf_of.find(t->id);
-  if (leaf_it == run->leaf_of.end()) return;
-  const TreeNode& leaf = *leaf_it->second;
+  if (live_task(*run, t->leaf_slot, t->id) == nullptr) return;
+  const std::uint32_t leaf_slot = t->leaf_slot;
   const RecoveryPolicy& rp = config_.recovery;
 
   // Bounded retries: the (max+1)-th fault within one run sheds it.
@@ -321,30 +377,32 @@ void ProcessManager::handle_failure(const TaskPtr& t) {
   // Deadline-aware shedding: if even the predicted remainder cannot fit in
   // the slack left, drop the run now instead of burning more service on it.
   if (rp.shed_negative_slack &&
-      engine_.now() + remaining_path_pex(*run, leaf) > run->real_deadline) {
+      engine_.now() + remaining_path_pex(*run, leaf_slot) >
+          run->real_deadline) {
     terminate_run(*run, /*shed=*/true);
     return;
   }
 
   ++run->retries;
   ++fault_retries_;
-  const int attempt = ++run->leaf_retries[&leaf];
+  const int attempt = ++run->leaf_retries[leaf_slot];
   const double delay =
       rp.backoff_base > 0.0
           ? rp.backoff_base * std::pow(rp.backoff_factor, attempt - 1)
           : 0.0;
   if (delay > 0.0) {
     const std::uint64_t run_id = run->id;
-    run->retry_timers[&leaf] = engine_.in(delay, [this, run_id, t] {
+    ++run->retry_timer_count;
+    run->retry_timers[leaf_slot] = engine_.in(delay, [this, run_id, t] {
       Run* r = find_run(run_id);
       if (r == nullptr) return;  // the run ended while backing off
-      auto it = r->leaf_of.find(t->id);
-      if (it == r->leaf_of.end()) return;
-      r->retry_timers.erase(it->second);
-      resubmit_retry(*r, *it->second, t);
+      if (live_task(*r, t->leaf_slot, t->id) == nullptr) return;
+      r->retry_timers[t->leaf_slot] = sim::EventId{};
+      --r->retry_timer_count;
+      resubmit_retry(*r, t->leaf_slot, t);
     });
   } else {
-    resubmit_retry(*run, leaf, t);
+    resubmit_retry(*run, leaf_slot, t);
   }
 }
 
@@ -353,14 +411,12 @@ void ProcessManager::handle_remote(const task::SimpleTask& snapshot,
   if (snapshot.kind != task::TaskKind::kSubtask) return;
   Run* run = find_run(snapshot.owner_run);
   if (run == nullptr) return;  // run ended while the message was in flight
-  auto leaf_it = run->leaf_of.find(snapshot.id);
-  if (leaf_it == run->leaf_of.end()) return;
-  auto live_it = run->live.find(leaf_it->second);
-  if (live_it == run->live.end()) return;
+  TaskPtr* live = live_task(*run, snapshot.leaf_slot, snapshot.id);
+  if (live == nullptr) return;
   // Keep the manager's copy alive across the handler (which may erase the
   // run) and refresh it from the node's snapshot — the same field values
   // the serial path sees on its shared object.
-  const TaskPtr t = live_it->second;
+  const TaskPtr t = *live;
   *t = snapshot;
   switch (ev) {
     case RemoteSubtaskEvent::kCompleted:
@@ -375,7 +431,7 @@ void ProcessManager::handle_remote(const task::SimpleTask& snapshot,
   }
 }
 
-void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
+void ProcessManager::resubmit_retry(Run& run, std::uint32_t leaf_slot,
                                     const TaskPtr& t) {
   const RecoveryPolicy& rp = config_.recovery;
   int target = t->exec_node;
@@ -386,7 +442,7 @@ void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
   t->state = TaskState::kCreated;
   t->attrs.arrival = engine_.now();
   if (rp.deadline_mode == RetryDeadline::kSdaRecompute) {
-    t->attrs.virtual_deadline = recompute_deadline(run, leaf);
+    t->attrs.virtual_deadline = recompute_deadline(run, leaf_slot);
   }
   t->exec_node = target;
   // Node::submit resets `remaining` to the full demand: the failed
@@ -395,57 +451,49 @@ void ProcessManager::resubmit_retry(Run& run, const TreeNode& leaf,
 }
 
 sim::Time ProcessManager::recompute_deadline(const Run& run,
-                                             const TreeNode& leaf) const {
-  // Ancestor chain leaf -> root.
-  std::vector<const TreeNode*> chain;
-  for (const TreeNode* n = &leaf;;) {
-    chain.push_back(n);
-    auto it = run.parent.find(n);
-    if (it == run.parent.end()) break;
-    n = it->second;
+                                             std::uint32_t leaf_slot) {
+  // Ancestor chain leaf -> root (cold path: fault retries only).
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t s = leaf_slot;;) {
+    chain.push_back(s);
+    const std::uint32_t p = run.flat.parent(s);
+    if (p == FlatTree::kNoParent) break;
+    s = p;
   }
   // Walk root -> leaf re-running the strategy at each composite with the
-  // slack measured from now.  Serial stages use stage_pex from the chain
-  // child's index, i.e. only the not-yet-finished remainder of the stage
-  // list contributes demand.
+  // slack measured from now.  Serial stages use the chain child's index,
+  // i.e. only the not-yet-finished remainder of the stage list contributes
+  // demand.
   const sim::Time now = engine_.now();
   sim::Time deadline = run.real_deadline;
   for (std::size_t i = chain.size(); i-- > 1;) {
-    const TreeNode& composite = *chain[i];
-    const TreeNode* child = chain[i - 1];
-    int index = 0;
-    for (std::size_t c = 0; c < composite.children.size(); ++c) {
-      if (composite.children[c].get() == child) {
-        index = static_cast<int>(c);
-        break;
-      }
-    }
-    deadline = composite.is_serial()
-                   ? assign_stage_deadline(*config_.ssp, composite, index,
-                                           now, deadline)
-                   : assign_branch_deadline(*config_.psp, composite, index,
-                                            now, deadline);
+    const std::uint32_t composite = chain[i];
+    const std::uint32_t child = chain[i - 1];
+    const int index = static_cast<int>(run.flat.index_in_parent(child));
+    deadline = run.flat.is_serial(composite)
+                   ? assign_stage_deadline(*config_.ssp, run.flat, composite,
+                                           index, now, deadline, ssp_scratch_)
+                   : assign_branch_deadline(*config_.psp, run.flat, composite,
+                                            index, now, deadline);
   }
   return deadline;
 }
 
 sim::Time ProcessManager::remaining_path_pex(const Run& run,
-                                             const TreeNode& leaf) const {
-  sim::Time remaining = leaf.pred_exec;
-  const TreeNode* child = &leaf;
-  for (auto it = run.parent.find(child); it != run.parent.end();
-       it = run.parent.find(child)) {
-    const TreeNode& p = *it->second;
-    if (p.is_serial()) {
+                                             std::uint32_t leaf_slot) const {
+  sim::Time remaining = run.flat.node(leaf_slot).pred_exec;
+  std::uint32_t child = leaf_slot;
+  for (std::uint32_t p = run.flat.parent(child); p != FlatTree::kNoParent;
+       p = run.flat.parent(child)) {
+    if (run.flat.is_serial(p)) {
       // Later serial stages run after this subtree finishes; parallel
       // siblings proceed concurrently and do not extend this leaf's path.
-      bool after = false;
-      for (const auto& c : p.children) {
-        if (after) remaining += task::critical_path_pex(*c);
-        if (c.get() == child) after = true;
-      }
+      const std::uint32_t idx = run.flat.index_in_parent(child);
+      const sim::Time* slice = run.flat.child_cp_pex(p);
+      const std::uint32_t cnt = run.flat.child_count(p);
+      for (std::uint32_t j = idx + 1; j < cnt; ++j) remaining += slice[j];
     }
-    child = &p;
+    child = p;
   }
   return remaining;
 }

@@ -29,6 +29,7 @@
 #include "src/sim/engine.hpp"
 #include "src/task/task.hpp"
 #include "src/task/tree.hpp"
+#include "src/util/arena.hpp"
 #include "src/util/unique_fn.hpp"
 
 namespace sda::core {
@@ -222,15 +223,17 @@ class ProcessManager {
   std::uint64_t shed_runs() const noexcept { return shed_runs_; }
 
  private:
-  struct CompositeState {
-    sim::Time assigned_deadline = 0.0;  ///< virtual deadline given to this node
-    int next_stage = 0;                 ///< serial: next child to dispatch
-    int pending = 0;                    ///< parallel: children not yet done
-  };
-
+  /// One global-task run's bookkeeping.  All per-node state is held in
+  /// dense vectors indexed by the tree's FlatTree slot (DFS preorder), and
+  /// node callbacks are correlated through SimpleTask::leaf_slot — no hash
+  /// maps anywhere on the dispatch/completion path.  Run objects (and the
+  /// vector capacities plus the FlatTree arena inside) are recycled
+  /// through a small pool, so steady-state submit/complete allocates
+  /// nothing beyond the task objects themselves.
   struct Run {
     std::uint64_t id = 0;
     task::TreePtr tree;
+    task::FlatTree flat;  ///< slot-indexed view over *tree
     sim::Time arrival = 0.0;
     sim::Time real_deadline = 0.0;
     int metrics_class = 0;
@@ -239,44 +242,62 @@ class ProcessManager {
     int subtask_count = 0;
     int resubmissions = 0;
     int retries = 0;
+    int live_count = 0;         ///< non-null entries in `live`
+    int retry_timer_count = 0;  ///< armed entries in `retry_timers`
 
-    std::unordered_map<const task::TreeNode*, CompositeState> state;
-    std::unordered_map<const task::TreeNode*, const task::TreeNode*> parent;
-    /// Live (queued or running) subtasks, keyed by their leaf.
-    std::unordered_map<const task::TreeNode*, task::TaskPtr> live;
-    /// Subtask id -> leaf, to correlate node callbacks.
-    std::unordered_map<std::uint64_t, const task::TreeNode*> leaf_of;
+    // Slot-indexed state, sized flat.size() by arm():
+    /// Virtual deadline assigned to each dispatched node.
+    std::vector<sim::Time> assigned_deadline;
+    /// Serial composite: next child to dispatch.  Parallel composite:
+    /// children not yet done.  (A slot is one or the other, never both.)
+    std::vector<int> progress;
+    /// Live (queued or running) subtask of each leaf slot; null otherwise.
+    std::vector<task::TaskPtr> live;
     /// Fault retries per leaf (drives the per-leaf backoff schedule).
-    std::unordered_map<const task::TreeNode*, int> leaf_retries;
-    /// Pending backoff-retry timers, keyed by the waiting leaf.  Every
-    /// terminal path cancels them (finish_run), so a shed run can never
-    /// leave a timer behind to fire against recycled state.
-    std::unordered_map<const task::TreeNode*, sim::EventId> retry_timers;
+    std::vector<int> leaf_retries;
+    /// Pending backoff-retry timers per leaf.  Every terminal path cancels
+    /// them (finish_run), so a shed run can never leave a timer behind to
+    /// fire against recycled state.
+    std::vector<sim::EventId> retry_timers;
 
     sim::EventId abort_timer;
+
+    /// Sizes and zeroes the slot-indexed vectors for a tree of @p n nodes.
+    void arm(std::uint32_t n);
   };
 
+  /// Map lookup with a one-entry cache: a run's subtasks complete (or
+  /// abort) in bursts, so consecutive callbacks overwhelmingly target the
+  /// run just looked up.  Invalidated when the cached run retires.
   Run* find_run(std::uint64_t run_id);
-  void index_parents(Run& run, const task::TreeNode& t);
-  void dispatch(Run& run, const task::TreeNode& t, sim::Time deadline);
-  void dispatch_serial_stage(Run& run, const task::TreeNode& serial);
-  void dispatch_leaf(Run& run, const task::TreeNode& leaf, sim::Time deadline);
-  void child_done(Run& run, const task::TreeNode& child);
+  /// Fresh-or-recycled Run; pairs with recycle_run().
+  std::unique_ptr<Run> acquire_run();
+  void recycle_run(std::unique_ptr<Run> run);
+  void dispatch(Run& run, std::uint32_t slot, sim::Time deadline);
+  void dispatch_serial_stage(Run& run, std::uint32_t serial_slot);
+  void dispatch_leaf(Run& run, std::uint32_t leaf_slot, sim::Time deadline);
+  void child_done(Run& run, std::uint32_t child_slot);
   void finish_run(Run& run, bool aborted, bool shed = false);
   void abort_run(std::uint64_t run_id);
   /// Aborts every live subtask and finishes the run (timer abort, local-
   /// abort cap, or recovery shed).
   void terminate_run(Run& run, bool shed);
-  void resubmit_retry(Run& run, const task::TreeNode& leaf,
+  void resubmit_retry(Run& run, std::uint32_t leaf_slot,
                       const task::TaskPtr& t);
   /// SDA re-run for one leaf: fresh virtual deadline computed from the
   /// root's real deadline down the leaf's ancestor chain at time `now`.
-  sim::Time recompute_deadline(const Run& run, const task::TreeNode& leaf)
-      const;
-  /// Predicted critical-path demand still ahead of @p leaf (its own pex
-  /// plus every not-yet-dispatched later serial stage up the chain).
-  sim::Time remaining_path_pex(const Run& run, const task::TreeNode& leaf)
-      const;
+  sim::Time recompute_deadline(const Run& run, std::uint32_t leaf_slot);
+  /// Predicted critical-path demand still ahead of @p leaf_slot (its own
+  /// pex plus every not-yet-dispatched later serial stage up the chain).
+  sim::Time remaining_path_pex(const Run& run, std::uint32_t leaf_slot) const;
+  /// The run's live subtask for @p leaf_slot iff it is the task @p id
+  /// (stale callbacks for finished/replaced subtasks resolve to null).
+  static task::TaskPtr* live_task(Run& run, std::uint32_t leaf_slot,
+                                  std::uint64_t id) {
+    if (leaf_slot >= run.flat.size()) return nullptr;
+    task::TaskPtr& t = run.live[leaf_slot];
+    return (t && t->id == id) ? &t : nullptr;
+  }
   /// Up node in the same pool (compute/link) as @p origin, or origin when
   /// none is up.
   int failover_target(int origin) const;
@@ -291,7 +312,20 @@ class ProcessManager {
   NodePort* port_ = nullptr;
   Config config_;
 
-  std::unordered_map<std::uint64_t, Run> runs_;
+  /// Keyed by run id; the node allocations ride the thread-local size-class
+  /// pool so steady-state submit/finish does not touch the global allocator.
+  std::unordered_map<
+      std::uint64_t, std::unique_ptr<Run>, std::hash<std::uint64_t>,
+      std::equal_to<std::uint64_t>,
+      util::PoolAllocator<std::pair<const std::uint64_t, std::unique_ptr<Run>>>>
+      runs_;
+  /// Retired Run objects kept for reuse (bounded; see kRunPoolCap).
+  std::vector<std::unique_ptr<Run>> run_pool_;
+  /// One-entry find_run cache; never dangles (cleared in finish_run).
+  Run* cached_run_ = nullptr;
+  /// Scratch stage-assignment context: remaining_pex keeps its capacity
+  /// across every serial-stage dispatch this manager performs.
+  SspContext ssp_scratch_;
   std::uint64_t next_run_id_ = 1;
   std::uint64_t next_task_id_ = 1;
 

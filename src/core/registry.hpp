@@ -1,0 +1,17 @@
+// core::Registry<T> — the generic named-factory registry, re-exported.
+//
+// The template itself lives in src/util/registry.hpp because the layering
+// DAG (sda_analyze LAYERING) forbids sim -> core includes and the
+// timer-queue backend registry (src/sim/timer_queue.cpp) is a sim-layer
+// client of the same pattern.  Strategy-side code and user extensions
+// should spell it core::Registry.
+#pragma once
+
+#include "src/util/registry.hpp"
+
+namespace sda::core {
+
+template <typename Product>
+using Registry = util::Registry<Product>;
+
+}  // namespace sda::core

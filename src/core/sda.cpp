@@ -52,19 +52,44 @@ Time assign_branch_deadline(const PspStrategy& psp, const TreeNode& parallel,
                     task::critical_path_pex(*parallel.children[branch]));
 }
 
+Time assign_stage_deadline(const SspStrategy& ssp, const task::FlatTree& flat,
+                           std::uint32_t serial_slot, int stage, Time now,
+                           Time serial_deadline, SspContext& scratch) {
+  const int m = static_cast<int>(flat.child_count(serial_slot));
+  scratch.now = now;
+  scratch.deadline = serial_deadline;
+  scratch.stage = stage;
+  scratch.stage_count = m;
+  const Time* slice = flat.child_cp_pex(serial_slot);
+  scratch.remaining_pex.assign(slice + stage, slice + m);
+  return ssp.assign(scratch);
+}
+
+Time assign_branch_deadline(const PspStrategy& psp, const task::FlatTree& flat,
+                            std::uint32_t parallel_slot, int branch, Time now,
+                            Time parallel_deadline) {
+  PspContext ctx;
+  ctx.now = now;
+  ctx.deadline = parallel_deadline;
+  ctx.branch_count = static_cast<int>(flat.child_count(parallel_slot));
+  return psp.assign(ctx, branch, flat.child_cp_pex(parallel_slot)[branch]);
+}
+
 namespace {
-void walk(const TreeNode& t, Time dispatch, Time deadline,
-          const PspStrategy& psp, const SspStrategy& ssp,
-          std::vector<LeafAssignment>& out) {
-  if (t.is_leaf()) {
-    out.push_back(LeafAssignment{&t, dispatch, deadline});
+void walk_flat(const task::FlatTree& ft, std::uint32_t s, Time dispatch,
+               Time deadline, const PspStrategy& psp, const SspStrategy& ssp,
+               SspContext& scratch, std::vector<LeafAssignment>& out) {
+  if (ft.is_leaf(s)) {
+    out.push_back(LeafAssignment{&ft.node(s), dispatch, deadline});
     return;
   }
-  if (t.is_serial()) {
+  const std::uint32_t cnt = ft.child_count(s);
+  if (ft.is_serial(s)) {
     Time now = dispatch;
-    for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
-      const Time stage_dl = assign_stage_deadline(ssp, t, i, now, deadline);
-      walk(*t.children[i], now, stage_dl, psp, ssp, out);
+    for (std::uint32_t i = 0; i < cnt; ++i) {
+      const Time stage_dl = assign_stage_deadline(
+          ssp, ft, s, static_cast<int>(i), now, deadline, scratch);
+      walk_flat(ft, ft.child(s, i), now, stage_dl, psp, ssp, scratch, out);
       // Optimistic static plan: the next stage is assumed to start at this
       // stage's assigned virtual deadline — but never before the current
       // dispatch time (an already-late stage, or a GF-shifted one, has a
@@ -73,9 +98,10 @@ void walk(const TreeNode& t, Time dispatch, Time deadline,
     }
     return;
   }
-  for (int i = 0; i < static_cast<int>(t.children.size()); ++i) {
-    const Time branch_dl = assign_branch_deadline(psp, t, i, dispatch, deadline);
-    walk(*t.children[i], dispatch, branch_dl, psp, ssp, out);
+  for (std::uint32_t i = 0; i < cnt; ++i) {
+    const Time branch_dl = assign_branch_deadline(
+        psp, ft, s, static_cast<int>(i), dispatch, deadline);
+    walk_flat(ft, ft.child(s, i), dispatch, branch_dl, psp, ssp, scratch, out);
   }
 }
 }  // namespace
@@ -84,9 +110,16 @@ std::vector<LeafAssignment> plan_assignment(const TreeNode& tree, Time arrival,
                                             Time deadline,
                                             const PspStrategy& psp,
                                             const SspStrategy& ssp) {
+  // One flat build per walk, reused across calls on this thread: the plan
+  // walk then reads precomputed critical paths off contiguous arrays
+  // instead of re-walking every subtree per stage (the old quadratic-ish
+  // inner loop behind BM_SdaPlanWalk).
+  thread_local task::FlatTree flat;
+  thread_local SspContext scratch;
+  flat.build(tree);
   std::vector<LeafAssignment> out;
-  out.reserve(static_cast<std::size_t>(task::leaf_count(tree)));
-  walk(tree, arrival, deadline, psp, ssp, out);
+  out.reserve(static_cast<std::size_t>(flat.leaf_count()));
+  walk_flat(flat, 0, arrival, deadline, psp, ssp, scratch, out);
   return out;
 }
 

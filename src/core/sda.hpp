@@ -18,9 +18,11 @@
 //     every serial stage finishes exactly at its assigned virtual deadline.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "src/core/strategy.hpp"
+#include "src/task/attributes.hpp"
 
 namespace sda::core {
 
@@ -41,6 +43,26 @@ Time assign_stage_deadline(const SspStrategy& ssp,
 Time assign_branch_deadline(const PspStrategy& psp,
                             const task::TreeNode& parallel, int branch,
                             Time now, Time parallel_deadline);
+
+// --- FlatTree fast paths ----------------------------------------------------
+//
+// Slot-indexed equivalents of the helpers above for callers that already
+// hold a built task::FlatTree (the on-line process manager, plan walks).
+// They read the precomputed per-child critical paths off a contiguous
+// slice instead of re-walking subtrees, and reuse a caller-owned
+// SspContext so the steady state allocates nothing.  Results are
+// bit-identical to the TreeNode versions.
+
+/// Stage assignment over flat storage.  @p scratch's remaining_pex is
+/// overwritten (capacity reused); other fields are set per call.
+Time assign_stage_deadline(const SspStrategy& ssp, const task::FlatTree& flat,
+                           std::uint32_t serial_slot, int stage, Time now,
+                           Time serial_deadline, SspContext& scratch);
+
+/// Branch assignment over flat storage.
+Time assign_branch_deadline(const PspStrategy& psp, const task::FlatTree& flat,
+                            std::uint32_t parallel_slot, int branch, Time now,
+                            Time parallel_deadline);
 
 /// One leaf's planned dispatch time and virtual deadline.
 struct LeafAssignment {

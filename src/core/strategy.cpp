@@ -27,13 +27,6 @@ Time SspContext::remaining_slack() const noexcept {
 
 namespace {
 
-std::string lower(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
-    return static_cast<char>(std::tolower(c));
-  });
-  return s;
-}
-
 /// Parses the parameter suffix of "div-2.5" / "gf-0.001"; nullopt-style:
 /// returns false when the text is not a clean number.
 bool parse_param(const std::string& text, double* out) {
@@ -48,107 +41,41 @@ bool parse_param(const std::string& text, double* out) {
   }
 }
 
-/// One registry per strategy problem (PSP / SSP); lookup order is
-/// registration order, exact entries before prefix families for the same
-/// spelling because exact matching is tried first.
-template <typename Strategy, typename Factory>
-class Registry {
- public:
-  void add(const std::string& name, Factory factory, NameMatch match,
-           const std::string& display, const char* problem) {
-    const std::string key = lower(name);
-    if (key.empty()) {
-      throw std::invalid_argument(std::string(problem) +
-                                  " registry: empty strategy name");
-    }
-    for (const Entry& e : entries_) {
-      if (e.key == key) {
-        throw std::invalid_argument(std::string(problem) + " strategy '" +
-                                    name + "' is already registered");
-      }
-    }
-    entries_.push_back(Entry{key, display.empty() ? key : display, match,
-                             std::move(factory)});
-  }
-
-  // Non-const: UniqueFn's call operator is non-const (it may own mutable
-  // state), so lookups need mutable access to the stored factories.
-  std::unique_ptr<Strategy> make(const std::string& name,
-                                 const char* problem) {
-    const std::string n = lower(name);
-    for (Entry& e : entries_) {
-      if (e.match == NameMatch::kExact && e.key == n) {
-        if (auto made = e.factory(n)) return made;
-      }
-    }
-    for (Entry& e : entries_) {
-      if (e.match == NameMatch::kPrefix && n.rfind(e.key, 0) == 0 &&
-          n.size() > e.key.size()) {
-        if (auto made = e.factory(n)) return made;
-      }
-    }
-    std::ostringstream os;
-    os << "unknown " << problem << " strategy: " << name << " (registered:";
-    for (const Entry& e : entries_) os << ' ' << e.display;
-    os << ')';
-    std::vector<std::string> exact_names;
-    for (const Entry& e : entries_) {
-      if (e.match == NameMatch::kExact) exact_names.push_back(e.key);
-    }
-    const std::string suggestion = util::closest_match(n, exact_names);
-    if (!suggestion.empty()) os << " — did you mean '" << suggestion << "'?";
-    throw std::invalid_argument(os.str());
-  }
-
-  std::vector<std::string> names() const {
-    std::vector<std::string> out;
-    out.reserve(entries_.size());
-    for (const Entry& e : entries_) out.push_back(e.display);
-    return out;
-  }
-
- private:
-  struct Entry {
-    std::string key;      ///< lowercased name or prefix
-    std::string display;  ///< what list_strategies shows
-    NameMatch match;
-    Factory factory;
-  };
-  std::vector<Entry> entries_;
-};
-
-using PspRegistry = Registry<PspStrategy, PspFactory>;
-using SspRegistry = Registry<SspStrategy, SspFactory>;
+// One generic registry (core::Registry, shared with the timer-queue
+// backends) per strategy problem; lookup order is registration order,
+// exact entries before prefix families because exact matching runs first.
+using PspRegistry = Registry<PspStrategy>;
+using SspRegistry = Registry<SspStrategy>;
 
 /// Built-ins are seeded through the same add() path as user strategies the
 /// first time any registry accessor runs.
 PspRegistry& psp_registry() {
   static PspRegistry reg = [] {
-    PspRegistry r;
+    PspRegistry r("PSP", "strategy");
     r.add("ud",
           [](const std::string&) -> std::unique_ptr<PspStrategy> {
             return std::make_unique<PspUltimateDeadline>();
           },
-          NameMatch::kExact, "ud", "PSP");
+          NameMatch::kExact, "ud");
     r.add("div-",
           [](const std::string& full) -> std::unique_ptr<PspStrategy> {
             double x = 0.0;
             if (!parse_param(full.substr(4), &x)) return nullptr;
             return std::make_unique<PspDiv>(x);
           },
-          NameMatch::kPrefix, "div-<x>", "PSP");
+          NameMatch::kPrefix, "div-<x>");
     r.add("gf",
           [](const std::string&) -> std::unique_ptr<PspStrategy> {
             return std::make_unique<PspGlobalsFirst>();
           },
-          NameMatch::kExact, "gf", "PSP");
+          NameMatch::kExact, "gf");
     r.add("gf-",
           [](const std::string& full) -> std::unique_ptr<PspStrategy> {
             double delta = 0.0;
             if (!parse_param(full.substr(3), &delta)) return nullptr;
             return std::make_unique<PspGlobalsFirst>(delta);
           },
-          NameMatch::kPrefix, "gf-<delta>", "PSP");
+          NameMatch::kPrefix, "gf-<delta>");
     return r;
   }();
   return reg;
@@ -156,13 +83,13 @@ PspRegistry& psp_registry() {
 
 SspRegistry& ssp_registry() {
   static SspRegistry reg = [] {
-    SspRegistry r;
+    SspRegistry r("SSP", "strategy");
     auto exact = [&r](const char* name, auto make_fn) {
       r.add(name,
             [make_fn](const std::string&) -> std::unique_ptr<SspStrategy> {
               return make_fn();
             },
-            NameMatch::kExact, name, "SSP");
+            NameMatch::kExact, name);
     };
     exact("ud", [] { return std::make_unique<SspUltimateDeadline>(); });
     exact("ed", [] { return std::make_unique<SspEffectiveDeadline>(); });
@@ -177,12 +104,12 @@ SspRegistry& ssp_registry() {
 
 void register_psp(const std::string& name, PspFactory factory,
                   NameMatch match, const std::string& display) {
-  psp_registry().add(name, std::move(factory), match, display, "PSP");
+  psp_registry().add(name, std::move(factory), match, display);
 }
 
 void register_ssp(const std::string& name, SspFactory factory,
                   NameMatch match, const std::string& display) {
-  ssp_registry().add(name, std::move(factory), match, display, "SSP");
+  ssp_registry().add(name, std::move(factory), match, display);
 }
 
 std::vector<std::string> list_psp_strategies() {
@@ -194,11 +121,11 @@ std::vector<std::string> list_ssp_strategies() {
 }
 
 std::unique_ptr<PspStrategy> make_psp_strategy(const std::string& name) {
-  return psp_registry().make(name, "PSP");
+  return psp_registry().make(name);
 }
 
 std::unique_ptr<SspStrategy> make_ssp_strategy(const std::string& name) {
-  return ssp_registry().make(name, "SSP");
+  return ssp_registry().make(name);
 }
 
 }  // namespace sda::core

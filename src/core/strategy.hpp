@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/registry.hpp"
 #include "src/task/tree.hpp"
 #include "src/util/unique_fn.hpp"
 
@@ -100,11 +101,9 @@ using PspFactory =
 using SspFactory =
     util::UniqueFn<std::unique_ptr<SspStrategy>(const std::string&)>;
 
-/// How a registered name matches lookups.
-enum class NameMatch {
-  kExact,   ///< case-insensitive whole-name equality
-  kPrefix,  ///< name is a prefix; the rest is the strategy's parameter
-};
+/// How a registered name matches lookups (shared with every other backend
+/// registry — see util::Registry).
+using util::NameMatch;
 
 /// Registers a PSP strategy under @p name.  @p display is what
 /// list_psp_strategies() shows (e.g. "div-<x>"; defaults to @p name).

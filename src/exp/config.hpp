@@ -198,6 +198,12 @@ struct ExperimentConfig {
   /// Any value > 0 changes the *model* (notifications arrive late), so
   /// compare fingerprints only across equal net_latency.
   double net_latency = 0.0;
+  /// Timer-queue backend for every simulation engine (serial and per-shard):
+  /// "heap" (pooled 4-ary heap, the default), "wheel" (hierarchical timing
+  /// wheel), or any name registered via sim::register_timer_queue.  Backends
+  /// share pop order and event-id allocation, so run fingerprints are
+  /// bit-identical across them; this key trades only constant factors.
+  std::string timer_queue = "heap";
 
   // --- run control ----------------------------------------------------------
   double sim_time = 200000.0;   ///< simulated time units per replication

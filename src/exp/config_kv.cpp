@@ -273,6 +273,7 @@ const std::vector<Field>& fields() {
       // --- parallel execution ---------------------------------------------
       SDA_KV_INT(shards),
       SDA_KV_DOUBLE(net_latency),
+      SDA_KV_STRING(timer_queue),
       // --- run control ----------------------------------------------------
       SDA_KV_DOUBLE(sim_time),
       SDA_KV_DOUBLE(warmup_fraction),

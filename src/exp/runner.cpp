@@ -39,7 +39,7 @@ RunResult run_once(const ExperimentConfig& config, std::uint64_t seed,
     return detail::run_once_sharded(config, seed, tracer);
   }
 
-  sim::Engine engine;
+  sim::Engine engine(sim::make_timer_queue(config.timer_queue));
   util::Rng master(seed);
 
   // --- nodes ---------------------------------------------------------------

@@ -114,6 +114,7 @@ RunResult run_once_sharded(const ExperimentConfig& config, std::uint64_t seed,
   fo.lanes = total_nodes;
   fo.shards = config.shards;
   fo.latency = config.net_latency;
+  fo.timer_queue = config.timer_queue;
   sim::Fabric fabric(fo);
   const int control = fabric.control_lane();
   sim::Engine& control_engine = fabric.control_engine();

@@ -7,6 +7,7 @@
 #include "src/core/admission.hpp"
 #include "src/core/strategy.hpp"
 #include "src/sched/scheduler.hpp"
+#include "src/sim/timer_queue.hpp"
 #include "src/workload/exec_dist.hpp"
 #include "src/workload/placement.hpp"
 
@@ -43,6 +44,11 @@ std::vector<std::string> validate(const ExperimentConfig& c) {
   }
   try {
     (void)core::make_ssp_strategy(c.ssp);
+  } catch (const std::exception& e) {
+    bad(e.what());
+  }
+  try {
+    (void)sim::make_timer_queue(c.timer_queue);
   } catch (const std::exception& e) {
     bad(e.what());
   }

@@ -20,7 +20,7 @@ EventId Engine::at(Time t, EventFn fn) {
   }
   // Pooled event heap: one entry per pending event, recycled on fire.
   // sda-lint: allow(UNBOUNDED_QUEUE) bounded by live model objects
-  return queue_.push(t, std::move(fn));
+  return queue_->push(t, std::move(fn));
 }
 
 EventId Engine::in(Time delay, EventFn fn) {
@@ -33,15 +33,15 @@ EventId Engine::in(Time delay, EventFn fn) {
     throw std::logic_error("Engine::in: negative delay");
   }
   // sda-lint: allow(UNBOUNDED_QUEUE) same pooled heap as at()
-  return queue_.push(now_ + delay, std::move(fn));
+  return queue_->push(now_ + delay, std::move(fn));
 }
 
 std::uint64_t Engine::run_until(Time horizon) {
   stopped_ = false;
   std::uint64_t fired_now = 0;
-  while (!queue_.empty() && !stopped_) {
-    if (queue_.peek_time() > horizon) break;
-    auto [t, fn] = queue_.pop();
+  while (!queue_->empty() && !stopped_) {
+    if (queue_->peek_time() > horizon) break;
+    auto [t, fn] = queue_->pop();
     now_ = t;
     fn();
     ++fired_;
@@ -54,8 +54,8 @@ std::uint64_t Engine::run_until(Time horizon) {
 std::uint64_t Engine::run() {
   stopped_ = false;
   std::uint64_t fired_now = 0;
-  while (!queue_.empty() && !stopped_) {
-    auto [t, fn] = queue_.pop();
+  while (!queue_->empty() && !stopped_) {
+    auto [t, fn] = queue_->pop();
     now_ = t;
     fn();
     ++fired_;
@@ -65,15 +65,15 @@ std::uint64_t Engine::run() {
 }
 
 Engine::Fired Engine::pop_next() {
-  EventQueue::Popped p = queue_.pop_slot();
+  TimerQueue::Popped p = queue_->pop_slot();
   now_ = p.time;
   ++fired_;
   return Fired{p.time, std::move(p.fn), p.slot};
 }
 
 bool Engine::step() {
-  if (queue_.empty()) return false;
-  auto [t, fn] = queue_.pop();
+  if (queue_->empty()) return false;
+  auto [t, fn] = queue_->pop();
   now_ = t;
   fn();
   ++fired_;

@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <utility>
 
 #include "src/sim/event_queue.hpp"
 
@@ -18,6 +20,15 @@ namespace sda::sim {
 
 class Engine {
  public:
+  /// Default backend: the pooled 4-ary heap ("heap").
+  Engine() : queue_(std::make_unique<EventQueue>()) {}
+
+  /// Runs on an explicit timer-queue backend (see make_timer_queue()).
+  /// All backends share the slot slab and the (time, insertion-sequence)
+  /// pop order, so traces and EventIds are identical across them.
+  explicit Engine(std::unique_ptr<TimerQueue> queue)
+      : queue_(std::move(queue)) {}
+
   /// Current simulation time. Starts at 0.
   Time now() const noexcept { return now_; }
 
@@ -29,10 +40,10 @@ class Engine {
   EventId in(Time delay, EventFn fn);
 
   /// Cancels a pending event; false when already fired/cancelled/unknown.
-  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool cancel(EventId id) { return queue_->cancel(id); }
 
   /// True when @p id names a scheduled, not-yet-fired event.
-  bool pending(EventId id) const noexcept { return queue_.pending(id); }
+  bool pending(EventId id) const noexcept { return queue_->pending(id); }
 
   /// Runs until the queue drains or @p horizon is passed.  Events scheduled
   /// exactly at the horizon still fire; the clock never exceeds the horizon.
@@ -46,7 +57,7 @@ class Engine {
   bool step();
 
   /// Time of the earliest pending event. Requires events_pending() > 0.
-  Time next_time() const { return queue_.peek_time(); }
+  Time next_time() const { return queue_->peek_time(); }
 
   /// A popped-but-not-yet-invoked event: the sharded fabric (sim::Fabric)
   /// pops events itself so it can consult a slot-keyed side table before
@@ -77,10 +88,10 @@ class Engine {
   std::uint64_t events_fired() const noexcept { return fired_; }
 
   /// Number of events currently pending.
-  std::size_t events_pending() const noexcept { return queue_.size(); }
+  std::size_t events_pending() const noexcept { return queue_->size(); }
 
  private:
-  EventQueue queue_;
+  std::unique_ptr<TimerQueue> queue_;
   Time now_ = 0.0;
   std::uint64_t fired_ = 0;
   bool stopped_ = false;

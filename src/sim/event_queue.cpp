@@ -10,40 +10,6 @@ namespace sda::sim {
 
 namespace oracle = core::invariants;
 
-const EventQueue::Slot* EventQueue::find_live(EventId id) const noexcept {
-  if (!id) return nullptr;
-  const std::uint64_t slot_plus_1 = id.value & 0xffffffffu;
-  if (slot_plus_1 == 0 || slot_plus_1 > slot_count_) return nullptr;
-  const Slot& s = slot_at(static_cast<std::uint32_t>(slot_plus_1 - 1));
-  if (slot_is_free(s.key)) return nullptr;
-  if (static_cast<std::uint32_t>(s.key >> kSlotBits) !=
-      static_cast<std::uint32_t>(id.value >> 32)) {
-    return nullptr;
-  }
-  return &s;
-}
-
-std::uint32_t EventQueue::alloc_slot() {
-  if (free_head_ != kSlotMask) {
-    const std::uint32_t s = free_head_;
-    free_head_ = entry_slot(slot_at(s).key);  // free-list link in low bits
-    return s;
-  }
-  if (slot_count_ >= kSlotMask) {  // kSlotMask itself is the list terminator
-    throw std::length_error("EventQueue: too many concurrent events");
-  }
-  if (slot_count_ == slot_capacity()) {
-    chunks_.push_back(std::make_unique<Slot[]>(
-        chunks_.empty() ? kFirstChunkSize : kChunkSize));
-  }
-  return slot_count_++;
-}
-
-void EventQueue::free_slot(std::uint32_t s) noexcept {
-  slot_at(s).key = (kFreeSeq << kSlotBits) | free_head_;
-  free_head_ = s;
-}
-
 void EventQueue::sift_up(std::size_t pos) noexcept {
   const HeapEntry e = heap_[pos];
   while (pos > 0) {
@@ -155,23 +121,15 @@ EventId EventQueue::push(Time t, EventFn fn) {
                  oracle::Dump().integer(
                      "live", static_cast<long long>(live_)));
   }
-  const std::uint32_t s = alloc_slot();
-  Slot& slot = slot_at(s);
-  const std::uint64_t key = (next_seq_++ << kSlotBits) | s;
-  slot.key = key;
-  slot.fn = std::move(fn);
+  const std::uint64_t key = bind_slot(std::move(fn));
   heap_.push_back(HeapEntry{t, key});
   sift_up(heap_.size() - 1);
-  ++live_;
   // Lower the pop watermark: a push below the last popped time is legal
   // for a standalone queue (the Engine's clock is what's monotonic), and
   // the next pop may legitimately return as early as this.
   if (t < last_pop_time_) last_pop_time_ = t;
   if (oracle::enabled()) oracle_after_mutation();
-  // Handle layout: (low 32 bits of the sequence) << 32 | slot + 1.
-  const auto gen = static_cast<std::uint32_t>(key >> kSlotBits);
-  return EventId{(static_cast<std::uint64_t>(gen) << 32) |
-                 (static_cast<std::uint64_t>(s) + 1)};
+  return id_for(key);
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -191,11 +149,6 @@ Time EventQueue::peek_time() const {
   }
   // skim() runs after every cancel/pop, so a non-empty queue's root is live.
   return heap_.front().time;
-}
-
-std::pair<Time, EventFn> EventQueue::pop() {
-  Popped p = pop_slot();
-  return {p.time, std::move(p.fn)};
 }
 
 EventQueue::Popped EventQueue::pop_slot() {

@@ -1,9 +1,9 @@
-// Cancellable pending-event set for the discrete-event engine.
+// The "heap" timer-queue backend: a pooled 4-ary min-heap.
 //
-// Storage is a slab of pooled slots addressed by generation-tagged
-// EventId handles, plus a 4-ary min-heap of (time, sequence) keys.  The
-// layout buys three things over the earlier binary-heap + unordered_set
-// design:
+// Storage is the shared slot slab (detail::SlotPool in timer_queue.hpp) —
+// generation-tagged EventId handles over stable chunked slots — plus a
+// 4-ary min-heap of (time, sequence) keys.  The layout buys three things
+// over the earlier binary-heap + unordered_set design:
 //
 //  * pending()/cancel() resolve a handle in O(1) — decode slot index,
 //    compare the slot's key — with no hashing on the hot push/pop path;
@@ -32,159 +32,31 @@
 #include <utility>
 #include <vector>
 
-#include "src/sim/inline_fn.hpp"
+#include "src/sim/timer_queue.hpp"
 
 namespace sda::sim {
 
-/// Simulation timestamps. The paper's unit is the mean local-task execution
-/// time (mu_local = 1).
-using Time = double;
-
-/// Callback executed when an event fires.
-using EventFn = InlineFn;
-
-/// Opaque handle identifying a scheduled event; used for cancellation.
-/// Packs (generation << 32 | slot + 1); a handle outlives its event
-/// harmlessly because the slot's generation moves on when it is freed.
-struct EventId {
-  std::uint64_t value = 0;
-
-  friend bool operator==(EventId a, EventId b) noexcept {
-    return a.value == b.value;
-  }
-  /// A default-constructed id never names a live event.
-  explicit operator bool() const noexcept { return value != 0; }
-};
-
 /// Priority queue of timed callbacks with O(log n) push/pop, O(1) cancel
 /// (amortized — each cancelled entry is skimmed from the heap exactly
-/// once), and O(1) pending().
-class EventQueue {
+/// once), and O(1) pending().  The Engine's default TimerQueue backend.
+class EventQueue final : public TimerQueue, private detail::SlotPool {
  public:
-  /// Schedules @p fn at absolute time @p t; returns a handle for cancel().
-  EventId push(Time t, EventFn fn);
-
-  /// Cancels a pending event, destroying its callable immediately.
-  /// Returns false when the handle is unknown, already fired, or already
-  /// cancelled; true when the event was live.
-  bool cancel(EventId id);
-
-  /// True when a handle names a scheduled, not-yet-fired event.
-  bool pending(EventId id) const noexcept { return find_live(id) != nullptr; }
-
-  /// True when no live events remain.
-  bool empty() const noexcept { return live_ == 0; }
-
-  /// Number of live (scheduled, not-yet-fired, not-cancelled) events.
-  std::size_t size() const noexcept { return live_; }
-
-  /// Time of the earliest live event. Requires !empty().
-  Time peek_time() const;
-
-  /// Removes and returns the earliest live event as (time, callback).
-  /// Requires !empty().
-  std::pair<Time, EventFn> pop();
-
-  /// pop() result carrying the pool slot the event occupied.  The slot is
-  /// recycled by the time this returns, so it is useful only as a key into
-  /// caller-side side tables populated at push time (see sim::Fabric).
-  struct Popped {
-    Time time;
-    EventFn fn;
-    std::uint32_t slot;
-  };
-
-  /// Like pop(), but also reports the slot index of the popped event.
-  Popped pop_slot();
-
-  /// Slot index a live handle from push() occupies — the side-table key
-  /// matching Popped::slot.  Meaningful only while the event is pending.
-  static constexpr std::uint32_t slot_of(EventId id) noexcept {
-    return static_cast<std::uint32_t>(id.value & 0xffffffffu) - 1;
+  EventId push(Time t, EventFn fn) override;
+  bool cancel(EventId id) override;
+  bool pending(EventId id) const noexcept override {
+    return find_live(id) != nullptr;
   }
+  bool empty() const noexcept override { return live_ == 0; }
+  std::size_t size() const noexcept override { return live_; }
+  Time peek_time() const override;
+  Popped pop_slot() override;
+  void validate() const override;
+  const char* backend_name() const noexcept override { return "heap"; }
 
-  /// SDA_VALIDATE oracle: full structural self-check — heap order over
-  /// the entry array, live-count bookkeeping against slot keys, and a
-  /// live root after skim.  O(n); aborts with a structured dump on any
-  /// violation (see core/invariants.hpp).  Mutating operations invoke it
-  /// on a deterministic cadence when the oracle is enabled; tests may
-  /// call it directly.
-  void validate() const;
+  using TimerQueue::pop;
+  using TimerQueue::slot_of;
 
  private:
-  /// Slot indices use the low kSlotBits of a heap key; the rest is the
-  /// insertion sequence.  ~1M simultaneous pending events and 2^44 total
-  /// pushes are both far beyond any simulated run.
-  static constexpr unsigned kSlotBits = 20;
-  static constexpr std::uint32_t kSlotMask = (1u << kSlotBits) - 1;
-
-  /// All-ones sequence field tags a free slot's key; its low bits then
-  /// hold the free-list link (kSlotMask = end of list).  next_seq_ never
-  /// reaches this value.
-  static constexpr std::uint64_t kFreeSeq =
-      (std::uint64_t{1} << (64 - kSlotBits)) - 1;
-
-  /// Slots are allocated in chunks so their addresses — and the callables
-  /// stored inside — never move as the slab grows.  The first chunk is
-  /// small (most simulations keep well under 64 events pending); every
-  /// later chunk is a fixed 32 KiB.
-  static constexpr std::uint32_t kFirstChunkSize = 64;  // 4 KiB starter slab
-  static constexpr unsigned kChunkShift = 9;  // 512 slots = 32 KiB per chunk
-  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
-
-  /// 16 bytes.  key = (seq << kSlotBits) | slot; comparing keys directly
-  /// yields FIFO order on time ties because seq occupies the high bits and
-  /// is unique.
-  struct HeapEntry {
-    Time time;
-    std::uint64_t key;
-  };
-
-  /// Exactly one cache line: 56 bytes of callable + the occupant's key.
-  /// A heap entry is live iff its key matches its slot's — cancel and pop
-  /// free the slot (new key), instantly orphaning the heap entry.
-  /// Default state is free with a null free-list link (all-ones key).
-  struct alignas(64) Slot {
-    EventFn fn;
-    std::uint64_t key = ~std::uint64_t{0};
-  };
-
-  static constexpr std::uint32_t entry_slot(std::uint64_t key) noexcept {
-    return static_cast<std::uint32_t>(key) & kSlotMask;
-  }
-  static constexpr bool slot_is_free(std::uint64_t key) noexcept {
-    return (key >> kSlotBits) == kFreeSeq;
-  }
-
-  static bool earlier(const HeapEntry& a, const HeapEntry& b) noexcept {
-    if (a.time != b.time) return a.time < b.time;
-    return a.key < b.key;
-  }
-
-  Slot& slot_at(std::uint32_t i) noexcept {
-    if (i < kFirstChunkSize) return chunks_[0][i];
-    const std::uint32_t r = i - kFirstChunkSize;
-    return chunks_[1 + (r >> kChunkShift)][r & (kChunkSize - 1)];
-  }
-  const Slot& slot_at(std::uint32_t i) const noexcept {
-    if (i < kFirstChunkSize) return chunks_[0][i];
-    const std::uint32_t r = i - kFirstChunkSize;
-    return chunks_[1 + (r >> kChunkShift)][r & (kChunkSize - 1)];
-  }
-
-  /// Slots constructible before another chunk allocation is needed.
-  std::uint32_t slot_capacity() const noexcept {
-    if (chunks_.empty()) return 0;
-    return kFirstChunkSize +
-           static_cast<std::uint32_t>(chunks_.size() - 1) * kChunkSize;
-  }
-
-  /// Resolves a handle to its live slot, or nullptr when stale/unknown.
-  const Slot* find_live(EventId id) const noexcept;
-  Slot* find_live(EventId id) noexcept {
-    return const_cast<Slot*>(std::as_const(*this).find_live(id));
-  }
-
   void sift_up(std::size_t pos) noexcept;
   void sift_down(std::size_t pos) noexcept;
   /// Removes the root entry, refilling from the heap tail.
@@ -194,25 +66,11 @@ class EventQueue {
   /// skimmed exactly once, so cancel() stays O(1) amortized.
   void skim() noexcept;
 
-  std::uint32_t alloc_slot();
-  /// Returns a slot to the free list; the caller has dealt with fn.
-  void free_slot(std::uint32_t s) noexcept;
-
   /// SDA_VALIDATE hook shared by the mutating operations: cheap checks
   /// every call, the O(n) validate() on a deterministic cadence.
   void oracle_after_mutation();
 
   std::vector<HeapEntry> heap_;
-  std::vector<std::unique_ptr<Slot[]>> chunks_;
-  std::size_t live_ = 0;          // live events (heap_ may hold orphans too)
-  std::uint32_t slot_count_ = 0;  // slots handed out at least once
-  std::uint32_t free_head_ = kSlotMask;
-  std::uint64_t next_seq_ = 0;
-  /// SDA_VALIDATE bookkeeping: pop watermark (each pop must be >= the
-  /// previous pop or the earliest time pushed since — anything lower means
-  /// broken heap order) and a mutation counter driving the validate cadence.
-  Time last_pop_time_ = std::numeric_limits<Time>::lowest();
-  std::uint64_t mutations_ = 0;
 };
 
 }  // namespace sda::sim

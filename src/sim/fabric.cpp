@@ -92,7 +92,7 @@ Fabric::Fabric(const Options& opt) : opt_(opt) {
   for (int s = 0; s < opt_.shards; ++s) {
     auto sh = std::make_unique<Shard>();
     sh->index = s;
-    sh->engine = std::make_unique<Engine>();
+    sh->engine = std::make_unique<Engine>(make_timer_queue(opt_.timer_queue));
     shards_.push_back(std::move(sh));
   }
   outboxes_ = std::vector<CrossShardQueue>(

@@ -202,6 +202,9 @@ class Fabric {
     int shards = 1;
     /// Modeled cross-lane message latency = the conservative lookahead L.
     Time latency = 0.0;
+    /// Timer-queue backend name for every shard engine (see
+    /// make_timer_queue()).  Fingerprints are backend-independent.
+    std::string timer_queue = "heap";
   };
 
   explicit Fabric(const Options& opt);

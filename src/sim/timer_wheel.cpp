@@ -1,0 +1,377 @@
+#include "src/sim/timer_wheel.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "src/core/invariants.hpp"
+
+namespace sda::sim {
+
+namespace oracle = core::invariants;
+
+namespace {
+/// Tick saturation bound: far inside int64 range, far beyond any simulated
+/// horizon.  Saturated ticks classify into overflow; ordering is untouched
+/// because the ready heap compares exact times.
+constexpr std::int64_t kTickCap = 4'000'000'000'000'000'000;
+}  // namespace
+
+std::int64_t TimerWheel::tick_of(Time t) const noexcept {
+  const double d = std::floor(t / width_);
+  if (!(d > static_cast<double>(-kTickCap))) return -kTickCap;  // also NaN
+  if (d > static_cast<double>(kTickCap)) return kTickCap;
+  return static_cast<std::int64_t>(d);
+}
+
+std::uint32_t TimerWheel::scan(const std::uint64_t* bits,
+                               std::uint32_t from) noexcept {
+  if (from >= kWheelSize) return kWheelSize;
+  std::uint32_t w = from >> 6;
+  std::uint64_t word = bits[w] & (~std::uint64_t{0} << (from & 63));
+  for (;;) {
+    if (word != 0) {
+      return (w << 6) + static_cast<std::uint32_t>(std::countr_zero(word));
+    }
+    if (++w >= kWords) return kWheelSize;
+    word = bits[w];
+  }
+}
+
+void TimerWheel::seed(Time t) {
+  base_tick_ = tick_of(t);
+  j0_ = 0;
+  swept0_ = 0;
+  seeded_ = true;
+}
+
+void TimerWheel::place(const HeapEntry& e) {
+  const std::int64_t tk = tick_of(e.time);
+  const std::int64_t w0 = win0_start();
+  if (tk < w0 + static_cast<std::int64_t>(swept0_)) {
+    // At or below the sweep boundary (including anything before the epoch
+    // base): the bucket that would hold it has already been drained, so it
+    // competes in the exactly-ordered ready heap directly.
+    ready_push(e);
+    return;
+  }
+  if (tk < w0 + static_cast<std::int64_t>(kWheelSize)) {
+    const auto i = static_cast<std::uint32_t>(tk - w0);
+    level0_[i].push_back(e);
+    bits0_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    return;
+  }
+  const std::int64_t span =
+      static_cast<std::int64_t>(kWheelSize) * kWheelSize;
+  if (tk < base_tick_ + span) {
+    const auto j = static_cast<std::uint32_t>((tk - base_tick_) / kWheelSize);
+    level1_[j].push_back(e);
+    bits1_[j >> 6] |= std::uint64_t{1} << (j & 63);
+    return;
+  }
+  overflow_.push_back(e);
+}
+
+void TimerWheel::sweep_level0(std::uint32_t i) {
+  std::vector<HeapEntry>& b = level0_[i];
+  for (const HeapEntry& e : b) {
+    if (entry_live(e)) ready_push(e);  // orphans (cancelled) drop here
+  }
+  b.clear();
+  bits0_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+  swept0_ = i + 1;
+}
+
+void TimerWheel::cascade_level1(std::uint32_t j) {
+  j0_ = j;
+  swept0_ = 0;
+  std::vector<HeapEntry>& b = level1_[j];
+  // Every entry of level-1 bucket j ticks inside the new level-0 window,
+  // so place() routes them to level-0 buckets (never back here).
+  for (const HeapEntry& e : b) {
+    if (entry_live(e)) place(e);
+  }
+  b.clear();
+  bits1_[j >> 6] &= ~(std::uint64_t{1} << (j & 63));
+}
+
+void TimerWheel::reseed_from_overflow() {
+  std::vector<HeapEntry> alive;
+  alive.reserve(overflow_.size());
+  for (const HeapEntry& e : overflow_) {
+    if (entry_live(e)) alive.push_back(e);
+  }
+  overflow_.clear();
+  if (alive.empty()) return;
+
+  Time tmin = alive.front().time;
+  for (const HeapEntry& e : alive) tmin = std::min(tmin, e.time);
+  if (alive.size() >= 2) {
+    // Adapt the bucket width to the observed spacing so both clustered and
+    // heavy-tailed deadline mixes keep buckets shallow: spread the
+    // 90th-percentile span over the entries below it.  Deterministic — a
+    // pure function of the stored times.
+    const std::size_t hi = (alive.size() - 1) * 9 / 10;
+    std::nth_element(alive.begin(),
+                     alive.begin() + static_cast<std::ptrdiff_t>(hi),
+                     alive.end(), [](const HeapEntry& a, const HeapEntry& b) {
+                       return a.time < b.time;
+                     });
+    const Time t90 = alive[hi].time;
+    const double spacing =
+        (t90 - tmin) / static_cast<double>(hi == 0 ? 1 : hi);
+    if (std::isfinite(spacing) && spacing > 1e-9) width_ = spacing;
+  }
+  seed(tmin);
+  for (const HeapEntry& e : alive) place(e);
+}
+
+void TimerWheel::skim_ready() noexcept {
+  while (!ready_.empty() && !entry_live(ready_.front())) ready_pop_root();
+}
+
+void TimerWheel::ensure_front() {
+  for (;;) {
+    skim_ready();
+    // Earliest tick any still-bucketed entry could have.
+    std::int64_t nb = 0;
+    int kind = -1;  // -1 none, 0 level0, 1 level1, 2 overflow
+    std::uint32_t i = scan(bits0_, swept0_);
+    std::uint32_t j = kWheelSize;
+    if (i < kWheelSize) {
+      kind = 0;
+      nb = win0_start() + i;
+    } else {
+      j = scan(bits1_, j0_ + 1);
+      if (j < kWheelSize) {
+        kind = 1;
+        nb = base_tick_ + static_cast<std::int64_t>(j) * kWheelSize;
+      } else if (!overflow_.empty()) {
+        kind = 2;
+        nb = base_tick_ +
+             static_cast<std::int64_t>(kWheelSize) * kWheelSize;
+      }
+    }
+    if (!ready_.empty()) {
+      // Strictly below the next bucket's first tick the ready top cannot be
+      // beaten; at the same tick a bucketed entry could still win on the
+      // insertion sequence, so sweep on.
+      if (kind < 0 || tick_of(ready_.front().time) < nb) return;
+    } else if (kind < 0) {
+      return;
+    }
+    switch (kind) {
+      case 0:
+        sweep_level0(i);
+        break;
+      case 1:
+        cascade_level1(j);
+        break;
+      default:
+        reseed_from_overflow();
+        break;
+    }
+  }
+}
+
+void TimerWheel::clear_drained() noexcept {
+  for (std::uint32_t w = 0; w < kWords; ++w) {
+    std::uint64_t word = bits0_[w];
+    while (word != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(word));
+      level0_[(w << 6) + b].clear();
+      word &= word - 1;
+    }
+    word = bits1_[w];
+    while (word != 0) {
+      const auto b = static_cast<std::uint32_t>(std::countr_zero(word));
+      level1_[(w << 6) + b].clear();
+      word &= word - 1;
+    }
+    bits0_[w] = 0;
+    bits1_[w] = 0;
+  }
+  overflow_.clear();
+  ready_.clear();
+  seeded_ = false;
+  j0_ = 0;
+  swept0_ = 0;
+}
+
+// --- ready heap (4-ary, identical ordering to the heap backend) ----------
+
+void TimerWheel::ready_push(const HeapEntry& e) {
+  ready_.push_back(e);
+  ready_sift_up(ready_.size() - 1);
+}
+
+void TimerWheel::ready_sift_up(std::size_t pos) noexcept {
+  const HeapEntry e = ready_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!earlier(e, ready_[parent])) break;
+    ready_[pos] = ready_[parent];
+    pos = parent;
+  }
+  ready_[pos] = e;
+}
+
+void TimerWheel::ready_sift_down(std::size_t pos) noexcept {
+  const HeapEntry e = ready_[pos];
+  const std::size_t n = ready_.size();
+  std::size_t hole = pos;
+  for (;;) {
+    const std::size_t first = 4 * hole + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = first + 4 < n ? first + 4 : n;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(ready_[c], ready_[best])) best = c;
+    }
+    ready_[hole] = ready_[best];
+    hole = best;
+  }
+  while (hole > pos) {
+    const std::size_t parent = (hole - 1) / 4;
+    if (!earlier(e, ready_[parent])) break;
+    ready_[hole] = ready_[parent];
+    hole = parent;
+  }
+  ready_[hole] = e;
+}
+
+void TimerWheel::ready_pop_root() noexcept {
+  const std::size_t last = ready_.size() - 1;
+  if (last > 0) {
+    ready_[0] = ready_[last];
+    ready_.pop_back();
+    ready_sift_down(0);
+  } else {
+    ready_.pop_back();
+  }
+}
+
+// --- TimerQueue interface -------------------------------------------------
+
+EventId TimerWheel::push(Time t, EventFn fn) {
+  if (oracle::enabled() && std::isnan(t)) {
+    oracle::fail("timer-wheel-nan-time",
+                 oracle::Dump().integer("live",
+                                        static_cast<long long>(live_)));
+  }
+  if (!seeded_) seed(t);
+  const std::uint64_t key = bind_slot(std::move(fn));
+  place(HeapEntry{t, key});
+  // Lower the pop watermark: a push below the last popped time is legal
+  // for a standalone queue (the Engine's clock is what's monotonic).
+  if (t < last_pop_time_) last_pop_time_ = t;
+  if (oracle::enabled()) oracle_after_mutation();
+  return id_for(key);
+}
+
+bool TimerWheel::cancel(EventId id) {
+  Slot* live = find_live(id);
+  if (live == nullptr) return false;
+  live->fn.reset();  // release captures now, not when the entry surfaces
+  free_slot(entry_slot(live->key));  // orphans the bucketed entry
+  --live_;
+  if (live_ == 0) clear_drained();
+  if (oracle::enabled()) oracle_after_mutation();
+  return true;
+}
+
+Time TimerWheel::peek_time() const {
+  if (live_ == 0) {
+    throw std::logic_error("TimerWheel::peek_time on empty queue");
+  }
+  // Logically const: advancing the sweep boundary changes no observable
+  // pop order, only which internal structure holds each pending entry.
+  auto* self = const_cast<TimerWheel*>(this);
+  self->ensure_front();
+  return ready_.front().time;
+}
+
+TimerWheel::Popped TimerWheel::pop_slot() {
+  if (live_ == 0) throw std::logic_error("TimerWheel::pop on empty queue");
+  ensure_front();
+  const HeapEntry top = ready_.front();
+  if (oracle::enabled() && top.time < last_pop_time_) {
+    oracle::fail("timer-wheel-pop-time-decreased",
+                 oracle::Dump()
+                     .num("pop_time", top.time)
+                     .num("previous_pop_time", last_pop_time_)
+                     .integer("live", static_cast<long long>(live_)));
+  }
+  last_pop_time_ = top.time;
+  const std::uint32_t s = entry_slot(top.key);
+  EventFn fn = std::move(slot_at(s).fn);
+  free_slot(s);
+  --live_;
+  ready_pop_root();
+  if (live_ == 0) {
+    // A drained queue may be reused from an earlier timestamp: reset the
+    // watermark and re-seed the epoch on the next push.
+    last_pop_time_ = std::numeric_limits<Time>::lowest();
+    clear_drained();
+  }
+  if (oracle::enabled()) oracle_after_mutation();
+  return Popped{top.time, std::move(fn), s};
+}
+
+void TimerWheel::validate() const {
+  std::size_t live_seen = 0;
+  for (std::size_t i = 0; i < ready_.size(); ++i) {
+    if (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (earlier(ready_[i], ready_[parent])) {
+        oracle::fail(
+            "timer-wheel-ready-order",
+            oracle::Dump()
+                .integer("index", static_cast<long long>(i))
+                .num("entry_time", ready_[i].time)
+                .num("parent_time", ready_[parent].time)
+                .integer("size", static_cast<long long>(ready_.size())));
+      }
+    }
+    if (entry_live(ready_[i])) ++live_seen;
+  }
+  for (std::uint32_t i = 0; i < kWheelSize; ++i) {
+    const bool bit0 = (bits0_[i >> 6] >> (i & 63)) & 1;
+    if (bit0 != !level0_[i].empty()) {
+      oracle::fail("timer-wheel-bitmap-level0",
+                   oracle::Dump().integer("bucket", i));
+    }
+    const bool bit1 = (bits1_[i >> 6] >> (i & 63)) & 1;
+    if (bit1 != !level1_[i].empty()) {
+      oracle::fail("timer-wheel-bitmap-level1",
+                   oracle::Dump().integer("bucket", i));
+    }
+    for (const HeapEntry& e : level0_[i]) {
+      if (entry_live(e)) ++live_seen;
+    }
+    for (const HeapEntry& e : level1_[i]) {
+      if (entry_live(e)) ++live_seen;
+    }
+  }
+  for (const HeapEntry& e : overflow_) {
+    if (entry_live(e)) ++live_seen;
+  }
+  if (live_seen != live_) {
+    oracle::fail("timer-wheel-live-count",
+                 oracle::Dump()
+                     .integer("live_counter", static_cast<long long>(live_))
+                     .integer("live_entries",
+                              static_cast<long long>(live_seen)));
+  }
+}
+
+void TimerWheel::oracle_after_mutation() {
+  // Same deterministic cadence as the heap backend: every mutation while
+  // small, every 64th at scale.
+  ++mutations_;
+  if (live_ <= 64 || (mutations_ & 63) == 0) validate();
+}
+
+}  // namespace sda::sim

@@ -1,0 +1,126 @@
+// The "wheel" timer-queue backend: a hierarchical timing wheel / calendar
+// queue over the shared slot slab.
+//
+// Absolute times are quantized to integer ticks (floor(t / width)).  Two
+// wheel levels of kWheelSize buckets each — level 0 holds one tick per
+// bucket, level 1 holds kWheelSize ticks per bucket — cover a span of
+// kWheelSize^2 ticks from the epoch base; everything beyond parks in an
+// unsorted overflow list.  A small exactly-ordered "ready heap" (same
+// 4-ary layout and (time, sequence) comparator as the heap backend) fronts
+// the wheels: a bucket's entries move into it when the bucket's tick range
+// is reached, and pushes landing below the sweep boundary go straight in.
+// Per-level occupancy bitmaps make advancing over empty buckets O(1).
+//
+//   push    — O(1): bind a slot, append to a bucket (or the ready heap)
+//   cancel  — O(1): free the slot; the bucket entry becomes an orphan,
+//             dropped when its bucket is swept (or skimmed off the ready
+//             heap), exactly the heap backend's lazy-cancel discipline
+//   pop     — amortized O(1) + O(log r) on the small ready heap
+//
+// When both wheel levels drain, the overflow list re-seeds the epoch: a
+// new base tick at the earliest overflow time and a new bucket width
+// adapted to the observed spacing (10th..90th percentile span / count), so
+// clustered and heavy-tailed deadline mixes both keep buckets shallow.
+//
+// Determinism: the ready heap orders by the exact (time, insertion
+// sequence) key and a bucket is always swept before any entry it could
+// contain may pop, so pop order — and, through detail::SlotPool, every
+// EventId — is bit-identical to the heap backend's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/timer_queue.hpp"
+
+namespace sda::sim {
+
+class TimerWheel final : public TimerQueue, private detail::SlotPool {
+ public:
+  EventId push(Time t, EventFn fn) override;
+  bool cancel(EventId id) override;
+  bool pending(EventId id) const noexcept override {
+    return find_live(id) != nullptr;
+  }
+  bool empty() const noexcept override { return live_ == 0; }
+  std::size_t size() const noexcept override { return live_; }
+  Time peek_time() const override;
+  Popped pop_slot() override;
+  void validate() const override;
+  const char* backend_name() const noexcept override { return "wheel"; }
+
+  using TimerQueue::pop;
+  using TimerQueue::slot_of;
+
+ private:
+  static constexpr std::uint32_t kWheelSize = 256;  // buckets per level
+  static constexpr std::uint32_t kWords = kWheelSize / 64;
+
+  /// Tick of @p t under the current width, saturated so non-finite or
+  /// astronomically distant times still classify (into overflow) without
+  /// integer overflow.
+  std::int64_t tick_of(Time t) const noexcept;
+
+  std::int64_t win0_start() const noexcept {
+    return base_tick_ + static_cast<std::int64_t>(j0_) * kWheelSize;
+  }
+
+  /// Routes one live entry to the ready heap, a wheel bucket, or overflow.
+  void place(const HeapEntry& e);
+
+  /// Establishes a fresh epoch anchored at @p t (first push, or first push
+  /// after a full drain).
+  void seed(Time t);
+
+  /// Rebuilds the epoch from the overflow list: new base at the earliest
+  /// live overflow time, width adapted to the observed spacing, every
+  /// overflow entry re-placed.  Requires both wheel levels empty.
+  void reseed_from_overflow();
+
+  /// Moves the live entries of level-0 bucket @p i into the ready heap.
+  void sweep_level0(std::uint32_t i);
+  /// Expands level-1 bucket @p j into level 0.
+  void cascade_level1(std::uint32_t j);
+
+  /// Advances wheels until the ready heap's top is provably the global
+  /// minimum (or the queue is empty).  The workhorse behind peek/pop.
+  void ensure_front();
+
+  /// Drops orphaned (cancelled) entries off the ready heap's root.
+  void skim_ready() noexcept;
+
+  /// First set bucket >= @p from, or kWheelSize when none.
+  static std::uint32_t scan(const std::uint64_t* bits,
+                            std::uint32_t from) noexcept;
+
+  bool entry_live(const HeapEntry& e) const noexcept {
+    return slot_at(entry_slot(e.key)).key == e.key;
+  }
+
+  // Ready-heap primitives (4-ary, identical ordering to the heap backend).
+  void ready_push(const HeapEntry& e);
+  void ready_sift_up(std::size_t pos) noexcept;
+  void ready_sift_down(std::size_t pos) noexcept;
+  void ready_pop_root() noexcept;
+
+  /// Clears every bucket and the epoch after the last live event pops, so
+  /// the next push re-seeds instead of draining through a stale window.
+  void clear_drained() noexcept;
+
+  void oracle_after_mutation();
+
+  bool seeded_ = false;
+  double width_ = 0.0625;       ///< bucket granularity in time units
+  std::int64_t base_tick_ = 0;  ///< first tick of the level-1 span
+  std::uint32_t j0_ = 0;        ///< level-1 bucket expanded into level 0
+  std::uint32_t swept0_ = 0;    ///< level-0 buckets already swept
+
+  std::vector<HeapEntry> level0_[kWheelSize];
+  std::vector<HeapEntry> level1_[kWheelSize];
+  std::uint64_t bits0_[kWords] = {};
+  std::uint64_t bits1_[kWords] = {};
+  std::vector<HeapEntry> overflow_;
+  std::vector<HeapEntry> ready_;
+};
+
+}  // namespace sda::sim

@@ -1,8 +1,11 @@
-// Attributes is a header-only value type; this translation unit exists to
-// anchor the module in the build and to hold its static checks.
+// Attributes is a header-only value type (static checks below); FlatTree's
+// build walk lives here.
 #include "src/task/attributes.hpp"
 
+#include <algorithm>
 #include <type_traits>
+
+#include "src/task/tree.hpp"
 
 namespace sda::task {
 
@@ -10,5 +13,82 @@ static_assert(std::is_trivially_copyable_v<Attributes>,
               "Attributes must stay a plain value type");
 static_assert(std::is_aggregate_v<Attributes>,
               "Attributes must stay aggregate-initializable");
+
+namespace {
+std::uint32_t count_nodes(const TreeNode& t) noexcept {
+  std::uint32_t n = 1;
+  for (const auto& c : t.children) n += count_nodes(*c);
+  return n;
+}
+}  // namespace
+
+void FlatTree::build(const TreeNode& root) {
+  const std::uint32_t n = count_nodes(root);
+  arena_.reset();
+  node_ = arena_.alloc_array<const TreeNode*>(n);
+  parent_ = arena_.alloc_array<std::uint32_t>(n);
+  index_in_parent_ = arena_.alloc_array<std::uint32_t>(n);
+  kind_ = arena_.alloc_array<std::uint8_t>(n);
+  cp_pex_ = arena_.alloc_array<Time>(n);
+  child_off_ = arena_.alloc_array<std::uint32_t>(n);
+  child_cnt_ = arena_.alloc_array<std::uint32_t>(n);
+  // Every node except the root is someone's child: n - 1 entries, padded
+  // to 1 so the pointers stay valid for a single-leaf tree.
+  const std::uint32_t edges = n > 1 ? n - 1 : 1;
+  children_ = arena_.alloc_array<std::uint32_t>(edges);
+  child_cp_pex_ = arena_.alloc_array<Time>(edges);
+  count_ = n;
+  next_slot_ = 0;
+  child_cursor_ = 0;
+  leaf_count_ = 0;
+  const SubtreeAgg agg = fill(root, kNoParent, 0);
+  total_ex_ = agg.tot_ex;
+  total_pex_ = agg.tot_pex;
+}
+
+FlatTree::SubtreeAgg FlatTree::fill(const TreeNode& t, std::uint32_t parent,
+                                    std::uint32_t index_in_parent) {
+  const std::uint32_t s = next_slot_++;
+  t.slot = s;
+  node_[s] = &t;
+  parent_[s] = parent;
+  index_in_parent_[s] = index_in_parent;
+  const std::uint32_t cnt = static_cast<std::uint32_t>(t.children.size());
+  child_cnt_[s] = cnt;
+  const std::uint32_t off = child_cursor_;
+  child_off_[s] = off;
+  child_cursor_ += cnt;
+
+  if (t.is_leaf()) {
+    kind_[s] = 0;
+    cp_pex_[s] = t.pred_exec;
+    ++leaf_count_;
+    return SubtreeAgg{t.pred_exec, t.exec_time, t.pred_exec};
+  }
+  kind_[s] = t.is_serial() ? 1 : 2;
+
+  // Accumulate in the recursive helpers' exact operation order (serial:
+  // left-to-right sum; parallel: left-to-right max; totals: per-subtree
+  // sums folded left-to-right) so the doubles match them bit-for-bit.
+  const bool serial = t.is_serial();
+  Time cp = 0.0;
+  Time tot_ex = 0.0;
+  Time tot_pex = 0.0;
+  for (std::uint32_t i = 0; i < cnt; ++i) {
+    const std::uint32_t child_slot = next_slot_;  // fill() takes this next
+    const SubtreeAgg c = fill(*t.children[i], s, i);
+    children_[off + i] = child_slot;
+    child_cp_pex_[off + i] = c.cp_pex;
+    if (serial) {
+      cp += c.cp_pex;
+    } else {
+      cp = std::max(cp, c.cp_pex);
+    }
+    tot_ex += c.tot_ex;
+    tot_pex += c.tot_pex;
+  }
+  cp_pex_[s] = cp;
+  return SubtreeAgg{cp, tot_ex, tot_pex};
+}
 
 }  // namespace sda::task

@@ -10,11 +10,16 @@
 // statistics are measured against.
 #pragma once
 
+#include <cstdint>
+
 #include "src/sim/event_queue.hpp"
+#include "src/util/arena.hpp"
 
 namespace sda::task {
 
 using sim::Time;
+
+struct TreeNode;  // tree.hpp; FlatTree only stores pointers
 
 struct Attributes {
   Time arrival = 0.0;           ///< ar(X): submission time
@@ -36,6 +41,101 @@ struct Attributes {
   bool consistent() const noexcept {
     return exec_time >= 0.0 && pred_exec >= 0.0;
   }
+};
+
+/// Structure-of-arrays view of one serial-parallel tree, indexed by a dense
+/// DFS-preorder slot id (root = slot 0).  build() stamps TreeNode::slot and
+/// precomputes everything the plan walks and the on-line SDA dispatcher
+/// touch per node — parent links, child lists, and the per-subtree
+/// predicted critical path — into contiguous arrays, so those hot paths
+/// walk flat memory instead of chasing TreePtr children and hashing node
+/// pointers.
+///
+/// All arrays live in a private bump arena; build() resets and refills it,
+/// so a FlatTree reused across runs (the process manager recycles them)
+/// reaches a steady state of zero allocations.
+///
+/// Floating-point note: cp_pex / total_ex / total_pex are accumulated in
+/// exactly the operation order of the recursive tree.hpp helpers, so the
+/// values are bit-identical to critical_path_pex() / total_ex() /
+/// total_pex() — run fingerprints cannot tell the two code paths apart.
+class FlatTree {
+ public:
+  static constexpr std::uint32_t kNoParent = 0xffffffffu;
+
+  FlatTree() = default;
+  FlatTree(const FlatTree&) = delete;
+  FlatTree& operator=(const FlatTree&) = delete;
+
+  /// Rebuilds the view over @p root (which must stay alive and structurally
+  /// unchanged while this FlatTree is in use) and stamps each TreeNode's
+  /// `slot` with its DFS-preorder index.
+  void build(const TreeNode& root);
+
+  /// Number of nodes; 0 until build() has run.
+  std::uint32_t size() const noexcept { return count_; }
+
+  const TreeNode& node(std::uint32_t s) const noexcept { return *node_[s]; }
+  std::uint32_t parent(std::uint32_t s) const noexcept { return parent_[s]; }
+  /// Child index of @p s within its parent's child list.
+  std::uint32_t index_in_parent(std::uint32_t s) const noexcept {
+    return index_in_parent_[s];
+  }
+  bool is_leaf(std::uint32_t s) const noexcept { return kind_[s] == 0; }
+  bool is_serial(std::uint32_t s) const noexcept { return kind_[s] == 1; }
+  bool is_parallel(std::uint32_t s) const noexcept { return kind_[s] == 2; }
+
+  /// Predicted critical-path demand of the subtree rooted at @p s
+  /// (== task::critical_path_pex(node(s)), precomputed).
+  Time cp_pex(std::uint32_t s) const noexcept { return cp_pex_[s]; }
+
+  std::uint32_t child_count(std::uint32_t s) const noexcept {
+    return child_cnt_[s];
+  }
+  std::uint32_t child(std::uint32_t s, std::uint32_t i) const noexcept {
+    return children_[child_off_[s] + i];
+  }
+  /// Contiguous cp_pex values of @p s's children in child order — the
+  /// remaining_pex slice a serial stage assignment needs, with no per-call
+  /// recomputation: stage i's remainder is [slice + i, slice + count).
+  const Time* child_cp_pex(std::uint32_t s) const noexcept {
+    return child_cp_pex_ + child_off_[s];
+  }
+
+  // Whole-tree aggregates (bit-identical to the recursive helpers).
+  Time total_ex() const noexcept { return total_ex_; }
+  Time total_pex() const noexcept { return total_pex_; }
+  int leaf_count() const noexcept { return leaf_count_; }
+
+  std::size_t arena_bytes() const noexcept { return arena_.bytes_reserved(); }
+
+ private:
+  /// Fills the arrays for @p t (preorder slot assignment, postorder
+  /// aggregates); returns the subtree's (cp_pex, total_ex, total_pex).
+  struct SubtreeAgg {
+    Time cp_pex;
+    Time tot_ex;
+    Time tot_pex;
+  };
+  SubtreeAgg fill(const TreeNode& t, std::uint32_t parent,
+                  std::uint32_t index_in_parent);
+
+  util::Arena arena_;
+  const TreeNode** node_ = nullptr;
+  std::uint32_t* parent_ = nullptr;
+  std::uint32_t* index_in_parent_ = nullptr;
+  std::uint8_t* kind_ = nullptr;  ///< 0 leaf, 1 serial, 2 parallel
+  Time* cp_pex_ = nullptr;
+  std::uint32_t* child_off_ = nullptr;
+  std::uint32_t* child_cnt_ = nullptr;
+  std::uint32_t* children_ = nullptr;
+  Time* child_cp_pex_ = nullptr;
+  std::uint32_t count_ = 0;
+  std::uint32_t next_slot_ = 0;
+  std::uint32_t child_cursor_ = 0;
+  Time total_ex_ = 0.0;
+  Time total_pex_ = 0.0;
+  int leaf_count_ = 0;
 };
 
 }  // namespace sda::task

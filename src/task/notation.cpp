@@ -1,11 +1,24 @@
 #include "src/task/notation.hpp"
 
-#include <cctype>
+#include <charconv>
 #include <sstream>
 
 namespace sda::task {
 
 namespace {
+
+// ASCII-exact classifiers (the grammar is ASCII; bytes >= 0x80 are neither
+// space nor name characters, matching <cctype> in the classic locale) —
+// inlined, unlike the locale-table calls they replace on this hot path.
+constexpr bool is_space_ascii(char c) noexcept {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\v' || c == '\f' ||
+         c == '\r';
+}
+constexpr bool is_digit_ascii(char c) noexcept { return c >= '0' && c <= '9'; }
+constexpr bool is_name_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         is_digit_ascii(c) || c == '_' || c == '-' || c == '.';
+}
 
 /// Recursive-descent parser over the notation grammar.
 class Parser {
@@ -24,8 +37,7 @@ class Parser {
 
  private:
   void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+    while (pos_ < text_.size() && is_space_ascii(text_[pos_])) {
       ++pos_;
     }
   }
@@ -48,6 +60,7 @@ class Parser {
     const std::size_t open = pos_;
     ++pos_;  // consume '['
     std::vector<TreePtr> children;
+    children.reserve(4);  // covers typical fan-outs without realloc churn
     children.push_back(parse_task());
     skip_ws();
 
@@ -83,17 +96,10 @@ class Parser {
 
   TreePtr parse_leaf() {
     const std::size_t start = pos_;
-    std::string name;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
-          c == '-' || c == '.') {
-        name += c;
-        ++pos_;
-      } else {
-        break;
-      }
-    }
+    while (pos_ < text_.size() && is_name_char(text_[pos_])) ++pos_;
+    // Single substring assignment (SSO for typical short names) instead of
+    // growing character by character.
+    std::string name(text_, start, pos_ - start);
     if (name.empty()) {
       throw NotationError(std::string("expected task name, found '") +
                               (pos_ < text_.size() ? std::string(1, text_[pos_])
@@ -120,23 +126,30 @@ class Parser {
 
   double parse_number(const char* what) {
     const std::size_t start = pos_;
-    std::string digits;
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
-          c == 'e' || c == 'E' || c == '+' ||
+      if (is_digit_ascii(c) || c == '.' || c == 'e' || c == 'E' || c == '+' ||
           (c == '-' && pos_ == start)) {
-        digits += c;
         ++pos_;
       } else {
         break;
       }
     }
+    // Allocation-free fast path straight off the input buffer.  from_chars
+    // rejects a few spellings stod accepts (leading '+', locale quirks), so
+    // anything it does not consume exactly falls back to the legacy path —
+    // same accepted language, same errors, same values.
+    double v = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec == std::errc() && ptr == last) return v;
     try {
+      const std::string digits(text_, start, pos_ - start);
       std::size_t used = 0;
-      const double v = std::stod(digits, &used);
+      const double slow = std::stod(digits, &used);
       if (used != digits.size()) throw std::invalid_argument(digits);
-      return v;
+      return slow;
     } catch (const std::exception&) {
       throw NotationError(std::string("malformed ") + what, start);
     }

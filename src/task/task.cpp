@@ -1,6 +1,17 @@
 #include "src/task/task.hpp"
 
+#include "src/util/arena.hpp"
+
 namespace sda::task {
+
+namespace {
+/// Tasks are created and retired at event frequency; allocate_shared with
+/// the pooled allocator puts object + control block in one pooled block,
+/// so the steady state recycles thread-cached memory instead of malloc.
+task::TaskPtr pooled_task() {
+  return std::allocate_shared<SimpleTask>(util::PoolAllocator<SimpleTask>{});
+}
+}  // namespace
 
 const char* to_string(TaskState s) noexcept {
   switch (s) {
@@ -24,7 +35,7 @@ const char* to_string(TaskKind k) noexcept {
 
 TaskPtr make_local_task(std::uint64_t id, int exec_node, Time arrival,
                         Time exec_time, Time deadline) {
-  auto t = std::make_shared<SimpleTask>();
+  auto t = pooled_task();
   t->id = id;
   t->kind = TaskKind::kLocal;
   t->exec_node = exec_node;
@@ -40,7 +51,7 @@ TaskPtr make_local_task(std::uint64_t id, int exec_node, Time arrival,
 TaskPtr make_subtask(std::uint64_t id, std::uint64_t owner_run, int exec_node,
                      Time arrival, Time exec_time, Time pred_exec,
                      Time real_deadline) {
-  auto t = std::make_shared<SimpleTask>();
+  auto t = pooled_task();
   t->id = id;
   t->kind = TaskKind::kSubtask;
   t->owner_run = owner_run;

@@ -55,6 +55,11 @@ struct SimpleTask {
   /// manager resolves this back to its bookkeeping record.
   std::uint64_t owner_run = 0;
 
+  /// Slot of the originating leaf in the owning run's tree (TreeNode::slot
+  /// at dispatch time); 0 for local tasks.  Lets the process manager index
+  /// flat per-run arrays instead of hashing the task id.
+  std::uint32_t leaf_slot = 0;
+
   /// If true, a local-scheduler abort policy must not abort this task (the
   /// paper's "special directives ... that subtasks are non-abortable
   /// locally", §7.3).

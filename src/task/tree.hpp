@@ -11,11 +11,13 @@
 // lives in core::ProcessManager, not here.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "src/sim/event_queue.hpp"
+#include "src/util/arena.hpp"
 
 namespace sda::task {
 
@@ -35,12 +37,32 @@ struct TreeNode {
   Time exec_time = 0.0;  ///< ex: drawn service demand
   Time pred_exec = 0.0;  ///< pex: estimate visible to SDA strategies
 
+  /// Dense DFS-preorder index within the owning tree, stamped by
+  /// task::FlatTree::build (attributes.hpp).  Lets runtime bookkeeping use
+  /// flat slot-indexed arrays instead of per-node hash maps.  Mutable
+  /// because stamping slots is bookkeeping, not a change to the tree's
+  /// value; meaningless until a FlatTree has been built over this tree.
+  mutable std::uint32_t slot = 0;
+
   // Composite-only field.
   std::vector<TreePtr> children;
 
   bool is_leaf() const noexcept { return kind == Kind::Leaf; }
   bool is_serial() const noexcept { return kind == Kind::Serial; }
   bool is_parallel() const noexcept { return kind == Kind::Parallel; }
+
+  /// Tree nodes churn at run frequency (every clone for a dispatched run,
+  /// every parsed notation string); route them through the thread-cached
+  /// size-class pool so hot-path clone/parse never hits the global heap.
+  /// TreeNode is never derived from, so the sized pool free is exact.
+  // sda-lint: allow(NAKED_NEW) pooled allocation operators, not heap use
+  static void* operator new(std::size_t bytes) {
+    return util::pool_alloc(bytes);
+  }
+  // sda-lint: allow(NAKED_NEW) matching pooled deallocation operator
+  static void operator delete(void* p) noexcept {
+    util::pool_free(p, sizeof(TreeNode));
+  }
 };
 
 /// Creates a simple subtask bound to @p exec_node with the given demand.

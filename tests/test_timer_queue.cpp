@@ -1,0 +1,319 @@
+// Pluggable timer-queue backends (src/sim/timer_queue.*, timer_wheel.*):
+// the contract is that "heap" (the pooled 4-ary min-heap) and "wheel"
+// (the hierarchical timing wheel) are observationally identical — same
+// pop order, same EventId handles, same run fingerprints — under any
+// push/cancel/reschedule/pop sequence.  The differential tests below
+// drive both backends with one op stream and compare everything the
+// Engine could observe; the fingerprint tests close the loop end-to-end
+// through ExperimentConfig's `timer_queue=` key, serial and sharded.
+//
+// This test runs under ThreadSanitizer in scripts/check_sanitizers.sh
+// (the tsan ctest preset includes it), so keep the horizons short.
+#include "src/sim/timer_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/exp/config.hpp"
+#include "src/exp/runner.hpp"
+#include "src/metrics/trace.hpp"
+#include "src/util/rng.hpp"
+
+namespace {
+
+using namespace sda;
+using sim::EventId;
+using sim::Time;
+using sim::TimerQueue;
+
+std::unique_ptr<TimerQueue> make(const std::string& name) {
+  return sim::make_timer_queue(name);
+}
+
+// --- wheel basics ----------------------------------------------------------
+
+TEST(TimerWheel, EmptyInitially) {
+  auto q = make("wheel");
+  EXPECT_TRUE(q->empty());
+  EXPECT_EQ(q->size(), 0u);
+  EXPECT_STREQ(q->backend_name(), "wheel");
+}
+
+TEST(TimerWheel, PopsInTimeOrder) {
+  auto q = make("wheel");
+  std::vector<int> fired;
+  q->push(3.0, [&] { fired.push_back(3); });
+  q->push(1.0, [&] { fired.push_back(1); });
+  q->push(2.0, [&] { fired.push_back(2); });
+  while (!q->empty()) q->pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(TimerWheel, EqualTimesFifo) {
+  auto q = make("wheel");
+  std::vector<int> fired;
+  for (int i = 0; i < 32; ++i) {
+    q->push(5.0, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q->empty()) q->pop().second();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(fired[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(TimerWheel, CancelPreventsFiring) {
+  auto q = make("wheel");
+  bool fired = false;
+  const EventId id = q->push(1.0, [&] { fired = true; });
+  q->push(2.0, [] {});
+  EXPECT_TRUE(q->pending(id));
+  EXPECT_TRUE(q->cancel(id));
+  EXPECT_FALSE(q->pending(id));
+  EXPECT_FALSE(q->cancel(id));  // already cancelled
+  EXPECT_EQ(q->size(), 1u);
+  EXPECT_DOUBLE_EQ(q->peek_time(), 2.0);
+  while (!q->empty()) q->pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(TimerWheel, PeekDoesNotRemove) {
+  auto q = make("wheel");
+  q->push(7.0, [] {});
+  EXPECT_DOUBLE_EQ(q->peek_time(), 7.0);
+  EXPECT_EQ(q->size(), 1u);
+}
+
+TEST(TimerWheel, DrainAndReuseReseeds) {
+  // Draining the wheel must let the next population re-seed its origin and
+  // bucket width; a second, much later batch still pops in order.
+  auto q = make("wheel");
+  for (int round = 0; round < 3; ++round) {
+    const double base = 1e3 * round * round;  // widely different scales
+    for (int i = 9; i >= 0; --i) q->push(base + i * 0.125, [] {});
+    double last = -1.0;
+    while (!q->empty()) {
+      auto [t, fn] = q->pop();
+      EXPECT_GE(t, last);
+      last = t;
+      fn();
+    }
+  }
+}
+
+TEST(TimerWheel, FarFutureOverflowCascades) {
+  // Events far beyond the top wheel level land in the overflow list and
+  // must still come out in global time order.
+  auto q = make("wheel");
+  std::vector<double> popped;
+  q->push(1.0, [] {});
+  q->push(1e9, [] {});
+  q->push(5e4, [] {});
+  q->push(2.0, [] {});
+  while (!q->empty()) popped.push_back(q->pop().first);
+  EXPECT_EQ(popped, (std::vector<double>{1.0, 2.0, 5e4, 1e9}));
+}
+
+// --- differential: heap vs wheel -------------------------------------------
+
+/// Drives both backends with one operation stream and asserts every
+/// observable matches: push handles, pending(), cancel results, pop times,
+/// pop order (via tokens), sizes.
+class Differential {
+ public:
+  Differential() : heap_(make("heap")), wheel_(make("wheel")) {}
+
+  EventId push(Time t) {
+    const int token = next_token_++;
+    const EventId h = heap_->push(t, [this, token] { heap_fired_.push_back(token); });
+    const EventId w =
+        wheel_->push(t, [this, token] { wheel_fired_.push_back(token); });
+    EXPECT_EQ(h.value, w.value) << "push handles diverged at token " << token;
+    live_.push_back(h);
+    return h;
+  }
+
+  void cancel_random(util::Rng& rng) {
+    if (live_.empty()) return;
+    const std::size_t i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(live_.size()) - 1));
+    const EventId id = live_[i];
+    EXPECT_EQ(heap_->pending(id), wheel_->pending(id));
+    EXPECT_EQ(heap_->cancel(id), wheel_->cancel(id));
+    live_.erase(live_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
+  /// Reschedule = cancel + push at a new time (the Engine's idiom).
+  void reschedule_random(util::Rng& rng, Time new_time) {
+    cancel_random(rng);
+    push(new_time);
+  }
+
+  void pop_one() {
+    ASSERT_EQ(heap_->empty(), wheel_->empty());
+    if (heap_->empty()) return;
+    EXPECT_DOUBLE_EQ(heap_->peek_time(), wheel_->peek_time());
+    auto [ht, hfn] = heap_->pop();
+    auto [wt, wfn] = wheel_->pop();
+    EXPECT_EQ(ht, wt);
+    hfn();
+    wfn();
+    ASSERT_FALSE(heap_fired_.empty());
+    ASSERT_FALSE(wheel_fired_.empty());
+    EXPECT_EQ(heap_fired_.back(), wheel_fired_.back());
+  }
+
+  void drain() {
+    while (!heap_->empty() || !wheel_->empty()) pop_one();
+    EXPECT_EQ(heap_fired_, wheel_fired_);
+  }
+
+  void check_sizes() const {
+    EXPECT_EQ(heap_->size(), wheel_->size());
+    EXPECT_EQ(heap_->empty(), wheel_->empty());
+  }
+
+ private:
+  std::unique_ptr<TimerQueue> heap_;
+  std::unique_ptr<TimerQueue> wheel_;
+  std::vector<EventId> live_;
+  std::vector<int> heap_fired_;
+  std::vector<int> wheel_fired_;
+  int next_token_ = 0;
+};
+
+/// Clustered deadlines: bursts of near-equal times (the admission front
+/// door's retry storms) stress the FIFO-on-tie path and bucket sweeps.
+TEST(TimerQueueDifferential, ClusteredDeadlines) {
+  util::Rng rng(0xc1a5ULL);
+  Differential d;
+  double now = 0.0;
+  for (int round = 0; round < 60; ++round) {
+    const double center = now + rng.exponential(5.0);
+    const int burst = static_cast<int>(rng.uniform_int(1, 12));
+    for (int i = 0; i < burst; ++i) {
+      // Half the burst lands on the exact same double.
+      const double jitter = rng.bernoulli(0.5) ? 0.0 : rng.uniform(0.0, 1e-3);
+      d.push(center + jitter);
+    }
+    if (rng.bernoulli(0.3)) d.cancel_random(rng);
+    if (rng.bernoulli(0.2)) d.reschedule_random(rng, center + rng.uniform01());
+    const int pops = static_cast<int>(rng.uniform_int(0, burst));
+    for (int i = 0; i < pops; ++i) d.pop_one();
+    d.check_sizes();
+    now = center;
+  }
+  d.drain();
+}
+
+/// Heavy-tailed deadlines: most events near now, occasional events orders
+/// of magnitude out — exercises overflow, cascade, and width adaptation.
+TEST(TimerQueueDifferential, HeavyTailedDeadlines) {
+  util::Rng rng(0x7a11ULL);
+  Differential d;
+  double now = 0.0;
+  for (int round = 0; round < 50; ++round) {
+    const int n = static_cast<int>(rng.uniform_int(1, 8));
+    for (int i = 0; i < n; ++i) {
+      // Pareto-ish: u^-2 spans ~[1, 1e6).
+      const double u = rng.uniform(1e-3, 1.0);
+      d.push(now + 0.01 / (u * u));
+    }
+    if (rng.bernoulli(0.4)) d.cancel_random(rng);
+    if (rng.bernoulli(0.25)) {
+      const double u = rng.uniform(1e-3, 1.0);
+      d.reschedule_random(rng, now + 0.01 / (u * u));
+    }
+    const int pops = static_cast<int>(rng.uniform_int(0, 3));
+    for (int i = 0; i < pops; ++i) d.pop_one();
+    d.check_sizes();
+    now += rng.exponential(1.0);
+  }
+  d.drain();
+}
+
+/// Full random soak with all operations mixed, including complete drains
+/// mid-sequence (forcing the wheel to re-seed at a new origin).
+TEST(TimerQueueDifferential, RandomSoakWithDrains) {
+  util::Rng rng(0x5eedULL);
+  Differential d;
+  double now = 0.0;
+  for (int op = 0; op < 2500; ++op) {
+    const double r = rng.uniform01();
+    if (r < 0.45) {
+      d.push(now + rng.exponential(3.0));
+    } else if (r < 0.6) {
+      d.cancel_random(rng);
+    } else if (r < 0.7) {
+      d.reschedule_random(rng, now + rng.exponential(3.0));
+    } else if (r < 0.98) {
+      d.pop_one();
+    } else {
+      d.drain();  // occasional full drain + re-seed
+      now += rng.exponential(100.0);
+    }
+    d.check_sizes();
+  }
+  d.drain();
+}
+
+// --- registry ---------------------------------------------------------------
+
+TEST(TimerQueueRegistry, ListsBuiltins) {
+  const std::vector<std::string> names = sim::list_timer_queue_names();
+  ASSERT_GE(names.size(), 2u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "heap"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "wheel"), names.end());
+}
+
+TEST(TimerQueueRegistry, CaseInsensitive) {
+  EXPECT_STREQ(make("HEAP")->backend_name(), "heap");
+  EXPECT_STREQ(make("Wheel")->backend_name(), "wheel");
+}
+
+TEST(TimerQueueRegistry, UnknownNameListsBackendsAndSuggests) {
+  try {
+    make("whel");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("heap"), std::string::npos) << what;
+    EXPECT_NE(what.find("wheel"), std::string::npos) << what;
+  }
+}
+
+// --- end-to-end fingerprint identity ----------------------------------------
+
+std::uint64_t fingerprint_of(exp::ExperimentConfig c, const std::string& tq,
+                             int shards, std::uint64_t seed) {
+  c.timer_queue = tq;
+  c.shards = shards;
+  metrics::Tracer tracer(1);  // rolling fingerprint only
+  (void)exp::run_once(c, seed, &tracer);
+  return tracer.fingerprint();
+}
+
+/// The backend is a pure implementation detail: a run's trace fingerprint
+/// must be bit-identical under heap and wheel, serially and sharded.
+TEST(TimerQueueFingerprint, HeapAndWheelIdentical) {
+  exp::ExperimentConfig c = exp::baseline_config();
+  c.sim_time = 60.0;  // short horizon: this also runs under TSan
+  c.k = 8;
+  c.replications = 1;
+  for (const std::uint64_t seed : {1ULL, 42ULL}) {
+    const std::uint64_t heap_serial = fingerprint_of(c, "heap", 1, seed);
+    const std::uint64_t wheel_serial = fingerprint_of(c, "wheel", 1, seed);
+    EXPECT_EQ(heap_serial, wheel_serial) << "serial, seed=" << seed;
+    const std::uint64_t heap_sharded = fingerprint_of(c, "heap", 4, seed);
+    const std::uint64_t wheel_sharded = fingerprint_of(c, "wheel", 4, seed);
+    EXPECT_EQ(heap_sharded, wheel_sharded) << "shards=4, seed=" << seed;
+    EXPECT_EQ(heap_serial, heap_sharded) << "heap serial vs sharded, seed=" << seed;
+  }
+}
+
+}  // namespace

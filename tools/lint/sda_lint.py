@@ -66,6 +66,8 @@ NAKED_NEW_ALLOWED = (
     "src/sim/event_queue.cpp",
     "src/util/unique_fn.hpp",
     "src/sim/inline_fn.hpp",
+    "src/util/arena.hpp",
+    "src/util/arena.cpp",
 )
 # The sanctioned home of exact float comparison.
 FLOAT_EQ_ALLOWED = ("src/util/feq.hpp",)
